@@ -1,0 +1,127 @@
+// E11 -- substrate microbenchmarks (google-benchmark).
+//
+// Measures the cost of the building blocks so users can size experiments:
+// event-engine decision throughput, slot-engine slot throughput, admission
+// index operations, allocation math, and the simplex OPT bound.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/list_scheduler.h"
+#include "core/deadline_scheduler.h"
+#include "core/density_index.h"
+#include "dag/generators.h"
+#include "opt/upper_bound.h"
+#include "sim/event_engine.h"
+#include "sim/slot_engine.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace dagsched;
+
+JobSet make_jobs(std::size_t count, double load = 0.8) {
+  Rng rng(42);
+  WorkloadConfig config = scenario_thm2(0.5, load, 16);
+  config.horizon = static_cast<double>(count) * 4.0;
+  JobSet jobs = generate_workload(rng, config);
+  return jobs;
+}
+
+void BM_EventEngineEdf(benchmark::State& state) {
+  const JobSet jobs = make_jobs(static_cast<std::size_t>(state.range(0)));
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    ListScheduler scheduler({ListPolicy::kEdf, false, true});
+    auto sel = make_selector(SelectorKind::kFifo);
+    EngineOptions options;
+    options.num_procs = 16;
+    const SimResult result = simulate(jobs, scheduler, *sel, options);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_EventEngineEdf)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_EventEnginePaperS(benchmark::State& state) {
+  const JobSet jobs = make_jobs(static_cast<std::size_t>(state.range(0)));
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    DeadlineScheduler scheduler({.params = Params::from_epsilon(0.5)});
+    auto sel = make_selector(SelectorKind::kFifo);
+    EngineOptions options;
+    options.num_procs = 16;
+    const SimResult result = simulate(jobs, scheduler, *sel, options);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+}
+BENCHMARK(BM_EventEnginePaperS)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SlotEngineEdf(benchmark::State& state) {
+  Rng rng(7);
+  WorkloadConfig config =
+      scenario_profit(0.5, 0.8, 16, ProfitPolicy::Shape::kPlateauLinear);
+  config.horizon = static_cast<double>(state.range(0));
+  const JobSet jobs = generate_workload(rng, config);
+  for (auto _ : state) {
+    ListScheduler scheduler({ListPolicy::kEdf, false, true});
+    auto sel = make_selector(SelectorKind::kFifo);
+    SlotEngineOptions options;
+    options.num_procs = 16;
+    SlotEngine engine(jobs, scheduler, *sel, options);
+    benchmark::DoNotOptimize(engine.run().total_profit);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_SlotEngineEdf)->Arg(100)->Arg(400);
+
+void BM_DensityIndexAdmit(benchmark::State& state) {
+  Rng rng(3);
+  DensityWindowIndex index;
+  const auto members = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < members; ++i) {
+    index.insert(static_cast<JobId>(i), rng.uniform(0.01, 10.0), 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.admits(rng.uniform(0.01, 10.0), 2, 17.0, 1e9));
+  }
+}
+BENCHMARK(BM_DensityIndexAdmit)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_AllocationMath(benchmark::State& state) {
+  const Params params = Params::from_epsilon(0.5);
+  Rng rng(5);
+  for (auto _ : state) {
+    const Work L = rng.uniform(1.0, 10.0);
+    const Work W = L + rng.uniform(0.0, 200.0);
+    benchmark::DoNotOptimize(
+        compute_deadline_allocation(W, L, 2.0 * (W / 16.0 + L), 1.0, params,
+                                    1.0));
+  }
+}
+BENCHMARK(BM_AllocationMath);
+
+void BM_OptUpperBoundLp(benchmark::State& state) {
+  const JobSet jobs = make_jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_opt_upper_bound(jobs, 16).value());
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_OptUpperBoundLp)->Arg(50)->Arg(150);
+
+void BM_DagGeneration(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sample_dag(rng, DagFamily::kMixed, 1.0).total_work());
+  }
+}
+BENCHMARK(BM_DagGeneration);
+
+}  // namespace

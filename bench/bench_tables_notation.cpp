@@ -1,0 +1,94 @@
+// E12 -- Tables 1-3.
+//
+// The paper's only tables are notation tables.  This binary "regenerates"
+// them with concrete values: the global constants of Table 1 for a sweep of
+// eps, and the per-job derived quantities of Tables 2/3 for a canned job
+// set, recomputed through the same library code the schedulers use.
+#include <memory>
+
+#include "bench_util.h"
+#include "core/analysis.h"
+#include "dag/generators.h"
+
+int main(int argc, char** argv) {
+  const dagsched::bench::CsvSink csv(argc, argv);
+  using namespace dagsched;
+  using namespace dagsched::bench;
+  print_header("E12: Tables 1-3 with concrete values",
+               "The paper's notation tables, instantiated by the library.");
+
+  std::cout << "Table 1: global constants (delta = eps/4, c minimal) and "
+               "the proven worst-case ratios they imply\n";
+  TextTable t1({"eps", "delta", "c", "b", "a", "Thm2 proven ratio",
+                "Thm3 proven ratio"});
+  for (const double eps : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+    const Params p = Params::from_epsilon(eps);
+    const ProvenBounds bounds = proven_bounds(p);
+    t1.add_row({TextTable::num(eps), TextTable::num(p.delta),
+                TextTable::num(p.c, 6), TextTable::num(p.b, 6),
+                TextTable::num(p.a(), 6),
+                TextTable::num(bounds.throughput_ratio, 4),
+                TextTable::num(bounds.profit_ratio, 4)});
+  }
+  csv.emit("e12_table1", t1);
+  std::cout << "(The canonical parameterization uses the minimal c, making "
+               "the Lemma-5 constant\n nearly zero and the proven ratio "
+               "astronomically loose; E3/E13 measure reality.)\n";
+
+  const ProcCount m = 16;
+  const double eps = 0.5;
+  const Params params = Params::from_epsilon(eps);
+  std::cout << "\nTable 2: per-job quantities (m = 16, eps = 0.5, "
+               "D = (1+eps)((W-L)/m + L), p = W/10)\n";
+  TextTable t2({"job", "W", "L", "D", "n_i", "x_i", "v_i", "x_i*n_i/(a*W)"});
+  struct Shape {
+    const char* label;
+    Dag dag;
+  };
+  Shape shapes[] = {
+      {"parallel-block", make_parallel_block(64, 1.0)},
+      {"chain", make_chain(16, 1.0)},
+      {"fork-join", make_fork_join(4, 8, 1.0)},
+      {"fig1(m=16)", make_fig1_dag(16, 8, 1.0)},
+      {"fig2", make_fig2_dag(7, 57, 1.0)},
+  };
+  for (const Shape& shape : shapes) {
+    const Work W = shape.dag.total_work();
+    const Work L = shape.dag.span();
+    const Time D =
+        (1.0 + eps) * ((W - L) / static_cast<double>(m) + L);
+    const Profit p = W / 10.0;
+    const JobAllocation alloc =
+        compute_deadline_allocation(W, L, D, p, params, 1.0);
+    t2.add_row({shape.label, TextTable::num(W), TextTable::num(L),
+                TextTable::num(D, 4),
+                TextTable::num(static_cast<long long>(alloc.n)),
+                TextTable::num(alloc.x, 4), TextTable::num(alloc.v, 4),
+                TextTable::num(alloc.x * static_cast<double>(alloc.n) /
+                                   (params.a() * W),
+                               3)});
+  }
+  csv.emit("e12_table2", t2);
+
+  std::cout << "\nTable 3: general-profit variant (x* = plateau end = D "
+               "above, n_i from x*)\n";
+  TextTable t3({"job", "x*", "n_i", "x_i", "x_i(1+2delta)<=x*"});
+  for (const Shape& shape : shapes) {
+    const Work W = shape.dag.total_work();
+    const Work L = shape.dag.span();
+    const Time xstar =
+        (1.0 + eps) * ((W - L) / static_cast<double>(m) + L);
+    const JobAllocation alloc =
+        compute_profit_allocation(W, L, xstar, params, 1.0);
+    t3.add_row({shape.label, TextTable::num(xstar, 4),
+                TextTable::num(static_cast<long long>(alloc.n)),
+                TextTable::num(alloc.x, 4),
+                alloc.x * (1.0 + 2.0 * params.delta) <= xstar + 1e-9
+                    ? "yes"
+                    : "NO"});
+  }
+  csv.emit("e12_table3", t3);
+  std::cout << "\nShape check: last column of Table 2 <= 1 (Lemma 3); last "
+               "column of Table 3 all yes (Lemma 14).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the experiment binaries (bench/).
+//
+// Every binary regenerates one table/figure of EXPERIMENTS.md and prints a
+// paper-style text table plus (optionally) a CSV next to the binary.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/federated.h"
+#include "baselines/list_scheduler.h"
+#include "core/deadline_scheduler.h"
+#include "core/profit_scheduler.h"
+#include "exp/runner.h"
+#include "util/arg_parse.h"
+#include "util/table.h"
+#include "workload/scenarios.h"
+
+namespace dagsched::bench {
+
+inline SchedulerFactory paper_s(double eps) {
+  return [eps] {
+    return std::make_unique<DeadlineScheduler>(
+        DeadlineSchedulerOptions{.params = Params::from_epsilon(eps)});
+  };
+}
+
+inline SchedulerFactory paper_s_options(DeadlineSchedulerOptions options) {
+  return [options] { return std::make_unique<DeadlineScheduler>(options); };
+}
+
+inline SchedulerFactory paper_profit(double eps) {
+  return [eps] {
+    return std::make_unique<ProfitScheduler>(
+        ProfitSchedulerOptions{.params = Params::from_epsilon(eps)});
+  };
+}
+
+inline SchedulerFactory list_policy(ListPolicy policy) {
+  return [policy] {
+    return std::make_unique<ListScheduler>(
+        ListSchedulerOptions{policy, false, true});
+  };
+}
+
+inline SchedulerFactory federated() {
+  return [] { return std::make_unique<FederatedScheduler>(); };
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// Optional CSV export for experiment binaries: pass `--csv DIR` and every
+/// table is also written to DIR/<name>.csv (for downstream plotting).
+class CsvSink {
+ public:
+  CsvSink(int argc, char** argv) {
+    ArgParser args(argc, argv);
+    directory_ = args.get_string("csv", "");
+    args.finish();
+  }
+
+  /// Prints the table to stdout and, when --csv was given, saves it.
+  void emit(const std::string& name, const TextTable& table) const {
+    table.print(std::cout);
+    if (directory_.empty()) return;
+    const std::string path = directory_ + "/" + name + ".csv";
+    table.write_csv(path);
+    std::cout << "[csv] wrote " << path << "\n";
+  }
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace dagsched::bench

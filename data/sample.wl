@@ -1,0 +1,40 @@
+# Golden sample workload -- tests/test_golden_files.cpp pins the parsed
+# values, so any format change that breaks old files fails CI.
+dagsched-workload 1
+job 0
+profit step 10 14
+nodes 6
+1 1 4 4 4 4
+edges 8
+0 2
+0 3
+0 4
+0 5
+2 1
+3 1
+4 1
+5 1
+end
+job 2.5
+profit plateau_linear 6 8 20
+nodes 1
+3.5
+edges 0
+end
+job 4
+profit plateau_exp 2 5 0.25
+nodes 3
+1 2 1
+edges 2
+0 1
+1 2
+end
+job 5
+profit piecewise 3 2 9 6 4 11 1.5
+nodes 4
+1 1 1 1
+edges 3
+0 1
+0 2
+1 3
+end

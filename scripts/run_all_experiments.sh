@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md.
+#
+#   scripts/run_all_experiments.sh [BUILD_DIR] [CSV_DIR]
+#
+# With CSV_DIR set, every table is also exported as CSV for plotting.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CSV_DIR="${2:-}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+EXTRA=()
+if [[ -n "$CSV_DIR" ]]; then
+  mkdir -p "$CSV_DIR"
+  EXTRA=(--csv "$CSV_DIR")
+fi
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$bench" ]] || continue
+  echo
+  echo "################ $(basename "$bench") ################"
+  if [[ "$(basename "$bench")" == "bench_engine_perf" ]]; then
+    "$bench"   # google-benchmark binary: owns its own flags
+  else
+    "$bench" "${EXTRA[@]}"
+  fi
+done

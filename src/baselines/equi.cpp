@@ -1,0 +1,61 @@
+#include "baselines/equi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+EquiScheduler::EquiScheduler(EquiOptions options) : options_(options) {}
+
+void EquiScheduler::decide(const EngineContext& ctx, Assignment& out) {
+  static thread_local std::vector<std::pair<JobId, double>> shares;
+  shares.clear();
+  double total_weight = 0.0;
+  for (const JobId job : ctx.active_jobs()) {
+    const JobView view = ctx.view(job);
+    if (options_.drop_expired && view.deadline_unreachable(ctx.now())) {
+      continue;
+    }
+    if (view.ready_count() == 0) continue;
+    const double weight =
+        options_.weight_by_profit ? view.peak_profit() : 1.0;
+    DS_CHECK(weight > 0.0);
+    shares.emplace_back(job, weight);
+    total_weight += weight;
+  }
+  if (shares.empty()) return;
+
+  // Largest-remainder apportionment of m processors to weights, with every
+  // job guaranteed at least consideration for leftovers (jobs may round to
+  // zero; leftovers go to the largest fractional parts, ties by id).
+  const double m = static_cast<double>(ctx.num_procs());
+  std::vector<double> fractional(shares.size());
+  ProcCount assigned = 0;
+  std::vector<ProcCount> grant(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double exact = m * shares[i].second / total_weight;
+    grant[i] = static_cast<ProcCount>(std::floor(exact));
+    fractional[i] = exact - std::floor(exact);
+    assigned += grant[i];
+  }
+  std::vector<std::size_t> order(shares.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (fractional[a] != fractional[b]) return fractional[a] > fractional[b];
+    return shares[a].first < shares[b].first;
+  });
+  for (std::size_t rank = 0;
+       rank < order.size() && assigned < ctx.num_procs(); ++rank) {
+    ++grant[order[rank]];
+    ++assigned;
+  }
+
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (grant[i] >= 1) out.add(shares[i].first, grant[i]);
+  }
+}
+
+}  // namespace dagsched

@@ -1,0 +1,40 @@
+// EQUI: fully non-clairvoyant equi-partitioning.
+//
+// The paper's conclusion asks whether *fully* non-clairvoyant algorithms
+// (no knowledge of W_i or L_i at all -- not even the semi-non-clairvoyant
+// hints) can be competitive.  EQUI is the canonical such policy: split the
+// m processors evenly among active jobs (optionally weighting the split by
+// profit, the one value a non-clairvoyant scheduler may still know).  This
+// baseline probes the open question empirically: the gap between EQUI and
+// S quantifies what knowing (W, L) buys.
+//
+// EQUI only reads release, profit, expiry and ready counts from JobView --
+// never W, L or remaining work.
+#pragma once
+
+#include <string>
+
+#include "sim/scheduler.h"
+
+namespace dagsched {
+
+struct EquiOptions {
+  /// Weight each job's share by its peak profit instead of equally.
+  bool weight_by_profit = false;
+  bool drop_expired = true;
+};
+
+class EquiScheduler final : public SchedulerBase {
+ public:
+  explicit EquiScheduler(EquiOptions options = {});
+
+  std::string name() const override {
+    return options_.weight_by_profit ? "equi(profit-weighted)" : "equi";
+  }
+  void decide(const EngineContext& ctx, Assignment& out) override;
+
+ private:
+  EquiOptions options_;
+};
+
+}  // namespace dagsched

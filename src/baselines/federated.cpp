@@ -1,0 +1,72 @@
+#include "baselines/federated.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+FederatedScheduler::FederatedScheduler(FederatedOptions options)
+    : options_(options) {}
+
+void FederatedScheduler::reset() {
+  info_.clear();
+  running_.clear();
+  committed_ = 0;
+  admitted_count_ = 0;
+}
+
+void FederatedScheduler::on_arrival(const EngineContext& ctx, JobId job) {
+  if (info_.size() < ctx.num_jobs()) info_.resize(ctx.num_jobs());
+  JobInfo& info = info_[job];
+
+  const JobView view = ctx.view(job);
+  const Time deadline = view.has_deadline() ? view.relative_deadline()
+                                            : view.profit().plateau_end();
+  const Work work_eff = view.work() / ctx.speed();
+  const Work span_eff = view.span() / ctx.speed();
+  if (!(deadline > span_eff)) return;  // infeasible on any cluster
+
+  ProcCount cluster;
+  const Work parallel_work = std::max(work_eff - span_eff, 0.0);
+  if (approx_zero(parallel_work)) {
+    cluster = 1;
+  } else {
+    cluster = static_cast<ProcCount>(
+        std::ceil(parallel_work / (deadline - span_eff)));
+    cluster = std::max<ProcCount>(cluster, 1);
+  }
+
+  if (committed_ + cluster > ctx.num_procs()) return;  // reject permanently
+  info.cluster = cluster;
+  info.admitted = true;
+  committed_ += cluster;
+  ++admitted_count_;
+  running_.push_back(job);
+}
+
+void FederatedScheduler::on_completion(const EngineContext& ctx, JobId job) {
+  (void)ctx;
+  JobInfo& info = info_[job];
+  if (!info.admitted) return;
+  info.admitted = false;
+  DS_CHECK(committed_ >= info.cluster);
+  committed_ -= info.cluster;
+  std::erase(running_, job);
+}
+
+void FederatedScheduler::on_deadline(const EngineContext& ctx, JobId job) {
+  // Same release path: the cluster is wasted past the deadline.
+  on_completion(ctx, job);
+}
+
+void FederatedScheduler::decide(const EngineContext& ctx, Assignment& out) {
+  (void)ctx;
+  for (const JobId job : running_) {
+    out.add(job, info_[job].cluster);
+  }
+}
+
+}  // namespace dagsched

@@ -1,0 +1,58 @@
+// Federated scheduling baseline (Li et al., ECRTS'14; Baruah, IPDPS'15 --
+// the real-time-systems approach the paper's related work cites).
+//
+// Each admitted job receives a dedicated cluster of
+//     n_i = ceil((W_i - L_i) / (D_i - L_i))
+// processors, the minimum count whose Graham bound (W-L)/n + L fits the
+// deadline.  A job is admitted iff its cluster fits into the processors not
+// already dedicated to active jobs; otherwise it is rejected permanently
+// (the classic federated admission test -- no waiting queue, no densities).
+// Clusters are released on completion or deadline expiry.
+//
+// Differences from the paper's S that the benchmarks probe: admission is
+// capacity-only (no density windows, so one fat cheap job can crowd out
+// many profitable ones), there is no second chance for rejected jobs, and
+// the full machine (not b*m) may be committed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace dagsched {
+
+struct FederatedOptions {
+  /// Admit in profit-density order when several jobs arrive simultaneously?
+  /// (Arrival order is already serialized by the engine; this is kept for
+  /// interface symmetry and future batched variants.)
+  bool reserve_full_machine = true;
+};
+
+class FederatedScheduler final : public SchedulerBase {
+ public:
+  explicit FederatedScheduler(FederatedOptions options = {});
+
+  std::string name() const override { return "federated"; }
+  void reset() override;
+  void on_arrival(const EngineContext& ctx, JobId job) override;
+  void on_completion(const EngineContext& ctx, JobId job) override;
+  void on_deadline(const EngineContext& ctx, JobId job) override;
+  void decide(const EngineContext& ctx, Assignment& out) override;
+
+  std::size_t admitted_count() const { return admitted_count_; }
+
+ private:
+  struct JobInfo {
+    ProcCount cluster = 0;
+    bool admitted = false;
+  };
+
+  FederatedOptions options_;
+  std::vector<JobInfo> info_;
+  std::vector<JobId> running_;  // admitted, incomplete
+  ProcCount committed_ = 0;
+  std::size_t admitted_count_ = 0;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,82 @@
+#include "baselines/list_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+const char* list_policy_name(ListPolicy policy) {
+  switch (policy) {
+    case ListPolicy::kEdf: return "edf";
+    case ListPolicy::kLlf: return "llf";
+    case ListPolicy::kHdf: return "hdf";
+    case ListPolicy::kFcfs: return "fcfs";
+  }
+  return "?";
+}
+
+ListScheduler::ListScheduler(ListSchedulerOptions options)
+    : options_(options) {}
+
+std::string ListScheduler::name() const {
+  std::string n = list_policy_name(options_.policy);
+  if (options_.clairvoyant_laxity) n += "(clairvoyant)";
+  return n;
+}
+
+double ListScheduler::key(const EngineContext& ctx, JobId job) const {
+  const JobView view = ctx.view(job);
+  switch (options_.policy) {
+    case ListPolicy::kEdf:
+      return view.has_deadline() ? view.absolute_deadline()
+                                 : view.release() + view.profit().plateau_end();
+    case ListPolicy::kLlf: {
+      const Time due = view.has_deadline()
+                           ? view.absolute_deadline()
+                           : view.release() + view.profit().plateau_end();
+      Work remaining_estimate;
+      if (options_.clairvoyant_laxity) {
+        remaining_estimate = ctx.unfolding_of(job).remaining_span();
+      } else {
+        remaining_estimate = view.remaining_work() /
+                             static_cast<double>(ctx.num_procs());
+      }
+      return (due - ctx.now()) - remaining_estimate / ctx.speed();
+    }
+    case ListPolicy::kHdf:
+      // Negate so that smaller key = higher priority uniformly.
+      return -(view.peak_profit() / view.work());
+    case ListPolicy::kFcfs:
+      return view.release();
+  }
+  return 0.0;
+}
+
+void ListScheduler::decide(const EngineContext& ctx, Assignment& out) {
+  // Gather runnable jobs (drop expired ones if configured).
+  static thread_local std::vector<std::pair<double, JobId>> order;
+  order.clear();
+  for (const JobId job : ctx.active_jobs()) {
+    const JobView view = ctx.view(job);
+    if (options_.drop_expired && view.deadline_unreachable(ctx.now())) continue;
+    if (view.ready_count() == 0) continue;  // completed jobs are not active
+    order.emplace_back(key(ctx, job), job);
+  }
+  std::sort(order.begin(), order.end());
+
+  ProcCount free = ctx.num_procs();
+  for (const auto& [key_value, job] : order) {
+    (void)key_value;
+    if (free == 0) break;
+    const auto ready = ctx.view(job).ready_count();
+    const ProcCount grant = static_cast<ProcCount>(std::min<std::size_t>(
+        ready, free));
+    if (grant == 0) continue;
+    out.add(job, grant);
+    free -= grant;
+  }
+}
+
+}  // namespace dagsched

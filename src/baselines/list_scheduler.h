@@ -1,0 +1,56 @@
+// Work-conserving list schedulers: the online baselines the paper's S is
+// compared against (none existed for this model in OSS; built per the
+// reproduction plan).
+//
+// At every decision point, active jobs are ordered by the policy key and
+// each job in turn is granted up to its ready-node count while processors
+// remain -- i.e. the classic greedy "global" scheduling of DAG jobs:
+//
+//   kEdf     -- earliest absolute deadline first
+//   kLlf     -- least laxity first, laxity = (d - now) - remaining/(m)
+//               (optimistic parallelism estimate; with clairvoyant_laxity
+//               the true remaining span bound is used instead)
+//   kHdf     -- highest classic density p/W first
+//   kFcfs    -- first-come first-served
+//
+// All flavors drop expired deadline jobs (running them cannot earn profit).
+// Unlike the paper's S they are work-conserving and admission-free, which
+// is exactly what the E7 baseline shoot-out quantifies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace dagsched {
+
+enum class ListPolicy { kEdf, kLlf, kHdf, kFcfs };
+
+const char* list_policy_name(ListPolicy policy);
+
+struct ListSchedulerOptions {
+  ListPolicy policy = ListPolicy::kEdf;
+  /// Use the exact remaining critical path for laxity (requires DAG access,
+  /// making the scheduler clairvoyant). kLlf only.
+  bool clairvoyant_laxity = false;
+  /// Skip jobs whose deadline already passed (default) -- running them is
+  /// wasted capacity.
+  bool drop_expired = true;
+};
+
+class ListScheduler final : public SchedulerBase {
+ public:
+  explicit ListScheduler(ListSchedulerOptions options = {});
+
+  std::string name() const override;
+  bool clairvoyant() const override { return options_.clairvoyant_laxity; }
+  void decide(const EngineContext& ctx, Assignment& out) override;
+
+ private:
+  double key(const EngineContext& ctx, JobId job) const;
+
+  ListSchedulerOptions options_;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,66 @@
+#include "core/allocation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+namespace {
+
+/// Shared tail: given effective work/span (speed folded in) and the time
+/// budget `denom` = target/(1+2delta) - span_eff, produce {n, x}.
+JobAllocation finish_allocation(Work work_eff, Work span_eff, double denom) {
+  JobAllocation alloc;
+  if (!(denom > 0.0)) return alloc;  // infeasible: even infinite n too slow
+  const Work parallel_work = work_eff - span_eff;
+  DS_CHECK_MSG(parallel_work >= -1e-9, "span exceeds work");
+  double n_real = parallel_work > 0.0 ? parallel_work / denom : 0.0;
+  // A pure chain (W == L) still needs one processor.
+  ProcCount n = static_cast<ProcCount>(std::ceil(std::max(n_real, 0.0)));
+  if (n == 0) n = 1;
+  alloc.n = n;
+  alloc.x = std::max(parallel_work, 0.0) / static_cast<double>(n) + span_eff;
+  return alloc;
+}
+
+}  // namespace
+
+JobAllocation compute_deadline_allocation(Work work, Work span,
+                                          Time relative_deadline,
+                                          Profit profit, const Params& params,
+                                          double speed) {
+  DS_CHECK(speed > 0.0);
+  const Work work_eff = work / speed;
+  const Work span_eff = span / speed;
+  const double denom =
+      relative_deadline / (1.0 + 2.0 * params.delta) - span_eff;
+  JobAllocation alloc = finish_allocation(work_eff, span_eff, denom);
+  if (alloc.n == 0) return alloc;
+  alloc.v = profit / (alloc.x * static_cast<double>(alloc.n));
+  // Lemma 2: rounding n up only shrinks x, so delta-goodness follows from
+  // denom > 0; assert it rather than recheck with tolerance games.
+  alloc.good =
+      approx_le(alloc.x * (1.0 + 2.0 * params.delta), relative_deadline);
+  DS_CHECK_MSG(alloc.good,
+               "allocation lost delta-goodness: x=" << alloc.x << " D="
+                                                    << relative_deadline);
+  return alloc;
+}
+
+JobAllocation compute_profit_allocation(Work work, Work span, Time plateau_end,
+                                        const Params& params, double speed) {
+  DS_CHECK(speed > 0.0);
+  const Work work_eff = work / speed;
+  const Work span_eff = span / speed;
+  const double denom = plateau_end / (1.0 + 2.0 * params.delta) - span_eff;
+  JobAllocation alloc = finish_allocation(work_eff, span_eff, denom);
+  if (alloc.n == 0) return alloc;
+  // Lemma 14: x (1+2delta) <= x*.
+  alloc.good = approx_le(alloc.x * (1.0 + 2.0 * params.delta), plateau_end);
+  DS_CHECK(alloc.good);
+  return alloc;
+}
+
+}  // namespace dagsched

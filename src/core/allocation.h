@@ -1,0 +1,52 @@
+// Per-job allocation quantities (Section 3.1 / Table 2):
+//
+//   n_i = (W_i - L_i) / (D_i/(1+2delta) - L_i)   processors allocated
+//   x_i = (W_i - L_i)/n_i + L_i                  max execution time on n_i
+//   v_i = p_i / (x_i * n_i)                      density (profit per
+//                                                 processor-step S spends)
+//
+// Two engineering deviations from the paper's real-valued n_i, both recorded
+// in DESIGN.md:
+//   * n_i is rounded up to an integer processor count (>= 1).  Rounding up
+//     *shrinks* x_i, so delta-goodness (Lemma 2) is preserved; Lemma 1's
+//     n_i <= b^2 m can be exceeded by strictly less than one processor.
+//   * When the scheduler runs at speed s (resource augmentation), work and
+//     span are scaled by 1/s before the formulas -- a speed-s machine
+//     executes the same DAG with all node weights divided by s, which is
+//     exactly the transformation in Corollary 1's proof.
+#pragma once
+
+#include "core/params.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct JobAllocation {
+  /// Processors given to the job whenever it runs; 0 iff infeasible.
+  ProcCount n = 0;
+  /// Guaranteed completion bound on n dedicated processors (Observation 2),
+  /// in wall-clock time units (speed already folded in).
+  Work x = 0.0;
+  /// Density v = p / (x * n).
+  Density v = 0.0;
+  /// Whether the allocation exists and the job is delta-good
+  /// (D >= (1+2delta) x).
+  bool good = false;
+};
+
+/// Computes the Section-3 allocation for a deadline job.
+/// `speed` is the scheduler's resource augmentation (>= any positive value).
+JobAllocation compute_deadline_allocation(Work work, Work span,
+                                          Time relative_deadline,
+                                          Profit profit, const Params& params,
+                                          double speed);
+
+/// Computes the Section-5 allocation: n_i from the plateau end x* of the
+/// profit function instead of the deadline:
+///   n_i = (W - L) / (x*/(1+2delta) - L).
+/// The density is *not* filled in (it depends on the deadline the profit
+/// scheduler later chooses); x is the same Graham bound as above.
+JobAllocation compute_profit_allocation(Work work, Work span, Time plateau_end,
+                                        const Params& params, double speed);
+
+}  // namespace dagsched

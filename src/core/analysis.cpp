@@ -1,0 +1,32 @@
+#include "core/analysis.h"
+
+#include "util/check.h"
+
+namespace dagsched {
+
+ProvenBounds proven_bounds(const Params& params) {
+  params.validate();
+  const double eps = params.epsilon;
+  const double delta = params.delta;
+  const double c = params.c;
+  const double b = params.b;
+  const double a = params.a();
+
+  ProvenBounds bounds;
+  bounds.completion_fraction = params.completion_fraction();
+  DS_CHECK_MSG(bounds.completion_fraction > 0.0,
+               "parameters give a non-positive Lemma-5 constant");
+
+  const double window_term = (1.0 + 2.0 * delta) / (delta * b * (1.0 - b));
+  bounds.opt_vs_started = 1.0 + a * c * window_term;
+  bounds.throughput_ratio =
+      bounds.opt_vs_started / bounds.completion_fraction;
+
+  bounds.profit_opt_vs_scheduled = 1.0 + a * c * 2.0 * window_term;
+  bounds.profit_ratio =
+      bounds.profit_opt_vs_scheduled / bounds.completion_fraction;
+  (void)eps;
+  return bounds;
+}
+
+}  // namespace dagsched

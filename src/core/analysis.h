@@ -1,0 +1,34 @@
+// The paper's proven worst-case constants, as computable functions of
+// Params -- so benches can print "proven bound vs measured" side by side.
+//
+//   Lemma 5:  ||C||  >= (eps - 1/((c-1)delta)) ||R||
+//   Lemma 9:  ||OPT|| <= (1 + a * c * (1+2delta)/(delta b (1-b))) ||R||
+//   Lemma 10 / Theorem 2: ||OPT|| / ||C|| <= lemma9 / lemma5
+//   Lemma 21: general-profit analogue with an extra factor 2
+//   Lemma 22 / Theorem 3: lemma21 / lemma5
+//
+// These are worst-case guarantees; measured ratios on random workloads sit
+// far below them (EXPERIMENTS.md E3/E13 quantify by how much).
+#pragma once
+
+#include "core/params.h"
+
+namespace dagsched {
+
+struct ProvenBounds {
+  /// Lemma 5: fraction of started profit S certainly completes.
+  double completion_fraction = 0.0;
+  /// Lemma 9: OPT profit over started profit.
+  double opt_vs_started = 0.0;
+  /// Theorem 2 (Lemma 10): the end-to-end competitive ratio for throughput.
+  double throughput_ratio = 0.0;
+  /// Lemma 21: OPT profit over scheduled profit, general profit functions.
+  double profit_opt_vs_scheduled = 0.0;
+  /// Theorem 3 (Lemma 22): competitive ratio for general profit.
+  double profit_ratio = 0.0;
+};
+
+/// Evaluates every proven constant; params must be valid.
+ProvenBounds proven_bounds(const Params& params);
+
+}  // namespace dagsched

@@ -1,0 +1,252 @@
+#include "core/deadline_scheduler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+DeadlineScheduler::DeadlineScheduler(DeadlineSchedulerOptions options)
+    : options_(std::move(options)) {
+  options_.params.validate();
+}
+
+std::string DeadlineScheduler::name() const {
+  std::string n = "paper-S(eps=" + std::to_string(options_.params.epsilon);
+  if (!options_.enforce_admission) n += ",no-admission";
+  if (options_.work_conserving) n += ",work-conserving";
+  if (options_.admit_on_deadline) n += ",admit-on-deadline";
+  if (options_.recompute_on_admission) n += ",recompute";
+  switch (options_.density_def) {
+    case DeadlineSchedulerOptions::DensityDef::kPaper: break;
+    case DeadlineSchedulerOptions::DensityDef::kClassic:
+      n += ",density=p/W";
+      break;
+    case DeadlineSchedulerOptions::DensityDef::kSquashed:
+      n += ",density=squashed";
+      break;
+  }
+  n += ")";
+  return n;
+}
+
+const char* audit_action_name(AuditEvent::Action action) {
+  switch (action) {
+    case AuditEvent::Action::kAdmitted: return "admitted";
+    case AuditEvent::Action::kQueuedNotGood: return "queued:not-delta-good";
+    case AuditEvent::Action::kQueuedWindowFull: return "queued:window-full";
+    case AuditEvent::Action::kPromoted: return "promoted";
+    case AuditEvent::Action::kDroppedStale: return "dropped:stale";
+    case AuditEvent::Action::kExpiredInQ: return "expired-in-Q";
+  }
+  return "?";
+}
+
+void DeadlineScheduler::record(Time time, JobId job,
+                               AuditEvent::Action action) {
+  if (options_.record_audit) audit_.push_back({time, job, action});
+}
+
+void DeadlineScheduler::reset() {
+  info_.clear();
+  audit_.clear();
+  q_.clear();
+  p_.clear();
+  q_index_.clear();
+  started_count_ = 0;
+  started_profit_ = 0.0;
+}
+
+Density DeadlineScheduler::density_for(const EngineContext& ctx,
+                                       const JobInfo& info, Work work,
+                                       Work span) const {
+  switch (options_.density_def) {
+    case DeadlineSchedulerOptions::DensityDef::kPaper:
+      return info.alloc.v;
+    case DeadlineSchedulerOptions::DensityDef::kClassic:
+      return info.peak / work;
+    case DeadlineSchedulerOptions::DensityDef::kSquashed:
+      return info.peak /
+             std::max(span, work / static_cast<double>(ctx.num_procs()));
+  }
+  return info.alloc.v;
+}
+
+void DeadlineScheduler::sorted_insert(std::vector<JobId>& queue,
+                                      JobId job) const {
+  const auto pos = std::lower_bound(
+      queue.begin(), queue.end(), job, [this](JobId lhs, JobId rhs) {
+        const Density lv = info_[lhs].alloc.v;
+        const Density rv = info_[rhs].alloc.v;
+        if (lv != rv) return lv > rv;  // descending density
+        return lhs < rhs;              // ties: ascending id (deterministic)
+      });
+  queue.insert(pos, job);
+}
+
+void DeadlineScheduler::admit_to_q(JobId job) {
+  JobInfo& info = info_[job];
+  DS_CHECK(!info.started);
+  info.started = true;
+  ++started_count_;
+  started_profit_ += info.peak;
+  q_index_.insert(job, info.alloc.v, info.alloc.n);
+  sorted_insert(q_, job);
+}
+
+bool DeadlineScheduler::is_fresh(const JobInfo& info, Time now) const {
+  // delta-fresh at t: d_i - t >= (1 + delta) x_i.
+  return approx_ge(info.abs_plateau_deadline - now,
+                   (1.0 + options_.params.delta) * info.alloc.x);
+}
+
+void DeadlineScheduler::on_arrival(const EngineContext& ctx, JobId job) {
+  if (info_.size() < ctx.num_jobs()) info_.resize(ctx.num_jobs());
+  JobInfo& info = info_[job];
+  DS_CHECK(!info.arrived);
+  info.arrived = true;
+
+  const JobView view = ctx.view(job);
+  // General profit functions reduce to the plateau end (see header).
+  info.plateau = view.profit().plateau_end();
+  info.peak = view.profit().peak();
+  info.abs_plateau_deadline = view.release() + info.plateau;
+
+  info.alloc = compute_deadline_allocation(view.work(), view.span(),
+                                           info.plateau, info.peak,
+                                           options_.params, ctx.speed());
+  if (info.alloc.n == 0) {
+    // Infeasible for any processor count: park in P; it will expire there.
+    sorted_insert(p_, job);
+    record(ctx.now(), job, AuditEvent::Action::kQueuedNotGood);
+    return;
+  }
+  info.alloc.v = density_for(ctx, info, view.work(), view.span());
+
+  const double cap =
+      options_.params.b * static_cast<double>(ctx.num_procs());
+  const bool admissible =
+      info.alloc.good &&
+      (!options_.enforce_admission ||
+       q_index_.admits(info.alloc.v, info.alloc.n, options_.params.c, cap));
+  if (admissible) {
+    admit_to_q(job);
+    record(ctx.now(), job, AuditEvent::Action::kAdmitted);
+  } else {
+    sorted_insert(p_, job);
+    record(ctx.now(), job,
+           info.alloc.good ? AuditEvent::Action::kQueuedWindowFull
+                           : AuditEvent::Action::kQueuedNotGood);
+  }
+}
+
+void DeadlineScheduler::drain_p(const EngineContext& ctx) {
+  const double cap =
+      options_.params.b * static_cast<double>(ctx.num_procs());
+  std::size_t i = 0;
+  while (i < p_.size()) {
+    const JobId job = p_[i];
+    JobInfo& info = info_[job];
+    // Drop jobs whose plateau deadline has passed (they can earn nothing S
+    // would count) and infeasible jobs.
+    if (info.alloc.n == 0 ||
+        approx_gt(ctx.now(), info.abs_plateau_deadline)) {
+      info.dropped = true;
+      p_.erase(p_.begin() + static_cast<std::ptrdiff_t>(i));
+      record(ctx.now(), job, AuditEvent::Action::kDroppedStale);
+      continue;
+    }
+    // Optional recomputation (future-work extension): re-derive the
+    // allocation from the remaining window, making stale-but-still-viable
+    // jobs admissible with a larger n_i.  Reverted if admission fails so
+    // the stored allocation stays consistent with P's density order.
+    const JobAllocation saved = info.alloc;
+    if (options_.recompute_on_admission) {
+      const JobView view = ctx.view(job);
+      const Time remaining_window =
+          info.abs_plateau_deadline - ctx.now();
+      if (remaining_window > 0.0) {
+        JobAllocation fresh_alloc = compute_deadline_allocation(
+            view.work(), view.span(), remaining_window, info.peak,
+            options_.params, ctx.speed());
+        if (fresh_alloc.n > 0) {
+          info.alloc = fresh_alloc;
+          info.alloc.v = density_for(ctx, info, view.work(), view.span());
+        }
+      }
+    }
+    const bool fresh = !options_.require_fresh || is_fresh(info, ctx.now());
+    const bool admissible =
+        info.alloc.n > 0 && fresh &&
+        (!options_.enforce_admission ||
+         q_index_.admits(info.alloc.v, info.alloc.n, options_.params.c,
+                         cap));
+    if (admissible) {
+      p_.erase(p_.begin() + static_cast<std::ptrdiff_t>(i));
+      admit_to_q(job);
+      record(ctx.now(), job, AuditEvent::Action::kPromoted);
+      continue;
+    }
+    info.alloc = saved;
+    ++i;
+  }
+}
+
+void DeadlineScheduler::on_completion(const EngineContext& ctx, JobId job) {
+  if (std::erase(q_, job) > 0) q_index_.erase(job);
+  std::erase(p_, job);
+  drain_p(ctx);
+}
+
+void DeadlineScheduler::on_deadline(const EngineContext& ctx, JobId job) {
+  JobInfo& info = info_[job];
+  info.dropped = true;
+  const bool was_in_q = std::erase(q_, job) > 0;
+  if (was_in_q) q_index_.erase(job);
+  const bool was_in_p = std::erase(p_, job) > 0;
+  if (was_in_q) record(ctx.now(), job, AuditEvent::Action::kExpiredInQ);
+  if (was_in_p) record(ctx.now(), job, AuditEvent::Action::kDroppedStale);
+  if (options_.admit_on_deadline && was_in_q) drain_p(ctx);
+}
+
+void DeadlineScheduler::decide(const EngineContext& ctx, Assignment& out) {
+  ProcCount free = ctx.num_procs();
+  for (const JobId job : q_) {
+    if (free == 0) break;
+    const JobInfo& info = info_[job];
+    // Defensive: completed/expired jobs are removed eagerly in the event
+    // handlers, so everything in Q is runnable.
+    DS_CHECK(!info.dropped);
+    if (info.alloc.n <= free) {
+      out.add(job, info.alloc.n);
+      free -= info.alloc.n;
+    }
+    // Jobs that do not fit are skipped, not truncated: S always grants
+    // exactly n_i processors (Section 3.1, "Job Execution").
+  }
+  if (options_.work_conserving && free > 0 && !out.allocs.empty()) {
+    // Extension: leftover processors go to the densest running job; the
+    // engine caps actual use at the job's ready-node count.
+    out.allocs.front().procs += free;
+  }
+}
+
+bool DeadlineScheduler::in_queue_q(JobId job) const {
+  return std::find(q_.begin(), q_.end(), job) != q_.end();
+}
+
+bool DeadlineScheduler::in_queue_p(JobId job) const {
+  return std::find(p_.begin(), p_.end(), job) != p_.end();
+}
+
+bool DeadlineScheduler::was_started(JobId job) const {
+  return job < info_.size() && info_[job].started;
+}
+
+const JobAllocation* DeadlineScheduler::allocation_of(JobId job) const {
+  if (job >= info_.size() || !info_[job].arrived) return nullptr;
+  return &info_[job].alloc;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,147 @@
+// Scheduler S from Section 3 -- the paper's algorithm for jobs with
+// deadlines and fixed profits.
+//
+// On arrival, a job's allocation (n_i, x_i, v_i) is computed; the job enters
+// the *started* queue Q if it is delta-good and admission condition (2)
+// holds (every density window [v_j, c*v_j) over Q ∪ {J_i} requires <= b*m
+// processors), otherwise it waits in queue P.  On every completion, P is
+// drained in density order: expired jobs are dropped and delta-fresh jobs
+// that now satisfy condition (2) move to Q.  At every decision point the
+// highest-density jobs of Q that fit are granted exactly their n_i
+// processors; leftover processors idle (S is deliberately not
+// work-conserving -- that is one of the ablation toggles below).
+//
+// Jobs with general (non-step) profit functions are handled by treating the
+// profit plateau end x* as the deadline and the peak as the profit: a job
+// completed within its plateau earns exactly the peak, so this is a lossless
+// reduction whenever S completes what it starts "on time".
+//
+// The options structure exposes the paper's parameters plus ablation
+// switches used by bench/ablation_*: disabling condition (2), replacing the
+// paper's density p/(x_i n_i) with classic alternatives, admitting from P
+// on deadline expiries, and a work-conserving variant (both flagged as
+// extensions; defaults reproduce the paper exactly).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/density_index.h"
+#include "core/params.h"
+#include "sim/scheduler.h"
+
+namespace dagsched {
+
+struct DeadlineSchedulerOptions {
+  Params params = Params::from_epsilon(0.5);
+
+  /// Condition (2).  Off = admit every delta-good job directly to Q.
+  bool enforce_admission = true;
+
+  /// Require delta-freshness when moving jobs from P to Q (paper: yes).
+  bool require_fresh = true;
+
+  /// Extension: also drain P when a deadline expiry frees Q capacity.
+  bool admit_on_deadline = false;
+
+  /// Extension: hand leftover processors to the densest running job.
+  bool work_conserving = false;
+
+  /// Extension ("more practical schedulers", the paper's future work):
+  /// when admitting a job from P, recompute (n_i, x_i, v_i) from the
+  /// *remaining* window d_i - t instead of the original D_i.  A job that
+  /// waited in P gets more processors and a tighter x_i, staying feasible
+  /// where the paper's static allocation would no longer be delta-fresh.
+  bool recompute_on_admission = false;
+
+  /// Density definition ablation.
+  enum class DensityDef {
+    kPaper,      // p / (x_i * n_i)   -- profit per processor-step S spends
+    kClassic,    // p / W             -- the sequential-scheduling density
+    kSquashed,   // p / max(L, W/m)   -- profit per unit of minimal runtime
+  };
+  DensityDef density_def = DensityDef::kPaper;
+
+  /// Record an audit trail of admission decisions (audit()); costs one
+  /// vector entry per queue transition.
+  bool record_audit = false;
+};
+
+/// One admission-path event for a job, in chronological order.
+struct AuditEvent {
+  enum class Action {
+    kAdmitted,        // entered Q (started)
+    kQueuedNotGood,   // to P: not delta-good (deadline below (1+2delta)x)
+    kQueuedWindowFull,// to P: condition (2) window over b*m
+    kPromoted,        // P -> Q at a completion
+    kDroppedStale,    // left P: no longer delta-fresh / expired
+    kExpiredInQ,      // removed from Q at its deadline
+  };
+  Time time = 0.0;
+  JobId job = kInvalidJob;
+  Action action = Action::kAdmitted;
+};
+
+const char* audit_action_name(AuditEvent::Action action);
+
+class DeadlineScheduler final : public SchedulerBase {
+ public:
+  explicit DeadlineScheduler(DeadlineSchedulerOptions options = {});
+
+  std::string name() const override;
+  void reset() override;
+  void on_arrival(const EngineContext& ctx, JobId job) override;
+  void on_completion(const EngineContext& ctx, JobId job) override;
+  void on_deadline(const EngineContext& ctx, JobId job) override;
+  void decide(const EngineContext& ctx, Assignment& out) override;
+
+  // ---- Introspection (tests, benches, invariant observers) ----
+
+  const Params& params() const { return options_.params; }
+  /// Jobs ever admitted to Q (the paper's set R) and their total profit.
+  std::size_t started_count() const { return started_count_; }
+  Profit started_profit() const { return started_profit_; }
+  /// The admission index over the current Q (Observation 3 checks).
+  const DensityWindowIndex& queue_index() const { return q_index_; }
+  bool in_queue_q(JobId job) const;
+  bool in_queue_p(JobId job) const;
+  /// Whether the job was ever admitted to Q (member of the paper's set R).
+  bool was_started(JobId job) const;
+  /// Allocation computed at arrival; nullptr if the job never arrived.
+  const JobAllocation* allocation_of(JobId job) const;
+
+  /// Admission audit trail (empty unless options.record_audit).
+  const std::vector<AuditEvent>& audit() const { return audit_; }
+
+ private:
+  struct JobInfo {
+    JobAllocation alloc;
+    Profit peak = 0.0;
+    Time abs_plateau_deadline = 0.0;  // release + plateau end
+    Time plateau = 0.0;               // relative "deadline" used by S
+    bool arrived = false;
+    bool started = false;  // ever admitted to Q
+    bool dropped = false;
+  };
+
+  Density density_for(const EngineContext& ctx, const JobInfo& info,
+                      Work work, Work span) const;
+  void admit_to_q(JobId job);
+  void sorted_insert(std::vector<JobId>& queue, JobId job) const;
+  void drain_p(const EngineContext& ctx);
+  bool is_fresh(const JobInfo& info, Time now) const;
+
+  DeadlineSchedulerOptions options_;
+  std::vector<JobInfo> info_;
+  std::vector<JobId> q_;  // started jobs, density descending
+  std::vector<JobId> p_;  // waiting jobs, density descending
+  DensityWindowIndex q_index_;
+  std::vector<AuditEvent> audit_;
+  std::size_t started_count_ = 0;
+  Profit started_profit_ = 0.0;
+
+  void record(Time time, JobId job, AuditEvent::Action action);
+};
+
+}  // namespace dagsched

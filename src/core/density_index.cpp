@@ -1,0 +1,98 @@
+#include "core/density_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+void DensityWindowIndex::clear() {
+  entries_.clear();
+  prefix_valid_ = false;
+}
+
+void DensityWindowIndex::insert(JobId job, Density v, ProcCount n) {
+  DS_CHECK_MSG(v > 0.0, "density must be > 0");
+  DS_CHECK_MSG(n >= 1, "requirement must be >= 1");
+  DS_CHECK_MSG(!contains(job), "job " << job << " already in index");
+  const Entry entry{v, static_cast<double>(n), job};
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), entry, [](const Entry& a, const Entry& b) {
+        if (a.v != b.v) return a.v < b.v;
+        return a.job < b.job;
+      });
+  entries_.insert(it, entry);
+  prefix_valid_ = false;
+}
+
+bool DensityWindowIndex::erase(JobId job) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [job](const Entry& e) { return e.job == job; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  prefix_valid_ = false;
+  return true;
+}
+
+bool DensityWindowIndex::contains(JobId job) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [job](const Entry& e) { return e.job == job; });
+}
+
+void DensityWindowIndex::rebuild_prefix() const {
+  prefix_.resize(entries_.size() + 1);
+  prefix_[0] = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + entries_[i].n;
+  }
+  prefix_valid_ = true;
+}
+
+std::size_t DensityWindowIndex::lower_index(Density v) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const Entry& e, Density value) { return e.v < value; });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+double DensityWindowIndex::window_load(Density lo, Density hi) const {
+  if (!prefix_valid_) rebuild_prefix();
+  const std::size_t first = lower_index(lo);
+  const std::size_t last = lower_index(hi);
+  return prefix_[last] - prefix_[first];
+}
+
+double DensityWindowIndex::load_at_least(Density v) const {
+  if (!prefix_valid_) rebuild_prefix();
+  const std::size_t first = lower_index(v);
+  return prefix_.back() - prefix_[first];
+}
+
+bool DensityWindowIndex::admits(Density v, ProcCount n, double c,
+                                double cap) const {
+  DS_CHECK(c > 1.0 && v > 0.0 && n >= 1);
+  const double n_new = static_cast<double>(n);
+  // The new job's own window [v, c*v).
+  if (window_load(v, c * v) + n_new > cap) return false;
+  // Existing windows that gain the new member: starts v_j in (v/c, v].
+  // (Their windows [v_j, c*v_j) contain v exactly when v_j > v/c and
+  // v_j <= v.)
+  const std::size_t begin = lower_index(v / c);
+  for (std::size_t i = begin; i < entries_.size(); ++i) {
+    const Density vj = entries_[i].v;
+    if (vj > v) break;
+    if (vj <= v / c) continue;  // boundary: window starts strictly above v/c
+    if (window_load(vj, c * vj) + n_new > cap) return false;
+  }
+  return true;
+}
+
+double DensityWindowIndex::max_window_load(double c) const {
+  double worst = 0.0;
+  for (const Entry& e : entries_) {
+    worst = std::max(worst, window_load(e.v, c * e.v));
+  }
+  return worst;
+}
+
+}  // namespace dagsched

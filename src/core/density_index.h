@@ -1,0 +1,68 @@
+// DensityWindowIndex: the data structure behind admission condition (2).
+//
+// The paper admits a job J_i into queue Q only if for every job J_j in
+// Q ∪ {J_i}, the total processors required by members with density in
+// [v_j, c*v_j) stay within b*m:  N(Q ∪ {J_i}, v_j, c*v_j) <= b*m.
+//
+// The index keeps members sorted by density with prefix sums of processor
+// requirements.  admits() exploits that inserting (v, n) only affects
+// windows containing v: window starts v_j in (v/c, v], plus the new job's
+// own window [v, c*v).  Given the inductive invariant that all windows were
+// within cap before the insertion, checking those suffices.
+//
+// Used both for queue Q of the Section-3 scheduler and for each per-slot
+// set J(t) of the Section-5 scheduler (Lemma 15 is the same condition).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dagsched {
+
+class DensityWindowIndex {
+ public:
+  void clear();
+
+  /// Inserts member `job` with density `v` (> 0) and requirement `n` (>= 1).
+  /// A job may appear at most once.
+  void insert(JobId job, Density v, ProcCount n);
+
+  /// Removes `job` if present; returns whether it was present.
+  bool erase(JobId job);
+
+  bool contains(JobId job) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sum of requirements of members with density in [lo, hi).
+  double window_load(Density lo, Density hi) const;
+
+  /// Would inserting (v, n) keep every window [v_j, c*v_j) over
+  /// members ∪ {new} within `cap`?  (Condition (2) with cap = b*m.)
+  bool admits(Density v, ProcCount n, double c, double cap) const;
+
+  /// Max over members J_j of window_load(v_j, c*v_j): the quantity
+  /// Observation 3 / Lemma 15 bound by b*m.  O(k log k); for tests.
+  double max_window_load(double c) const;
+
+  /// Total requirement of members with density >= v (N(Q, v, infinity)).
+  double load_at_least(Density v) const;
+
+ private:
+  struct Entry {
+    Density v;
+    double n;
+    JobId job;
+  };
+
+  void rebuild_prefix() const;
+  std::size_t lower_index(Density v) const;
+
+  std::vector<Entry> entries_;          // sorted by (v, job)
+  mutable std::vector<double> prefix_;  // prefix_[i] = sum of n over [0, i)
+  mutable bool prefix_valid_ = false;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,55 @@
+#include "core/params.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dagsched {
+
+double Params::a() const { return 1.0 + (1.0 + 2.0 * delta) / (epsilon - 2.0 * delta); }
+
+double Params::completion_fraction() const {
+  return epsilon - 1.0 / ((c - 1.0) * delta);
+}
+
+Params Params::from_epsilon(double epsilon) {
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("epsilon must be > 0, got " +
+                                std::to_string(epsilon));
+  }
+  Params p;
+  p.epsilon = epsilon;
+  p.delta = epsilon / 4.0;
+  // Strictly exceed the bound so completion_fraction() is strictly positive.
+  p.c = 1.0 + 1.0 / (p.delta * epsilon) + 1e-9;
+  p.b = std::sqrt((1.0 + 2.0 * p.delta) / (1.0 + epsilon));
+  p.validate();
+  return p;
+}
+
+Params Params::explicit_params(double epsilon, double delta, double c) {
+  Params p;
+  p.epsilon = epsilon;
+  p.delta = delta;
+  p.c = c;
+  p.b = std::sqrt((1.0 + 2.0 * delta) / (1.0 + epsilon));
+  p.validate();
+  return p;
+}
+
+void Params::validate() const {
+  if (!(epsilon > 0.0)) throw std::invalid_argument("epsilon must be > 0");
+  if (!(delta > 0.0 && delta < epsilon / 2.0)) {
+    throw std::invalid_argument("need 0 < delta < epsilon/2");
+  }
+  if (!(c >= 1.0 + 1.0 / (delta * epsilon))) {
+    throw std::invalid_argument("need c >= 1 + 1/(delta*epsilon)");
+  }
+  const double expected_b = std::sqrt((1.0 + 2.0 * delta) / (1.0 + epsilon));
+  if (std::fabs(b - expected_b) > 1e-12) {
+    throw std::invalid_argument("b must equal sqrt((1+2delta)/(1+epsilon))");
+  }
+  if (!(b < 1.0)) throw std::invalid_argument("b must be < 1");
+}
+
+}  // namespace dagsched

@@ -1,0 +1,41 @@
+// The paper's constants (Table 1):
+//
+//   epsilon  -- deadline-slack assumption: D_i >= (1+eps)((W_i-L_i)/m + L_i)
+//   delta    -- < eps/2
+//   c        -- >= 1 + 1/(delta*eps)
+//   b        -- = sqrt((1+2*delta)/(1+eps)) < 1
+//   a        -- = 1 + (1+2*delta)/(eps-2*delta)   (Lemma 3: x_i n_i <= a W_i)
+//
+// Params::from_epsilon picks delta = eps/4 and c = 1 + 1/(delta*eps), the
+// smallest values satisfying the constraints; every constant is validated at
+// construction so an invalid configuration cannot reach the schedulers.
+#pragma once
+
+namespace dagsched {
+
+struct Params {
+  double epsilon = 0.5;
+  double delta = 0.125;
+  double c = 17.0;
+  double b = 0.9128709291752769;  // sqrt(1.25/1.5)
+
+  /// Derived constant a = 1 + (1+2*delta)/(epsilon-2*delta).
+  double a() const;
+
+  /// Canonical parameterization used throughout the paper's proofs:
+  /// delta = eps/4, c = 1 + 1/(delta*eps), b per definition.
+  static Params from_epsilon(double epsilon);
+
+  /// Fully explicit construction (used by parameter-sensitivity benches).
+  /// Validates delta < eps/2, c >= 1 + 1/(delta*eps), recomputes b.
+  static Params explicit_params(double epsilon, double delta, double c);
+
+  /// Lemma 5's completion-fraction constant: eps - 1/((c-1)*delta).
+  /// Positive for any valid parameterization with c > 1 + 1/(eps*delta).
+  double completion_fraction() const;
+
+  /// Verifies all paper constraints; throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+}  // namespace dagsched

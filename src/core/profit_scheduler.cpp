@@ -1,0 +1,264 @@
+#include "core/profit_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+#include "util/logging.h"
+
+namespace dagsched {
+
+ProfitScheduler::ProfitScheduler(ProfitSchedulerOptions options)
+    : options_(std::move(options)) {
+  options_.params.validate();
+}
+
+std::string ProfitScheduler::name() const {
+  std::string n =
+      "paper-S-profit(eps=" + std::to_string(options_.params.epsilon);
+  if (options_.work_conserving) n += ",work-conserving";
+  n += ")";
+  return n;
+}
+
+void ProfitScheduler::reset() {
+  slots_.clear();
+  info_.clear();
+  cap_ = 0.0;
+  scheduled_count_ = 0;
+  scheduled_profit_ = 0.0;
+}
+
+bool ProfitScheduler::slot_admits(std::uint64_t t, Density v,
+                                  ProcCount n) const {
+  const auto it = slots_.find(t);
+  if (it == slots_.end()) {
+    // Empty slot: only the job's own window matters.
+    return static_cast<double>(n) <= cap_;
+  }
+  return it->second.index.admits(v, n, options_.params.c, cap_);
+}
+
+void ProfitScheduler::on_arrival(const EngineContext& ctx, JobId job) {
+  if (info_.size() < ctx.num_jobs()) info_.resize(ctx.num_jobs());
+  JobInfo& info = info_[job];
+  DS_CHECK(!info.arrived);
+  info.arrived = true;
+  cap_ = options_.params.b * static_cast<double>(ctx.num_procs());
+
+  const JobView view = ctx.view(job);
+  const ProfitFn& profit = view.profit();
+  const double speed = ctx.speed();
+
+  info.alloc = compute_profit_allocation(view.work(), view.span(),
+                                         profit.plateau_end(),
+                                         options_.params, speed);
+  if (info.alloc.n == 0) {
+    DS_LOG_DEBUG("profit scheduler: job " << job
+                                          << " infeasible (x* too tight)");
+    return;
+  }
+  const ProcCount n = info.alloc.n;
+  const Work x = info.alloc.x;
+  const Work span_eff = view.span() / speed;
+  const double xn = x * static_cast<double>(n);
+
+  // Number of assignable slots required for validity.
+  const auto needed = static_cast<std::uint64_t>(
+      std::ceil((1.0 + options_.params.delta) * x - kEps));
+
+  // First usable absolute slot: the job exists from ceil(release); the
+  // current slot is usable because arrivals are delivered before decide().
+  const auto first_slot = static_cast<std::uint64_t>(
+      std::max(std::ceil(view.release() - kEps), std::floor(ctx.now() + kEps)));
+
+  // Candidate relative deadlines, in whole slots.  Potential deadlines must
+  // exceed (1+eps) L (Section 5) and leave room for `needed` slots.
+  const double d_min_time = (1.0 + options_.params.epsilon) * span_eff;
+  std::uint64_t d_lo = static_cast<std::uint64_t>(std::floor(d_min_time)) + 1;
+  d_lo = std::max(d_lo, needed);
+  d_lo = std::max<std::uint64_t>(d_lo, 1);
+
+  // Search cap: no profit beyond the support end; global safety cap.
+  std::uint64_t d_hi = options_.max_search_slots;
+  if (profit.support_end() < kTimeInfinity) {
+    d_hi = std::min(d_hi, static_cast<std::uint64_t>(
+                              std::floor(profit.support_end() + kEps)));
+  }
+
+  std::vector<std::uint64_t> assignable;
+  Profit last_profit = -1.0;
+  std::uint64_t scanned_until = first_slot;  // exclusive end of last scan
+  for (std::uint64_t d = d_lo; d <= d_hi; ++d) {
+    const Profit p_at_d = profit.at(static_cast<Time>(d));
+    if (!(p_at_d > 0.0)) break;  // zero profit => zero density => stop
+    const Density v = p_at_d / xn;
+    // Absolute end (exclusive) of the window [r, r + d).
+    const auto end_slot = static_cast<std::uint64_t>(
+        std::floor(view.release() + static_cast<double>(d) + kEps));
+    if (end_slot <= first_slot) continue;
+
+    if (approx_eq(p_at_d, last_profit)) {
+      // Density unchanged: the previous scan is still valid; only the newly
+      // exposed slots need checking.
+      for (std::uint64_t t = scanned_until; t < end_slot; ++t) {
+        if (slot_admits(t, v, n)) assignable.push_back(t);
+      }
+    } else {
+      // Density changed: rescan the whole window under the new density.
+      assignable.clear();
+      for (std::uint64_t t = first_slot; t < end_slot; ++t) {
+        if (slot_admits(t, v, n)) assignable.push_back(t);
+      }
+    }
+    last_profit = p_at_d;
+    scanned_until = end_slot;
+
+    if (assignable.size() >= needed) {
+      // Minimal valid deadline found: pin the job.
+      info.deadline = static_cast<Time>(d);
+      info.v = v;
+      info.assigned = assignable;
+      info.scheduled = true;
+      ++scheduled_count_;
+      scheduled_profit_ += p_at_d;
+      for (const std::uint64_t t : assignable) {
+        SlotInfo& slot = slots_[t];
+        slot.index.insert(job, v, n);
+        slot.jobs.push_back(job);
+      }
+      return;
+    }
+  }
+  DS_LOG_DEBUG("profit scheduler: no valid deadline for job "
+               << job << " within " << d_hi << " slots");
+}
+
+void ProfitScheduler::on_completion(const EngineContext& ctx, JobId job) {
+  JobInfo& info = info_[job];
+  info.completed = true;
+  if (!options_.release_slots_on_completion || !info.scheduled) return;
+  const auto current = static_cast<std::uint64_t>(std::floor(ctx.now() - kEps));
+  for (const std::uint64_t t : info.assigned) {
+    if (t <= current) continue;
+    const auto it = slots_.find(t);
+    if (it == slots_.end()) continue;
+    it->second.index.erase(job);
+    std::erase(it->second.jobs, job);
+  }
+}
+
+void ProfitScheduler::decide(const EngineContext& ctx, Assignment& out) {
+  // The slot-assignment algorithm is only meaningful on the SlotEngine
+  // (decide() once per unit slot).  Fractional decision times mean an
+  // event-driven engine is driving us; fail loudly instead of silently
+  // mis-mapping events to slots.
+  DS_CHECK_MSG(approx_eq(ctx.now(), std::floor(ctx.now() + kEps)),
+               "ProfitScheduler requires the SlotEngine (decide at t="
+                   << ctx.now() << ")");
+  const auto slot = static_cast<std::uint64_t>(std::floor(ctx.now() + kEps));
+  // Prune history so the map stays proportional to the lookahead.
+  slots_.erase(slots_.begin(), slots_.lower_bound(slot));
+
+  const auto it = slots_.find(slot);
+
+  ProcCount free = ctx.num_procs();
+  std::vector<JobId> granted;
+  if (it != slots_.end()) {
+    // Highest-density-first among jobs assigned to this slot.
+    std::vector<JobId> order = it->second.jobs;
+    std::sort(order.begin(), order.end(), [this](JobId lhs, JobId rhs) {
+      const Density lv = info_[lhs].v;
+      const Density rv = info_[rhs].v;
+      if (lv != rv) return lv > rv;
+      return lhs < rhs;
+    });
+    for (const JobId job : order) {
+      if (free == 0) break;
+      const JobInfo& info = info_[job];
+      if (info.completed) continue;  // slots not yet released
+      if (info.alloc.n <= free) {
+        out.add(job, info.alloc.n);
+        granted.push_back(job);
+        free -= info.alloc.n;
+      }
+    }
+  }
+
+  if (options_.work_conserving && free > 0) {
+    // Opportunistic fill: scheduled, unfinished jobs not served this slot,
+    // by density.  They keep their fixed n_i footprint.
+    std::vector<JobId> extras;
+    for (JobId job = 0; job < info_.size(); ++job) {
+      const JobInfo& info = info_[job];
+      if (!info.scheduled || info.completed) continue;
+      if (std::find(granted.begin(), granted.end(), job) != granted.end()) {
+        continue;
+      }
+      extras.push_back(job);
+    }
+    std::sort(extras.begin(), extras.end(), [this](JobId lhs, JobId rhs) {
+      const Density lv = info_[lhs].v;
+      const Density rv = info_[rhs].v;
+      if (lv != rv) return lv > rv;
+      return lhs < rhs;
+    });
+    for (const JobId job : extras) {
+      if (free == 0) break;
+      const JobInfo& info = info_[job];
+      if (info.alloc.n <= free) {
+        out.add(job, info.alloc.n);
+        free -= info.alloc.n;
+      }
+    }
+  }
+}
+
+Time ProfitScheduler::next_wakeup(const EngineContext& ctx) const {
+  const auto slot = static_cast<std::uint64_t>(std::floor(ctx.now() + kEps));
+  if (options_.work_conserving) {
+    // Opportunistic mode can make progress in any slot while a scheduled
+    // job remains unfinished.
+    for (const JobInfo& info : info_) {
+      if (info.scheduled && !info.completed) {
+        return static_cast<Time>(slot + 1);
+      }
+    }
+  }
+  for (auto it = slots_.upper_bound(slot); it != slots_.end(); ++it) {
+    for (const JobId job : it->second.jobs) {
+      if (!info_[job].completed) return static_cast<Time>(it->first);
+    }
+  }
+  return kTimeInfinity;
+}
+
+Time ProfitScheduler::chosen_deadline(JobId job) const {
+  DS_CHECK(job < info_.size() && info_[job].arrived);
+  return info_[job].deadline;
+}
+
+const std::vector<std::uint64_t>& ProfitScheduler::assigned_slots(
+    JobId job) const {
+  DS_CHECK(job < info_.size() && info_[job].arrived);
+  return info_[job].assigned;
+}
+
+const JobAllocation* ProfitScheduler::allocation_of(JobId job) const {
+  if (job >= info_.size() || !info_[job].arrived) return nullptr;
+  return &info_[job].alloc;
+}
+
+Density ProfitScheduler::density_of(JobId job) const {
+  DS_CHECK(job < info_.size() && info_[job].scheduled);
+  return info_[job].v;
+}
+
+double ProfitScheduler::slot_window_load(std::uint64_t slot) const {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end()) return 0.0;
+  return it->second.index.max_window_load(options_.params.c);
+}
+
+}  // namespace dagsched

@@ -1,0 +1,113 @@
+// The Section-5 scheduler for general (non-increasing) profit functions.
+//
+// On arrival of J_i the scheduler fixes n_i = (W-L)/(x*/(1+2delta) - L)
+// from the profit plateau end x*, then searches for the *minimum valid
+// relative deadline* D: scanning candidate integer deadlines upward, a slot
+// t in [r_i, r_i + D) is assignable if adding J_i (with density
+// v = p_i(D)/(x_i n_i)) to the slot's set J(t) keeps every density window
+// [v_j, c*v_j) within b*m processors (Lemma 15 -- the same condition (2) as
+// Section 3, enforced per slot via DensityWindowIndex).  D is valid when at
+// least ceil((1+delta) x_i) slots are assignable.  The job is then pinned to
+// those slots: it may run only in its assigned slots I_i, competing there by
+// density.
+//
+// Implementation notes (DESIGN.md section 2):
+//  * Slots are the unit intervals of the SlotEngine; this scheduler requires
+//    the SlotEngine (decide() is called once per slot).
+//  * While p_i(D) is flat in D (the plateau, or a piecewise level) the scan
+//    extends incrementally; when p_i(D) changes, the density changes and the
+//    window is rescanned from scratch for that D.
+//  * Jobs whose profit support is exhausted before any valid D exist are
+//    left unscheduled (with an unbounded-support profit function this cannot
+//    happen -- the paper's "a valid assignment always exists").
+//  * On completion a job's unused future slots are released (flag below),
+//    which only loosens condition (2) and preserves every lemma.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/density_index.h"
+#include "core/params.h"
+#include "sim/scheduler.h"
+
+namespace dagsched {
+
+struct ProfitSchedulerOptions {
+  Params params = Params::from_epsilon(0.5);
+
+  /// Hard cap on the deadline search (relative, in slots), protecting
+  /// against unbounded scans for slowly-decaying profit functions.
+  std::uint64_t max_search_slots = 1 << 16;
+
+  /// Release a completed job's remaining assigned slots so later arrivals
+  /// can use them.  Only loosens the admission condition.
+  bool release_slots_on_completion = true;
+
+  /// Extension (the paper's "work-conserving" future work, applied to the
+  /// Section-5 algorithm): after serving a slot's assigned jobs, spend any
+  /// leftover processors on scheduled-but-unfinished jobs that are *not*
+  /// assigned to this slot, in density order.  Off by default (the paper's
+  /// algorithm runs jobs only in their assigned slots I_i).
+  bool work_conserving = false;
+};
+
+class ProfitScheduler final : public SchedulerBase {
+ public:
+  explicit ProfitScheduler(ProfitSchedulerOptions options = {});
+
+  std::string name() const override;
+  void reset() override;
+  void on_arrival(const EngineContext& ctx, JobId job) override;
+  void on_completion(const EngineContext& ctx, JobId job) override;
+  void decide(const EngineContext& ctx, Assignment& out) override;
+  Time next_wakeup(const EngineContext& ctx) const override;
+
+  // ---- Introspection ----
+
+  const Params& params() const { return options_.params; }
+  /// Relative deadline D_i chosen at arrival (kTimeInfinity if the job
+  /// could not be scheduled).
+  Time chosen_deadline(JobId job) const;
+  /// Assigned slots I_i (absolute slot indices), sorted.
+  const std::vector<std::uint64_t>& assigned_slots(JobId job) const;
+  const JobAllocation* allocation_of(JobId job) const;
+  /// Density v_i = p_i(D_i)/(x_i n_i) of a scheduled job.
+  Density density_of(JobId job) const;
+  /// Max window load over a slot's J(t) -- Lemma 15 checks (test hook).
+  double slot_window_load(std::uint64_t slot) const;
+  std::size_t scheduled_count() const { return scheduled_count_; }
+  /// Sum over scheduled jobs of p_i(D_i): the paper's ||J|| for Lemma 17.
+  Profit scheduled_profit() const { return scheduled_profit_; }
+
+ private:
+  struct SlotInfo {
+    DensityWindowIndex index;
+    std::vector<JobId> jobs;
+  };
+
+  struct JobInfo {
+    JobAllocation alloc;
+    std::vector<std::uint64_t> assigned;
+    Time deadline = kTimeInfinity;  // relative, chosen by the search
+    Density v = 0.0;
+    bool arrived = false;
+    bool scheduled = false;
+    bool completed = false;
+  };
+
+  /// True if `job` (density v, requirement n) could be added to slot `t`.
+  bool slot_admits(std::uint64_t t, Density v, ProcCount n) const;
+
+  ProfitSchedulerOptions options_;
+  std::map<std::uint64_t, SlotInfo> slots_;
+  std::vector<JobInfo> info_;
+  double cap_ = 0.0;  // b*m, fixed at first arrival
+  std::size_t scheduled_count_ = 0;
+  Profit scheduled_profit_ = 0.0;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,52 @@
+// Mutable construction interface for Dag.
+//
+// Usage:
+//   DagBuilder b;
+//   NodeId a = b.add_node(2.0);
+//   NodeId c = b.add_node(1.5);
+//   b.add_edge(a, c);
+//   Dag dag = std::move(b).build();   // validates: acyclic, positive work
+//
+// build() throws std::invalid_argument on cycles, self-edges, duplicate
+// edges, out-of-range endpoints, or non-positive node work.  Disconnected
+// DAGs are allowed (the paper's Figure-1 construction is a chain next to an
+// independent block).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dag/dag.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class DagBuilder {
+ public:
+  DagBuilder() = default;
+
+  /// Reserve capacity for `nodes` nodes (optional optimization).
+  void reserve(std::size_t nodes, std::size_t edges = 0);
+
+  /// Adds a node with the given processing time (> 0); returns its id.
+  NodeId add_node(Work processing_time);
+
+  /// Adds a precedence edge: `to` cannot start until `from` completes.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Convenience: adds a chain of `count` nodes with `node_work` each,
+  /// connected consecutively; returns (first, last) ids.
+  std::pair<NodeId, NodeId> add_chain(std::size_t count, Work node_work);
+
+  std::size_t num_nodes() const { return work_.size(); }
+
+  /// Validates and produces the immutable Dag. Consumes the builder.
+  Dag build() &&;
+
+ private:
+  std::vector<Work> work_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace dagsched

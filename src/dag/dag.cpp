@@ -1,0 +1,8 @@
+#include "dag/dag.h"
+
+// Dag is a passive data holder; all logic lives in DagBuilder (construction)
+// and UnfoldingState (execution).  This translation unit exists so the class
+// has a home for future out-of-line members and to anchor the vtable-free
+// type in one object file.
+
+namespace dagsched {}  // namespace dagsched

@@ -1,0 +1,39 @@
+#include "dag/dot.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+void write_dot(std::ostream& os, const Dag& dag,
+               const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=circle, fontsize=10];\n";
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    // A node is on a critical path iff the longest path through it has the
+    // full span weight.
+    const bool critical =
+        approx_eq(dag.top_level(v) + dag.bottom_level(v) - dag.node_work(v),
+                  dag.span());
+    os << "  n" << v << " [label=\"" << v << "\\n" << dag.node_work(v) << "\"";
+    if (critical) os << ", style=filled, fillcolor=lightcoral";
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    for (NodeId succ : dag.successors(v)) {
+      os << "  n" << v << " -> n" << succ << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Dag& dag, const std::string& graph_name) {
+  std::ostringstream oss;
+  write_dot(oss, dag, graph_name);
+  return oss.str();
+}
+
+}  // namespace dagsched

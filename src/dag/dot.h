@@ -1,0 +1,19 @@
+// Graphviz DOT export for visual inspection of generated DAGs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/dag.h"
+
+namespace dagsched {
+
+/// Writes `dag` in DOT format.  Node labels show "id / work"; critical-path
+/// nodes (those whose top+bottom level equals the span) are highlighted.
+void write_dot(std::ostream& os, const Dag& dag,
+               const std::string& graph_name = "dag");
+
+/// Convenience overload returning the DOT text.
+std::string to_dot(const Dag& dag, const std::string& graph_name = "dag");
+
+}  // namespace dagsched

@@ -1,0 +1,138 @@
+// DAG generators: deterministic shapes (including the paper's Figure 1 and
+// Figure 2 adversarial constructions) and randomized families used by the
+// synthetic workloads.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/dag.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+/// Distribution over node processing times.
+struct WorkDist {
+  enum class Kind { kConstant, kUniform, kLognormal, kPareto };
+
+  Kind kind = Kind::kConstant;
+  // kConstant: a = value.          kUniform: [a, b).
+  // kLognormal: mu = a, sigma = b. kPareto: scale = a, shape = b.
+  double a = 1.0;
+  double b = 1.0;
+
+  static WorkDist constant(double value) {
+    return {Kind::kConstant, value, 0.0};
+  }
+  static WorkDist uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi};
+  }
+  static WorkDist lognormal(double mu, double sigma) {
+    return {Kind::kLognormal, mu, sigma};
+  }
+  static WorkDist pareto(double scale, double shape) {
+    return {Kind::kPareto, scale, shape};
+  }
+
+  /// Draw one processing time; result is clamped to be strictly positive.
+  Work sample(Rng& rng) const;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic shapes
+// ---------------------------------------------------------------------------
+
+/// A single node of the given weight (the smallest valid job).
+Dag make_single_node(Work w);
+
+/// A sequential chain: work = nodes * node_work = span.
+Dag make_chain(std::size_t nodes, Work node_work);
+
+/// Fully parallel block of independent nodes: span = node_work.
+Dag make_parallel_block(std::size_t nodes, Work node_work);
+
+/// The paper's Figure-1 adversarial DAG for Theorem 1.
+///
+/// A chain of `chain_nodes` nodes (span L = chain_nodes * node_work) next to
+/// an *independent* block of (m-1) * chain_nodes parallel nodes, so that
+/// total work W = m * L exactly.  A clairvoyant scheduler on m processors
+/// finishes in W/m = L (run the chain on one processor, the block on the
+/// rest); a semi-non-clairvoyant scheduler that is fed block nodes first
+/// needs (W-L)/m + L = (2 - 1/m) * L.  Requires m >= 2.
+Dag make_fig1_dag(ProcCount m, std::size_t chain_nodes, Work node_work);
+
+/// The paper's Figure-2 DAG: a chain of `chain_nodes` nodes followed by a
+/// block of `block_nodes` parallel nodes, every node of size `node_size`
+/// (the paper's epsilon).  Span L = (chain_nodes + 1) * node_size; even a
+/// clairvoyant scheduler needs chain_nodes*node_size + block_nodes*node_size/m
+/// >= (W - L)/m + L - node_size(1 - 1/m).
+Dag make_fig2_dag(std::size_t chain_nodes, std::size_t block_nodes,
+                  Work node_size);
+
+/// `segments` sequential segments, each a fork of `width` parallel nodes of
+/// `node_work` between a fork node and a join node (fork/join nodes have
+/// weight `sync_work`).
+Dag make_fork_join(std::size_t segments, std::size_t width, Work node_work,
+                   Work sync_work = 1e-3);
+
+/// 2D wavefront (Smith-Waterman / LU-style): an rows x cols grid where cell
+/// (i, j) depends on (i-1, j) and (i, j-1).  Work W = rows*cols*node_work,
+/// span L = (rows + cols - 1)*node_work; parallelism grows and shrinks
+/// along anti-diagonals.
+Dag make_wavefront(std::size_t rows, std::size_t cols, Work node_work);
+
+/// 1D iterated stencil: `iterations` rows of `width` cells; cell (t, i)
+/// depends on (t-1, i-1), (t-1, i), (t-1, i+1) (halo exchange).  Constant
+/// parallelism `width` with tight cross-iteration coupling.
+Dag make_stencil_1d(std::size_t iterations, std::size_t width,
+                    Work node_work);
+
+/// Map-reduce: `mappers` parallel map nodes, each feeding all of
+/// `reducers` reduce nodes (a complete bipartite shuffle), then a single
+/// output node.  Map work and reduce work can differ.
+Dag make_map_reduce(std::size_t mappers, std::size_t reducers, Work map_work,
+                    Work reduce_work, Work output_work = 1e-3);
+
+// ---------------------------------------------------------------------------
+// Randomized families
+// ---------------------------------------------------------------------------
+
+struct LayeredParams {
+  std::size_t layers = 4;
+  std::size_t min_width = 1;
+  std::size_t max_width = 8;
+  /// Probability of each extra cross-layer edge (every node gets at least
+  /// one predecessor in the previous layer so depth is respected).
+  double edge_prob = 0.3;
+  WorkDist work = WorkDist::uniform(0.5, 1.5);
+};
+
+/// Layered ("level") random DAG: edges only between consecutive layers.
+Dag make_layered_random(Rng& rng, const LayeredParams& params);
+
+struct SeriesParallelParams {
+  std::size_t max_depth = 4;
+  /// At each internal level, probability of a parallel (fork-join)
+  /// composition; otherwise a series composition.
+  double parallel_prob = 0.6;
+  std::size_t min_branch = 2;
+  std::size_t max_branch = 4;
+  WorkDist leaf_work = WorkDist::uniform(0.5, 1.5);
+  Work sync_work = 1e-3;
+};
+
+/// Recursive series-parallel DAG (single source, single sink) -- the shape of
+/// nested-fork-join programs in Cilk/TBB, the languages the paper cites.
+Dag make_series_parallel(Rng& rng, const SeriesParallelParams& params);
+
+struct RandomDagParams {
+  std::size_t nodes = 32;
+  /// Probability of edge (i, j) for i < j in a random topological order.
+  double edge_prob = 0.1;
+  WorkDist work = WorkDist::uniform(0.5, 1.5);
+};
+
+/// Erdos-Renyi-style random DAG over a fixed topological order.
+Dag make_random_dag(Rng& rng, const RandomDagParams& params);
+
+}  // namespace dagsched

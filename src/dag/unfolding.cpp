@@ -1,0 +1,89 @@
+#include "dag/unfolding.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+UnfoldingState::UnfoldingState(const Dag& dag)
+    : dag_(&dag),
+      status_(dag.num_nodes(), Status::kWaiting),
+      remaining_(dag.num_nodes()),
+      pending_preds_(dag.num_nodes()),
+      ready_pos_(dag.num_nodes(), kNpos),
+      total_remaining_(dag.total_work()),
+      nodes_remaining_(dag.num_nodes()) {
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    remaining_[v] = dag.node_work(v);
+    pending_preds_[v] = dag.in_degree(v);
+  }
+  for (NodeId v : dag.sources()) {
+    status_[v] = Status::kReady;
+    ready_pos_[v] = ready_.size();
+    ready_.push_back(v);
+  }
+}
+
+bool UnfoldingState::advance(NodeId node, Work amount,
+                             std::vector<NodeId>* newly_ready) {
+  DS_CHECK_MSG(status_[node] == Status::kReady,
+               "advance on non-ready node " << node);
+  DS_CHECK_MSG(amount >= 0.0, "negative work amount " << amount);
+  remaining_[node] = snap_nonnegative(remaining_[node] - amount);
+  total_remaining_ = snap_nonnegative(total_remaining_ - amount);
+  DS_CHECK_MSG(remaining_[node] >= 0.0,
+               "node " << node << " overshot by " << -remaining_[node]);
+  if (approx_zero(remaining_[node])) {
+    remaining_[node] = 0.0;
+    mark_done(node, newly_ready);
+    return true;
+  }
+  return false;
+}
+
+void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
+  status_[node] = Status::kDone;
+  --nodes_remaining_;
+  if (nodes_remaining_ == 0) total_remaining_ = 0.0;  // clear float residue
+  // Swap-remove from the ready list, keeping ready_pos_ consistent.
+  const std::size_t pos = ready_pos_[node];
+  DS_CHECK(pos != kNpos);
+  const NodeId moved = ready_.back();
+  ready_[pos] = moved;
+  ready_pos_[moved] = pos;
+  ready_.pop_back();
+  ready_pos_[node] = kNpos;
+
+  for (NodeId succ : dag_->successors(node)) {
+    DS_CHECK(pending_preds_[succ] > 0);
+    if (--pending_preds_[succ] == 0) {
+      status_[succ] = Status::kReady;
+      ready_pos_[succ] = ready_.size();
+      ready_.push_back(succ);
+      if (newly_ready != nullptr) newly_ready->push_back(succ);
+    }
+  }
+}
+
+Work UnfoldingState::remaining_span() const {
+  // Longest path over unfinished nodes using remaining work, computed along
+  // the static topological order (a superset of the unfinished subgraph's
+  // topological order).
+  std::vector<Work> depth(dag_->num_nodes(), 0.0);
+  Work best = 0.0;
+  for (NodeId v : dag_->topological_order()) {
+    if (status_[v] == Status::kDone) continue;
+    Work prefix = 0.0;
+    for (NodeId u : dag_->predecessors(v)) {
+      if (status_[u] == Status::kDone) continue;
+      prefix = std::max(prefix, depth[u]);
+    }
+    depth[v] = prefix + remaining_[v];
+    best = std::max(best, depth[v]);
+  }
+  return best;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,78 @@
+// Runtime execution state of one DAG job: which nodes are ready, how much
+// work remains on each.  This is the object the simulation engines mutate;
+// the Dag itself stays immutable.
+//
+// Semi-non-clairvoyance boundary: schedulers never see this class directly --
+// they see only the ready *count* through JobView (sim/views.h).  Engines and
+// clairvoyant baselines may inspect everything.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dag/dag.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class UnfoldingState {
+ public:
+  explicit UnfoldingState(const Dag& dag);
+
+  const Dag& dag() const { return *dag_; }
+
+  /// Nodes whose predecessors have all completed and which are not yet done.
+  /// Order is deterministic: nodes become ready in completion order, sources
+  /// in id order (this is the "arbitrary" order a FIFO selector uses).
+  std::span<const NodeId> ready() const { return ready_; }
+
+  std::size_t ready_count() const { return ready_.size(); }
+
+  bool is_ready(NodeId node) const {
+    return status_[node] == Status::kReady;
+  }
+
+  bool is_done(NodeId node) const { return status_[node] == Status::kDone; }
+
+  /// Remaining processing time of `node` at unit speed.
+  Work remaining_work(NodeId node) const { return remaining_[node]; }
+
+  /// Total remaining work across all unfinished nodes.
+  Work total_remaining_work() const { return total_remaining_; }
+
+  /// Number of nodes not yet completed.
+  NodeId nodes_remaining() const { return nodes_remaining_; }
+
+  bool complete() const { return nodes_remaining_ == 0; }
+
+  /// Apply `amount` of processing to a ready node.  If the node's remaining
+  /// work reaches zero (within tolerance) the node completes, successors
+  /// whose last predecessor finished become ready, and those newly ready
+  /// nodes are appended to `newly_ready` (may be null if the caller doesn't
+  /// care).  Returns true iff the node completed.
+  bool advance(NodeId node, Work amount,
+               std::vector<NodeId>* newly_ready = nullptr);
+
+  /// Remaining span: weight of the heaviest path through unfinished nodes,
+  /// counting each unfinished node's *remaining* work.  O(V+E); used by
+  /// diagnostics and Observation-1 tests, not by the hot path.
+  Work remaining_span() const;
+
+ private:
+  enum class Status : unsigned char { kWaiting, kReady, kDone };
+
+  void mark_done(NodeId node, std::vector<NodeId>* newly_ready);
+
+  const Dag* dag_;
+  std::vector<Status> status_;
+  std::vector<Work> remaining_;
+  std::vector<NodeId> pending_preds_;  // # of uncompleted predecessors
+  std::vector<NodeId> ready_;
+  std::vector<std::size_t> ready_pos_;  // node -> index in ready_, or npos
+  Work total_remaining_ = 0.0;
+  NodeId nodes_remaining_ = 0;
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace dagsched

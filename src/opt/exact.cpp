@@ -1,0 +1,159 @@
+#include "opt/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "opt/maxflow.h"
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+std::optional<std::vector<SeqJob>> to_sequential(const JobSet& jobs) {
+  std::vector<SeqJob> sequential;
+  sequential.reserve(jobs.size());
+  for (const Job& job : jobs.jobs()) {
+    if (!job.has_deadline()) return std::nullopt;
+    if (!approx_eq(job.work(), job.span())) return std::nullopt;
+    sequential.push_back({job.release(), job.absolute_deadline(), job.work(),
+                          job.peak_profit()});
+  }
+  return sequential;
+}
+
+bool preemptive_feasible(const std::vector<SeqJob>& jobs, ProcCount m,
+                         double speed) {
+  DS_CHECK(m >= 1 && speed > 0.0);
+  if (jobs.empty()) return true;
+
+  Work total_work = 0.0;
+  std::vector<Time> events;
+  events.reserve(jobs.size() * 2);
+  for (const SeqJob& job : jobs) {
+    if (approx_gt(job.release, job.deadline)) return false;
+    // A single job must individually fit its own window on one machine.
+    if (approx_gt(job.work / speed, job.deadline - job.release)) return false;
+    total_work += job.work;
+    events.push_back(job.release);
+    events.push_back(job.deadline);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end(),
+                           [](Time a, Time b) { return approx_eq(a, b); }),
+               events.end());
+  const std::size_t intervals = events.size() - 1;
+  if (intervals == 0) return approx_zero(total_work);
+
+  // Nodes: 0 = source, 1..n = jobs, n+1..n+intervals = intervals, last =
+  // sink.
+  const std::size_t n = jobs.size();
+  MaxFlow flow(n + intervals + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + intervals + 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    flow.add_edge(source, 1 + j, jobs[j].work);
+  }
+  for (std::size_t k = 0; k < intervals; ++k) {
+    const double length = events[k + 1] - events[k];
+    if (length <= 0.0) continue;
+    flow.add_edge(n + 1 + k, sink,
+                  static_cast<double>(m) * speed * length);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (approx_le(jobs[j].release, events[k]) &&
+          approx_ge(jobs[j].deadline, events[k + 1])) {
+        // One machine per job at a time within the interval.
+        flow.add_edge(1 + j, n + 1 + k, speed * length);
+      }
+    }
+  }
+  const double routed = flow.max_flow(source, sink);
+  // Tolerance scales with the instance size (accumulated float error).
+  const double tol = 1e-6 * (1.0 + total_work);
+  return routed + tol >= total_work;
+}
+
+namespace {
+
+struct SearchState {
+  const std::vector<SeqJob>* jobs = nullptr;
+  ProcCount m = 1;
+  double speed = 1.0;
+  std::size_t node_limit = 0;
+  std::vector<std::size_t> order;    // indices sorted by profit desc
+  std::vector<double> suffix_profit; // suffix sums over `order`
+  std::vector<bool> chosen;          // by original index
+  std::vector<bool> best_chosen;
+  double best = 0.0;
+  std::size_t explored = 0;
+  bool truncated = false;
+};
+
+bool feasible_chosen(const SearchState& state) {
+  std::vector<SeqJob> subset;
+  for (std::size_t i = 0; i < state.chosen.size(); ++i) {
+    if (state.chosen[i]) subset.push_back((*state.jobs)[i]);
+  }
+  return preemptive_feasible(subset, state.m, state.speed);
+}
+
+void dfs(SearchState& state, std::size_t depth, double current) {
+  if (state.explored >= state.node_limit) {
+    state.truncated = true;
+    return;
+  }
+  ++state.explored;
+  if (current > state.best) {
+    state.best = current;
+    state.best_chosen = state.chosen;
+  }
+  if (depth == state.order.size()) return;
+  // Admissible bound: everything remaining fits.
+  if (current + state.suffix_profit[depth] <= state.best + 1e-12) return;
+
+  const std::size_t job = state.order[depth];
+  // Branch 1: include (feasibility is monotone -- prune infeasible here).
+  state.chosen[job] = true;
+  if (feasible_chosen(state)) {
+    dfs(state, depth + 1, current + (*state.jobs)[job].profit);
+  }
+  state.chosen[job] = false;
+  if (state.truncated) return;
+  // Branch 2: exclude.
+  dfs(state, depth + 1, current);
+}
+
+}  // namespace
+
+ExactOptResult exact_opt_sequential(const std::vector<SeqJob>& jobs,
+                                    ProcCount m, double speed,
+                                    std::size_t node_limit) {
+  SearchState state;
+  state.jobs = &jobs;
+  state.m = m;
+  state.speed = speed;
+  state.node_limit = node_limit;
+  state.order.resize(jobs.size());
+  std::iota(state.order.begin(), state.order.end(), std::size_t{0});
+  std::sort(state.order.begin(), state.order.end(),
+            [&jobs](std::size_t a, std::size_t b) {
+              return jobs[a].profit > jobs[b].profit;
+            });
+  state.suffix_profit.assign(jobs.size() + 1, 0.0);
+  for (std::size_t i = jobs.size(); i-- > 0;) {
+    state.suffix_profit[i] =
+        state.suffix_profit[i + 1] + jobs[state.order[i]].profit;
+  }
+  state.chosen.assign(jobs.size(), false);
+  state.best_chosen = state.chosen;
+
+  dfs(state, 0, 0.0);
+
+  ExactOptResult result;
+  result.value = state.best;
+  result.selected = std::move(state.best_chosen);
+  result.explored = state.explored;
+  result.proven_optimal = !state.truncated;
+  return result;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,62 @@
+// Exact clairvoyant OPT for *sequential-job* instances.
+//
+// A DAG job whose span equals its work (a chain, or a single node) is an
+// ordinary preemptive sequential job: it occupies at most one processor at
+// a time and may migrate.  For such jobs, classic results make OPT exactly
+// computable:
+//
+//  * Feasibility of a set on m identical machines is a max-flow problem
+//    (Horn '74): source -> job (cap W_i), job -> elementary interval
+//    (cap |I|, one machine per job at a time), interval -> sink
+//    (cap m|I|).  Feasible iff max flow = sum W_i.
+//  * Max-profit subset selection is then solved exactly by depth-first
+//    branch and bound: adding jobs can only break feasibility (monotone),
+//    and remaining-profit gives an admissible bound.
+//
+// This is the strongest comparator in the repository: on chain workloads
+// the measured ratio OPT/S is the *true* competitive ratio, not an upper
+// bound (used by bench_exact_opt and tests).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "job/job.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct SeqJob {
+  Time release = 0.0;
+  Time deadline = 0.0;  // absolute
+  Work work = 0.0;
+  Profit profit = 0.0;
+};
+
+/// Converts a JobSet to sequential jobs.  Returns nullopt if any job is not
+/// sequential (span != work) or lacks a step profit.
+std::optional<std::vector<SeqJob>> to_sequential(const JobSet& jobs);
+
+/// Horn's feasibility test: can all of `jobs` be preemptively completed by
+/// their deadlines on m speed-`speed` machines (migration allowed)?
+bool preemptive_feasible(const std::vector<SeqJob>& jobs, ProcCount m,
+                         double speed = 1.0);
+
+struct ExactOptResult {
+  Profit value = 0.0;
+  std::vector<bool> selected;
+  /// Search nodes explored; capped by `node_limit`.
+  std::size_t explored = 0;
+  /// False if the node limit was hit (value is then only a lower bound).
+  bool proven_optimal = true;
+};
+
+/// Exact maximum achievable profit over subsets of `jobs` feasible on m
+/// speed-`speed` machines.  Exponential worst case; intended for
+/// instances of up to ~20-25 jobs.
+ExactOptResult exact_opt_sequential(const std::vector<SeqJob>& jobs,
+                                    ProcCount m, double speed = 1.0,
+                                    std::size_t node_limit = 2'000'000);
+
+}  // namespace dagsched

@@ -1,0 +1,86 @@
+#include "opt/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+namespace {
+constexpr double kFlowEps = 1e-9;
+}
+
+MaxFlow::MaxFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to,
+                              double capacity) {
+  DS_CHECK(from < graph_.size() && to < graph_.size());
+  DS_CHECK_MSG(capacity >= 0.0, "negative capacity " << capacity);
+  graph_[from].push_back({to, graph_[to].size(), capacity});
+  graph_[to].push_back({from, graph_[from].size() - 1, 0.0});
+  edge_index_.emplace_back(from, graph_[from].size() - 1);
+  original_cap_.push_back(capacity);
+  return edge_index_.size() - 1;
+}
+
+bool MaxFlow::build_levels(std::size_t source, std::size_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t vertex = frontier.front();
+    frontier.pop();
+    for (const Edge& edge : graph_[vertex]) {
+      if (edge.cap > kFlowEps && level_[edge.to] < 0) {
+        level_[edge.to] = level_[vertex] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::augment(std::size_t vertex, std::size_t sink, double pushed) {
+  if (vertex == sink) return pushed;
+  for (std::size_t& index = iter_[vertex]; index < graph_[vertex].size();
+       ++index) {
+    Edge& edge = graph_[vertex][index];
+    if (edge.cap > kFlowEps && level_[vertex] < level_[edge.to]) {
+      const double flowed =
+          augment(edge.to, sink, std::min(pushed, edge.cap));
+      if (flowed > kFlowEps) {
+        edge.cap -= flowed;
+        graph_[edge.to][edge.rev].cap += flowed;
+        return flowed;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::max_flow(std::size_t source, std::size_t sink) {
+  DS_CHECK(source < graph_.size() && sink < graph_.size());
+  DS_CHECK(source != sink);
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    for (;;) {
+      const double flowed =
+          augment(source, sink, std::numeric_limits<double>::infinity());
+      if (flowed <= kFlowEps) break;
+      total += flowed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t id) const {
+  DS_CHECK(id < edge_index_.size());
+  const auto& [vertex, slot] = edge_index_[id];
+  return original_cap_[id] - graph_[vertex][slot].cap;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,45 @@
+// Dinic max-flow on small dense-ish graphs, built for the preemptive
+// feasibility test in opt/exact.h (no flow library is assumed to exist
+// offline).  Real-valued capacities with an epsilon cutoff.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dagsched {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity (>= 0); the
+  /// reverse residual edge is created automatically.  Returns an edge id
+  /// usable with flow_on().
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  /// Computes the maximum s-t flow.  May be called once per instance.
+  double max_flow(std::size_t source, std::size_t sink);
+
+  /// Flow routed over edge `id` after max_flow().
+  double flow_on(std::size_t id) const;
+
+  std::size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;  // index of the reverse edge in graph_[to]
+    double cap;
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink);
+  double augment(std::size_t vertex, std::size_t sink, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // id -> (u, slot)
+  std::vector<double> original_cap_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace dagsched

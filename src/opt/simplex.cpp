@@ -1,0 +1,132 @@
+#include "opt/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+std::size_t LpProblem::add_row(
+    std::vector<std::pair<std::size_t, double>> terms, double rhs) {
+  DS_CHECK_MSG(rhs >= 0.0, "simplex requires rhs >= 0, got " << rhs);
+  rows.push_back({std::move(terms), rhs});
+  return rows.size() - 1;
+}
+
+LpSolution solve_lp_max(const LpProblem& problem,
+                        std::size_t max_iterations) {
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.rows.size();
+  DS_CHECK(problem.objective.size() == n);
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  if (n == 0) {
+    solution.status = LpSolution::Status::kOptimal;
+    return solution;
+  }
+
+  // Tableau: m constraint rows + 1 objective row; columns: n structural
+  // variables, m slacks, 1 rhs.
+  const std::size_t cols = n + m + 1;
+  std::vector<double> tab((m + 1) * cols, 0.0);
+  auto at = [&tab, cols](std::size_t r, std::size_t c) -> double& {
+    return tab[r * cols + c];
+  };
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const LpProblem::Row& row = problem.rows[r];
+    for (const auto& [var, coeff] : row.terms) {
+      DS_CHECK(var < n);
+      at(r, var) += coeff;
+    }
+    at(r, n + r) = 1.0;
+    at(r, cols - 1) = row.rhs;
+  }
+  for (std::size_t j = 0; j < n; ++j) at(m, j) = -problem.objective[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t r = 0; r < m; ++r) basis[r] = n + r;
+
+  if (max_iterations == 0) max_iterations = 50 * (m + n);
+  constexpr double kPivotEps = 1e-9;
+
+  // Switch to Bland's rule (guaranteed termination) after a stall budget.
+  const std::size_t bland_after = max_iterations / 2;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Entering column.
+    std::size_t enter = cols - 1;
+    if (iter < bland_after) {
+      double best = -kPivotEps;
+      for (std::size_t j = 0; j + 1 < cols; ++j) {
+        if (at(m, j) < best) {
+          best = at(m, j);
+          enter = j;
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j + 1 < cols; ++j) {
+        if (at(m, j) < -kPivotEps) {
+          enter = j;
+          break;
+        }
+      }
+    }
+    if (enter == cols - 1) {
+      // Optimal: no improving column.
+      solution.status = LpSolution::Status::kOptimal;
+      solution.value = at(m, cols - 1);
+      for (std::size_t r = 0; r < m; ++r) {
+        if (basis[r] < n) solution.x[basis[r]] = at(r, cols - 1);
+      }
+      return solution;
+    }
+
+    // Ratio test (Bland tie-break on basis index).
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = at(r, enter);
+      if (a > kPivotEps) {
+        const double ratio = at(r, cols - 1) / a;
+        if (ratio < best_ratio - 1e-12 ||
+            (std::fabs(ratio - best_ratio) <= 1e-12 &&
+             (leave == m || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) {
+      solution.status = LpSolution::Status::kUnbounded;
+      return solution;
+    }
+
+    // Pivot on (leave, enter).
+    const double pivot = at(leave, enter);
+    for (std::size_t j = 0; j < cols; ++j) at(leave, j) /= pivot;
+    for (std::size_t r = 0; r <= m; ++r) {
+      if (r == leave) continue;
+      const double factor = at(r, enter);
+      if (std::fabs(factor) < 1e-14) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        at(r, j) -= factor * at(leave, j);
+      }
+    }
+    basis[leave] = enter;
+  }
+
+  // Iteration limit: return the incumbent basic solution (feasible but
+  // possibly suboptimal -- callers must treat it accordingly).
+  solution.status = LpSolution::Status::kIterationLimit;
+  solution.value = at(m, cols - 1);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.x[basis[r]] = at(r, cols - 1);
+  }
+  return solution;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,48 @@
+// Dense primal simplex for LPs of the form
+//     max  c^T x   s.t.  A x <= b,  x >= 0,  b >= 0.
+//
+// Because b >= 0 the slack basis is feasible and no phase-1 is needed; this
+// covers the interval-capacity relaxations we solve (capacities and x <= 1
+// bounds all have non-negative right-hand sides).  Entering variable:
+// Dantzig rule with a Bland fallback after a stall threshold (anti-cycling);
+// leaving variable: ratio test with Bland tie-breaking.
+//
+// Built from scratch: no LP solver is assumed to exist offline, and the OPT
+// upper bound (opt/upper_bound.h) is part of the reproduction's comparator.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dagsched {
+
+struct LpProblem {
+  std::size_t num_vars = 0;
+  /// Objective coefficients (size num_vars).
+  std::vector<double> objective;
+
+  struct Row {
+    /// Sparse (variable index, coefficient) terms.
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = 0.0;  // must be >= 0
+  };
+  std::vector<Row> rows;
+
+  /// Adds constraint sum(terms) <= rhs; returns row index.
+  std::size_t add_row(std::vector<std::pair<std::size_t, double>> terms,
+                      double rhs);
+};
+
+struct LpSolution {
+  enum class Status { kOptimal, kIterationLimit, kUnbounded };
+  Status status = Status::kIterationLimit;
+  double value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP; `max_iterations` of 0 picks 50 * (rows + vars).
+LpSolution solve_lp_max(const LpProblem& problem,
+                        std::size_t max_iterations = 0);
+
+}  // namespace dagsched

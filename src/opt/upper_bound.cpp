@@ -1,0 +1,132 @@
+#include "opt/upper_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "opt/simplex.h"
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+bool clairvoyantly_feasible(const Job& job, ProcCount m, double speed) {
+  const Time horizon = job.profit().support_end();
+  if (!(horizon < kTimeInfinity)) return true;
+  const Work need = job.min_execution_time(m) / speed;
+  return approx_le(need, horizon);
+}
+
+namespace {
+
+struct LpJob {
+  std::size_t var;     // LP variable index
+  Time release;
+  Time due;            // end of profit support (finite)
+  Work work;
+  Profit peak;
+};
+
+}  // namespace
+
+OptBound compute_opt_upper_bound(const JobSet& jobs, ProcCount m,
+                                 const OptBoundOptions& options) {
+  DS_CHECK(m >= 1 && options.opt_speed > 0.0);
+  OptBound bound;
+
+  // Trivial bound plus collection of finite-support feasible jobs for the LP
+  // (jobs with unbounded support always contribute their full peak: no
+  // finite window contains them, so the LP could not restrict them anyway).
+  std::vector<LpJob> lp_jobs;
+  Profit unbounded_support_profit = 0.0;
+  for (const Job& job : jobs.jobs()) {
+    if (!clairvoyantly_feasible(job, m, options.opt_speed)) continue;
+    bound.trivial += job.peak_profit();
+    const Time support = job.profit().support_end();
+    if (support < kTimeInfinity) {
+      lp_jobs.push_back({lp_jobs.size(), job.release(),
+                         job.release() + support, job.work(),
+                         job.peak_profit()});
+    } else {
+      unbounded_support_profit += job.peak_profit();
+    }
+  }
+  bound.lp = bound.trivial;
+  if (lp_jobs.empty() || lp_jobs.size() > options.max_lp_jobs) return bound;
+
+  // Window generation: event times are releases and dues.
+  std::vector<Time> events;
+  events.reserve(lp_jobs.size() * 2);
+  for (const LpJob& j : lp_jobs) {
+    events.push_back(j.release);
+    events.push_back(j.due);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  const std::size_t k = events.size();
+
+  std::vector<std::pair<Time, Time>> windows;
+  // Every job's own interval.
+  for (const LpJob& j : lp_jobs) windows.emplace_back(j.release, j.due);
+  // Dyadic family over event indices: spans of 1, 2, 4, ... events.
+  for (std::size_t len = 1; len < k; len *= 2) {
+    const std::size_t step = std::max<std::size_t>(1, len / 2);
+    for (std::size_t i = 0; i + len < k; i += step) {
+      windows.emplace_back(events[i], events[i + len]);
+      if (windows.size() >= options.max_windows) break;
+    }
+    if (windows.size() >= options.max_windows) break;
+  }
+  // Full horizon.
+  windows.emplace_back(events.front(), events.back());
+  std::sort(windows.begin(), windows.end());
+  windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
+
+  // Build the LP.
+  LpProblem lp;
+  lp.num_vars = lp_jobs.size();
+  lp.objective.resize(lp.num_vars);
+  for (const LpJob& j : lp_jobs) lp.objective[j.var] = j.peak;
+
+  // x_i <= 1.
+  for (const LpJob& j : lp_jobs) {
+    lp.add_row({{j.var, 1.0}}, 1.0);
+  }
+
+  const double capacity_rate =
+      static_cast<double>(m) * options.opt_speed;
+  for (const auto& [t1, t2] : windows) {
+    if (!(t2 > t1)) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    Work contained_work = 0.0;
+    for (const LpJob& j : lp_jobs) {
+      if (approx_ge(j.release, t1) && approx_le(j.due, t2)) {
+        terms.emplace_back(j.var, j.work);
+        contained_work += j.work;
+      }
+    }
+    const double rhs = capacity_rate * (t2 - t1);
+    // Vacuous constraints (capacity exceeds all contained work) only bloat
+    // the tableau.
+    if (terms.empty() || contained_work <= rhs) continue;
+    lp.add_row(std::move(terms), rhs);
+  }
+
+  if (lp.rows.size() == lp_jobs.size()) {
+    // Only the x<=1 rows survived: LP value is exactly the trivial bound.
+    return bound;
+  }
+
+  const LpSolution solution = solve_lp_max(lp);
+  if (solution.status != LpSolution::Status::kOptimal) {
+    // A non-certified value may undercut the true LP optimum and therefore
+    // OPT; keep the trivial bound instead.
+    return bound;
+  }
+  bound.lp = std::min(bound.trivial,
+                      solution.value + unbounded_support_profit);
+  bound.lp_used = true;
+  return bound;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,57 @@
+// Upper bounds on the clairvoyant optimal profit ("OPT").
+//
+// Exact OPT is NP-hard (it embeds precedence-constrained makespan, the
+// paper's Theorem-1 hardness source), so experiments bracket it:
+//   * below by the best clairvoyant offline baseline run (exp/ harness),
+//   * above by the bounds here.
+//
+// The LP relaxation: pick x_i in [0, 1] per clairvoyantly-feasible job,
+// maximize sum p_i x_i subject to interval-capacity constraints -- for a
+// time window [t1, t2], jobs whose whole feasibility interval [r_i, d_i]
+// lies inside the window can receive at most m * s * (t2 - t1) units of
+// work from any speed-s schedule:
+//     sum_{i : [r_i, d_i] ⊆ [t1, t2]} W_i x_i  <=  m * s * (t2 - t1).
+//
+// Any subset of windows yields a valid (weaker) upper bound; we use every
+// job's own interval plus a dyadic family over event times, keeping the LP
+// dense-simplex-sized.  If the simplex fails to prove optimality the code
+// falls back to the trivial bound (sum of feasible peaks), never returning
+// a value that could undercut OPT.
+#pragma once
+
+#include "job/job.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct OptBoundOptions {
+  /// Speed of the optimal schedule being bounded (1.0 except in
+  /// augmentation sanity checks where OPT itself is sped up).
+  double opt_speed = 1.0;
+  /// Skip the LP (trivial bound only) above this many jobs.
+  std::size_t max_lp_jobs = 512;
+  /// Cap on generated capacity windows.
+  std::size_t max_windows = 4096;
+};
+
+struct OptBound {
+  /// Sum of peaks over clairvoyantly-feasible jobs.
+  Profit trivial = 0.0;
+  /// LP interval-capacity bound; == trivial when the LP was skipped or
+  /// could not be certified optimal.
+  Profit lp = 0.0;
+  bool lp_used = false;
+
+  /// The tightest available upper bound.
+  Profit value() const { return lp_used ? lp : trivial; }
+};
+
+/// True if some 1-speed clairvoyant schedule could complete the job within
+/// its deadline in isolation: L_i/s <= D_i and W_i/(m s) <= D_i.  Jobs with
+/// unbounded profit support are always feasible.
+bool clairvoyantly_feasible(const Job& job, ProcCount m, double speed);
+
+OptBound compute_opt_upper_bound(const JobSet& jobs, ProcCount m,
+                                 const OptBoundOptions& options = {});
+
+}  // namespace dagsched

@@ -1,0 +1,108 @@
+#include "rt/schedulability.h"
+
+#include <cmath>
+
+#include "core/allocation.h"
+#include "core/density_index.h"
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+FederatedResult federated_schedulable(const TaskSet& tasks, ProcCount m) {
+  FederatedResult result;
+  result.clusters.reserve(tasks.size());
+  for (const SporadicTask& task : tasks.tasks()) {
+    const Work work = task.work();
+    const Work span = task.span();
+    const Time deadline = task.relative_deadline;
+    if (!(deadline > span) && !approx_eq(deadline, span)) {
+      return {};  // span exceeds deadline: no cluster size works
+    }
+    ProcCount cluster = 1;
+    const Work parallel_work = work - span;
+    if (parallel_work > 1e-12) {
+      if (approx_eq(deadline, span)) return {};  // needs infinite cluster
+      cluster = static_cast<ProcCount>(
+          std::ceil(parallel_work / (deadline - span)));
+      cluster = std::max<ProcCount>(cluster, 1);
+    }
+    result.clusters.push_back(cluster);
+    result.total += cluster;
+  }
+  result.schedulable = result.total <= m;
+  return result;
+}
+
+bool gedf_capacity_schedulable(const TaskSet& tasks, ProcCount m,
+                               double bound) {
+  DS_CHECK(bound >= 1.0);
+  if (tasks.total_utilization() > static_cast<double>(m) / bound + 1e-12) {
+    return false;
+  }
+  for (const SporadicTask& task : tasks.tasks()) {
+    if (task.span() > task.relative_deadline / bound + 1e-12) return false;
+  }
+  return true;
+}
+
+Work demand_bound(const TaskSet& tasks, Time t) {
+  Work demand = 0.0;
+  for (const SporadicTask& task : tasks.tasks()) {
+    const double jobs_inside =
+        std::floor((t - task.relative_deadline) / task.period + 1e-12) + 1.0;
+    if (jobs_inside > 0.0) demand += jobs_inside * task.work();
+  }
+  return demand;
+}
+
+bool dbf_feasible(const TaskSet& tasks, ProcCount m, Time horizon) {
+  DS_CHECK(m >= 1 && horizon > 0.0);
+  // dbf only steps at t = D_i + k*T_i; checking those points suffices.
+  for (const SporadicTask& task : tasks.tasks()) {
+    for (Time t = task.relative_deadline; t <= horizon; t += task.period) {
+      if (demand_bound(tasks, t) > static_cast<double>(m) * t + 1e-9) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+PaperAdmissionResult paper_admission_snapshot(const TaskSet& tasks,
+                                              ProcCount m,
+                                              const Params& params) {
+  PaperAdmissionResult result;
+  result.slack_ok = true;
+  DensityWindowIndex index;
+  const double cap = params.b * static_cast<double>(m);
+
+  bool windows_ok = true;
+  JobId pseudo_id = 0;
+  for (const SporadicTask& task : tasks.tasks()) {
+    const double md = static_cast<double>(m);
+    const Work greedy = (task.work() - task.span()) / md + task.span();
+    if (task.relative_deadline <
+        (1.0 + params.epsilon) * greedy - 1e-12) {
+      result.slack_ok = false;
+    }
+    const JobAllocation alloc = compute_deadline_allocation(
+        task.work(), task.span(), task.relative_deadline, task.profit,
+        params, 1.0);
+    if (alloc.n == 0) {
+      result.slack_ok = false;
+      windows_ok = false;
+      continue;
+    }
+    if (index.admits(alloc.v, alloc.n, params.c, cap)) {
+      index.insert(pseudo_id++, alloc.v, alloc.n);
+    } else {
+      windows_ok = false;
+    }
+  }
+  result.windows_ok = windows_ok;
+  result.admissible = result.slack_ok && result.windows_ok;
+  return result;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,69 @@
+// Classic schedulability tests for sporadic DAG task systems, from the
+// real-time literature the paper cites -- the "can we guarantee *all*
+// deadlines" viewpoint the paper contrasts with throughput maximization.
+//
+//  * Federated scheduling (Li et al., ECRTS'14; refs [18][26]): every task
+//    receives a dedicated cluster of n_i = ceil((W_i - L_i)/(D_i - L_i))
+//    processors; the system is schedulable if the clusters fit:
+//    sum n_i <= m.  (The original analysis shares cores among light tasks;
+//    we implement the pure dedicated-cluster variant, which is sufficient
+//    -- each job meets its deadline by the Graham bound -- and matches the
+//    FederatedScheduler baseline exactly.)
+//  * Global EDF capacity augmentation (Li et al., ECRTS'13/'14; ref [30]):
+//    if sum_i W_i/T_i <= m / b  and  L_i <= D_i / b  for the proven bound
+//    b, GEDF meets all deadlines at unit speed.
+//  * Paper-S admission snapshot: do all tasks satisfy Theorem 2's slack
+//    assumption, and do their static allocations n_i fit every density
+//    window (condition (2)) even if all tasks were active at once?  A
+//    sufficient condition for S to behave like a hard-real-time scheduler.
+#pragma once
+
+#include "core/params.h"
+#include "rt/task.h"
+
+namespace dagsched {
+
+struct FederatedResult {
+  bool schedulable = false;
+  /// Per-task dedicated cluster sizes (empty if any task is infeasible).
+  std::vector<ProcCount> clusters;
+  ProcCount total = 0;
+};
+
+FederatedResult federated_schedulable(const TaskSet& tasks, ProcCount m);
+
+/// The proven GEDF capacity-augmentation bound for sporadic DAG tasks with
+/// implicit deadlines (Li, Chen, Agrawal, Lu, Gill, Saifullah 2014).
+inline constexpr double kGedfCapacityBound = 2.618;
+
+/// Capacity-augmentation test: sum u_i <= m/bound and L_i <= D_i/bound.
+bool gedf_capacity_schedulable(const TaskSet& tasks, ProcCount m,
+                               double bound = kGedfCapacityBound);
+
+struct PaperAdmissionResult {
+  bool admissible = false;
+  /// True iff every task satisfies D >= (1+eps)((W-L)/m + L).
+  bool slack_ok = false;
+  /// True iff the static allocations satisfy condition (2) jointly.
+  bool windows_ok = false;
+};
+
+PaperAdmissionResult paper_admission_snapshot(const TaskSet& tasks,
+                                              ProcCount m,
+                                              const Params& params);
+
+/// Demand bound function of the task system (Baruah-style): the maximum
+/// cumulative work of jobs that both release and have deadlines inside any
+/// window of length t, assuming worst-case (synchronous, minimally-spaced)
+/// releases:
+///     dbf(t) = sum_i max(0, floor((t - D_i)/T_i) + 1) * W_i.
+Work demand_bound(const TaskSet& tasks, Time t);
+
+/// Necessary condition for feasibility on m unit-speed processors:
+/// dbf(t) <= m * t for every window length t up to `horizon` (checked at
+/// the deadline breakpoints, where dbf changes).  A task set failing this
+/// is infeasible for EVERY scheduler -- used to sanity-check that the
+/// sufficient tests above only ever accept dbf-consistent systems.
+bool dbf_feasible(const TaskSet& tasks, ProcCount m, Time horizon);
+
+}  // namespace dagsched

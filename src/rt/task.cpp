@@ -1,0 +1,92 @@
+#include "rt/task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "workload/workload.h"
+
+namespace dagsched {
+
+void SporadicTask::validate() const {
+  if (dag == nullptr) throw std::invalid_argument("task: null DAG");
+  if (!(period > 0.0)) throw std::invalid_argument("task: period <= 0");
+  if (!(relative_deadline > 0.0) || relative_deadline > period + 1e-12) {
+    throw std::invalid_argument("task: need 0 < D <= T (constrained)");
+  }
+  if (span() > relative_deadline + 1e-12) {
+    throw std::invalid_argument("task: span exceeds deadline (infeasible)");
+  }
+  if (!(profit > 0.0)) throw std::invalid_argument("task: profit <= 0");
+}
+
+void TaskSet::add(SporadicTask task) {
+  task.validate();
+  tasks_.push_back(std::move(task));
+}
+
+double TaskSet::total_utilization() const {
+  double total = 0.0;
+  for (const SporadicTask& task : tasks_) total += task.utilization();
+  return total;
+}
+
+JobSet release_jobs(const TaskSet& tasks, Time horizon, Rng& rng,
+                    double jitter) {
+  DS_CHECK(horizon > 0.0);
+  DS_CHECK(jitter >= 0.0 && jitter < 1.0);
+  JobSet jobs;
+  for (const SporadicTask& task : tasks.tasks()) {
+    Time t = rng.uniform(0.0, task.period);  // staggered first release
+    while (t < horizon) {
+      jobs.add(Job::with_deadline(task.dag, t, task.relative_deadline,
+                                  task.profit));
+      Time gap = task.period;
+      if (jitter > 0.0) gap *= 1.0 + rng.uniform(0.0, jitter);
+      t += gap;
+    }
+  }
+  jobs.finalize();
+  return jobs;
+}
+
+TaskSet generate_task_set(Rng& rng, const TaskGenConfig& config) {
+  DS_CHECK(config.num_tasks >= 1);
+  DS_CHECK(config.total_utilization > 0.0);
+  DS_CHECK(config.deadline_fraction > 0.0 && config.deadline_fraction <= 1.0);
+
+  // UUniFast utilization split (Bini & Buttazzo): uniform over the simplex.
+  const std::size_t n = config.num_tasks;
+  std::vector<double> utils(n);
+  double remaining = config.total_utilization;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        remaining * std::pow(rng.uniform01(),
+                             1.0 / static_cast<double>(n - 1 - i));
+    utils[i] = remaining - next;
+    remaining = next;
+  }
+  utils[n - 1] = remaining;
+
+  TaskSet tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto dag = std::make_shared<const Dag>(
+        sample_dag(rng, DagFamily::kMixed, config.dag_size_scale));
+    const Work work = dag->total_work();
+    const Work span = dag->span();
+    // A task's utilization cannot exceed its parallelism without violating
+    // D >= L: u = W/T and D = f*T >= L force u <= f*W/L.  Cap with margin.
+    const double u_cap = 0.85 * config.deadline_fraction * work / span;
+    const double u = std::min(std::max(utils[i], 1e-3), u_cap);
+    SporadicTask task;
+    task.dag = std::move(dag);
+    task.period = work / u;
+    task.relative_deadline = config.deadline_fraction * task.period;
+    task.profit = work;  // throughput view: profit ~ computation delivered
+    tasks.add(std::move(task));
+  }
+  return tasks;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,80 @@
+// Sporadic DAG task systems -- the recurrent-release model of the real-time
+// literature the paper builds on (Saifullah et al., Li et al., Baruah; refs
+// [17][18][25]-[31]).  A task releases a stream of jobs, consecutive
+// releases at least `period` apart; each job is one instance of the task's
+// DAG and must finish within `relative_deadline` of its release.
+//
+// This subsystem converts task systems into the paper's online JobSet form
+// and provides the classic schedulability tests (rt/schedulability.h) so
+// the throughput-oriented algorithms can be compared against the real-time
+// admission viewpoint (bench_rt_schedulability).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "job/job.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct SporadicTask {
+  std::shared_ptr<const Dag> dag;
+  /// Minimum inter-release separation T_i.
+  Time period = 0.0;
+  /// Relative deadline D_i; constrained: D_i <= T_i.
+  Time relative_deadline = 0.0;
+  /// Profit per completed job (the throughput view of a task instance).
+  Profit profit = 1.0;
+
+  Work work() const { return dag->total_work(); }
+  Work span() const { return dag->span(); }
+  /// Utilization u_i = W_i / T_i.
+  double utilization() const { return work() / period; }
+
+  /// Validates the structural constraints; throws std::invalid_argument.
+  void validate() const;
+};
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+
+  void add(SporadicTask task);
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  const SporadicTask& operator[](std::size_t i) const { return tasks_[i]; }
+  const std::vector<SporadicTask>& tasks() const { return tasks_; }
+
+  /// Total utilization sum_i W_i / T_i.
+  double total_utilization() const;
+
+ private:
+  std::vector<SporadicTask> tasks_;
+};
+
+/// Expands a task system into a concrete job stream over [0, horizon).
+///
+/// `jitter` in [0, 1): each inter-release gap is period * (1 + U[0, jitter])
+/// -- 0 gives strictly periodic releases; > 0 gives a sporadic stream.
+/// First releases are staggered uniformly in [0, period).
+JobSet release_jobs(const TaskSet& tasks, Time horizon, Rng& rng,
+                    double jitter = 0.0);
+
+/// Random task-set generator targeting a total utilization (UUniFast-style
+/// utilization split, DAGs drawn from sample_dag families, periods chosen
+/// so u_i = W_i/T_i; implicit deadlines D_i = T_i scaled by
+/// `deadline_fraction`).
+struct TaskGenConfig {
+  std::size_t num_tasks = 8;
+  double total_utilization = 4.0;
+  /// D_i = deadline_fraction * T_i (1.0 = implicit deadlines).
+  double deadline_fraction = 1.0;
+  double dag_size_scale = 1.0;
+};
+
+TaskSet generate_task_set(Rng& rng, const TaskGenConfig& config);
+
+}  // namespace dagsched

@@ -1,0 +1,33 @@
+// A scheduler's decision at one instant: how many processors each job gets.
+//
+// The engine turns an Assignment into actual node executions: a job granted
+// k processors runs min(k, #ready-nodes) nodes, chosen by the engine's
+// NodeSelector (the scheduler cannot pick nodes -- semi-non-clairvoyance).
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace dagsched {
+
+struct JobAlloc {
+  JobId job = kInvalidJob;
+  ProcCount procs = 0;
+};
+
+struct Assignment {
+  std::vector<JobAlloc> allocs;
+
+  void clear() { allocs.clear(); }
+
+  void add(JobId job, ProcCount procs) { allocs.push_back({job, procs}); }
+
+  ProcCount total_procs() const {
+    ProcCount total = 0;
+    for (const JobAlloc& a : allocs) total += a.procs;
+    return total;
+  }
+};
+
+}  // namespace dagsched

@@ -1,0 +1,67 @@
+// EngineContext: everything a scheduler may consult when making a decision.
+//
+// Semi-non-clairvoyant schedulers use view()/active_jobs() only.  The
+// clairvoyant accessors (dag_of / unfolding_of) DS_CHECK that the scheduler
+// declared itself clairvoyant, so a semi-non-clairvoyant policy cannot
+// accidentally peek at DAG structure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "job/job.h"
+#include "sim/runtime.h"
+#include "sim/views.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class EngineContext {
+ public:
+  Time now() const { return now_; }
+  ProcCount num_procs() const { return m_; }
+  double speed() const { return speed_; }
+  std::size_t num_jobs() const { return jobs_->size(); }
+
+  /// Semi-non-clairvoyant window onto job `id` (any job, arrived or not --
+  /// but an online scheduler should only touch jobs it has been told about).
+  JobView view(JobId id) const {
+    DS_CHECK(id < jobs_->size());
+    return JobView(&(*jobs_)[id], &(*runtimes_)[id], id);
+  }
+
+  /// Jobs that have arrived and not yet completed (including expired ones;
+  /// dropping those is the scheduler's decision, as in the paper).
+  std::span<const JobId> active_jobs() const { return *active_; }
+
+  /// Full DAG structure; clairvoyant schedulers only.
+  const Dag& dag_of(JobId id) const {
+    DS_CHECK_MSG(clairvoyant_allowed_,
+                 "semi-non-clairvoyant scheduler peeked at DAG structure");
+    return (*jobs_)[id].dag();
+  }
+
+  /// Full unfolding state (ready node identities, per-node progress);
+  /// clairvoyant schedulers only.
+  const UnfoldingState& unfolding_of(JobId id) const {
+    DS_CHECK_MSG(clairvoyant_allowed_,
+                 "semi-non-clairvoyant scheduler peeked at unfolding state");
+    DS_CHECK((*runtimes_)[id].unfolding.has_value());
+    return *(*runtimes_)[id].unfolding;
+  }
+
+ private:
+  friend class EventEngine;
+  friend class SlotEngine;
+
+  Time now_ = 0.0;
+  ProcCount m_ = 1;
+  double speed_ = 1.0;
+  bool clairvoyant_allowed_ = false;
+  const std::vector<Job>* jobs_ = nullptr;
+  const std::vector<JobRuntime>* runtimes_ = nullptr;
+  const std::vector<JobId>* active_ = nullptr;
+};
+
+}  // namespace dagsched

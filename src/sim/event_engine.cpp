@@ -1,0 +1,248 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+EventEngine::EventEngine(const JobSet& jobs, SchedulerBase& scheduler,
+                         NodeSelector& selector, EngineOptions options)
+    : jobs_(jobs),
+      scheduler_(scheduler),
+      selector_(selector),
+      options_(std::move(options)) {
+  DS_CHECK_MSG(options_.num_procs >= 1, "need at least one processor");
+  DS_CHECK_MSG(options_.speed > 0.0, "speed must be positive");
+  DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
+}
+
+void EventEngine::validate_assignment(const Assignment& assignment) const {
+  ProcCount total = 0;
+  // Duplicate detection via a scratch stamp; n is small enough that a
+  // per-decision clear would also be fine, but stamps avoid the O(n) reset.
+  static thread_local std::vector<std::uint32_t> stamp;
+  static thread_local std::uint32_t epoch = 0;
+  if (stamp.size() < jobs_.size()) stamp.resize(jobs_.size(), 0);
+  ++epoch;
+  for (const JobAlloc& alloc : assignment.allocs) {
+    DS_CHECK_MSG(alloc.job < jobs_.size(), "allocation to unknown job");
+    DS_CHECK_MSG(alloc.procs >= 1, "zero-processor allocation");
+    DS_CHECK_MSG(stamp[alloc.job] != epoch,
+                 "duplicate allocation to job " << alloc.job);
+    stamp[alloc.job] = epoch;
+    const JobRuntime& rt = runtimes_[alloc.job];
+    DS_CHECK_MSG(rt.arrived, "allocation to unarrived job " << alloc.job);
+    DS_CHECK_MSG(!rt.completed, "allocation to completed job " << alloc.job);
+    total += alloc.procs;
+  }
+  DS_CHECK_MSG(total <= options_.num_procs,
+               "allocation uses " << total << " > m=" << options_.num_procs
+                                  << " processors");
+}
+
+SimResult EventEngine::run() {
+  const std::size_t n = jobs_.size();
+  SimResult result;
+  result.outcomes.resize(n);
+  if (n == 0) return result;
+
+  scheduler_.reset();
+  runtimes_.assign(n, JobRuntime{});
+  active_.clear();
+
+  ctx_.m_ = options_.num_procs;
+  ctx_.speed_ = options_.speed;
+  ctx_.clairvoyant_allowed_ = scheduler_.clairvoyant();
+  ctx_.jobs_ = &jobs_.jobs();
+  ctx_.runtimes_ = &runtimes_;
+  ctx_.active_ = &active_;
+
+  // Min-heap of (absolute deadline, job) for arrived step-profit jobs.
+  using DeadlineEntry = std::pair<Time, JobId>;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<>> deadlines;
+
+  std::size_t next_arrival = 0;
+  Time now = jobs_[0].release();
+
+  Assignment assignment;
+  std::vector<NodeId> picked;
+  std::vector<RunningNode> running;
+  std::vector<JobId> completed_now;
+
+  // Previous interval's execution set, for preemption accounting.
+  std::vector<std::pair<JobId, NodeId>> prev_nodes, current_nodes;
+  std::vector<JobId> prev_jobs, current_jobs;
+
+  const double speed = options_.speed;
+
+  for (;;) {
+    ctx_.now_ = now;
+
+    // (1) Deliver arrivals due now.
+    while (next_arrival < n &&
+           approx_le(jobs_[next_arrival].release(), now)) {
+      const JobId id = static_cast<JobId>(next_arrival++);
+      JobRuntime& rt = runtimes_[id];
+      rt.arrived = true;
+      rt.unfolding.emplace(jobs_[id].dag());
+      active_.push_back(id);
+      if (jobs_[id].has_deadline()) {
+        deadlines.emplace(jobs_[id].absolute_deadline(), id);
+      }
+      scheduler_.on_arrival(ctx_, id);
+    }
+
+    // (2) Deliver deadline expiries due now (lazily skipping completed jobs).
+    while (!deadlines.empty() && approx_le(deadlines.top().first, now)) {
+      const JobId id = deadlines.top().second;
+      deadlines.pop();
+      JobRuntime& rt = runtimes_[id];
+      if (!rt.completed && !rt.deadline_notified) {
+        rt.deadline_notified = true;
+        scheduler_.on_deadline(ctx_, id);
+      }
+    }
+
+    // (3) Ask the scheduler for the allocation in force until the next event.
+    assignment.clear();
+    scheduler_.decide(ctx_, assignment);
+    ++result.decisions;
+    DS_CHECK_MSG(result.decisions <= options_.max_decisions,
+                 "decision budget exhausted at t=" << now
+                     << " (scheduler livelock?)");
+    validate_assignment(assignment);
+    if (options_.observer) options_.observer(ctx_, assignment);
+
+    // (4) Materialize the running node set.
+    running.clear();
+    for (const JobAlloc& alloc : assignment.allocs) {
+      JobRuntime& rt = runtimes_[alloc.job];
+      selector_.select(jobs_[alloc.job].dag(), *rt.unfolding, alloc.procs,
+                       picked);
+      for (const NodeId node : picked) running.push_back({alloc.job, node});
+    }
+
+    // (4b) Preemption accounting: anything that ran in the previous
+    // interval, is unfinished, and does not run now was preempted.
+    current_nodes.clear();
+    current_jobs.clear();
+    for (const RunningNode& rn : running) {
+      current_nodes.emplace_back(rn.job, rn.node);
+      current_jobs.push_back(rn.job);
+    }
+    std::sort(current_nodes.begin(), current_nodes.end());
+    std::sort(current_jobs.begin(), current_jobs.end());
+    current_jobs.erase(std::unique(current_jobs.begin(), current_jobs.end()),
+                       current_jobs.end());
+    for (const auto& [job, node] : prev_nodes) {
+      const JobRuntime& rt = runtimes_[job];
+      if (rt.completed || rt.unfolding->is_done(node)) continue;
+      if (!std::binary_search(current_nodes.begin(), current_nodes.end(),
+                              std::make_pair(job, node))) {
+        ++result.node_preemptions;
+      }
+    }
+    for (const JobId job : prev_jobs) {
+      if (runtimes_[job].completed) continue;
+      if (!std::binary_search(current_jobs.begin(), current_jobs.end(),
+                              job)) {
+        ++result.job_preemptions;
+      }
+    }
+    prev_nodes = current_nodes;
+    prev_jobs = current_jobs;
+
+    // (5) Time to the next event.
+    Time next_event = kTimeInfinity;
+    if (next_arrival < n) {
+      next_event = std::min(next_event, jobs_[next_arrival].release());
+    }
+    // Earliest pending deadline of a still-incomplete job.
+    while (!deadlines.empty() && runtimes_[deadlines.top().second].completed) {
+      deadlines.pop();
+    }
+    if (!deadlines.empty()) {
+      next_event = std::min(next_event, deadlines.top().first);
+    }
+
+    if (running.empty()) {
+      if (next_event == kTimeInfinity) break;  // quiescent: nothing left
+      now = std::max(now, next_event);
+      continue;
+    }
+
+    Time node_dt = kTimeInfinity;
+    for (const RunningNode& rn : running) {
+      const Work remaining =
+          runtimes_[rn.job].unfolding->remaining_work(rn.node);
+      node_dt = std::min(node_dt, remaining / speed);
+    }
+    const Time dt = std::min(node_dt, next_event - now);
+    DS_CHECK_MSG(dt > 0.0, "non-positive step dt=" << dt << " at t=" << now);
+
+    // (6) Advance every running node by speed*dt.
+    for (std::size_t p = 0; p < running.size(); ++p) {
+      const RunningNode& rn = running[p];
+      JobRuntime& rt = runtimes_[rn.job];
+      rt.unfolding->advance(rn.node, speed * dt);
+      rt.executed += speed * dt;
+      rt.first_start = std::min(rt.first_start, now);
+      if (options_.record_trace) {
+        result.trace.add(now, now + dt, rn.job, rn.node,
+                         static_cast<ProcCount>(p));
+      }
+    }
+    result.busy_proc_time += dt * static_cast<double>(running.size());
+    now += dt;
+    ctx_.now_ = now;
+
+    // (7) Detect job completions (flags first, notifications second, so the
+    // scheduler observes a consistent post-completion state).
+    completed_now.clear();
+    for (const RunningNode& rn : running) {
+      JobRuntime& rt = runtimes_[rn.job];
+      if (!rt.completed && rt.unfolding->complete()) {
+        rt.completed = true;
+        rt.completion_time = now;
+        completed_now.push_back(rn.job);
+      }
+    }
+    for (const JobId id : completed_now) {
+      std::erase(active_, id);
+    }
+    for (const JobId id : completed_now) {
+      scheduler_.on_completion(ctx_, id);
+    }
+  }
+
+  result.end_time = now;
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRuntime& rt = runtimes_[i];
+    JobOutcome& out = result.outcomes[i];
+    out.completed = rt.completed;
+    out.completion_time = rt.completion_time;
+    out.executed = rt.executed;
+    out.first_start = rt.first_start;
+    if (rt.completed) {
+      out.profit =
+          jobs_[i].profit().at(rt.completion_time - jobs_[i].release());
+      result.total_profit += out.profit;
+      ++result.jobs_completed;
+    }
+  }
+  return result;
+}
+
+SimResult simulate(const JobSet& jobs, SchedulerBase& scheduler,
+                   NodeSelector& selector, const EngineOptions& options) {
+  EventEngine engine(jobs, scheduler, selector, options);
+  return engine.run();
+}
+
+}  // namespace dagsched

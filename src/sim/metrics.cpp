@@ -1,0 +1,63 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+ScheduleMetrics compute_metrics(const SimResult& result, const JobSet& jobs,
+                                ProcCount m) {
+  DS_CHECK(result.outcomes.size() == jobs.size());
+  ScheduleMetrics metrics;
+  Profit earned = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const JobOutcome& outcome = result.outcomes[i];
+    if (!outcome.completed) {
+      if (job.has_deadline()) ++metrics.missed;
+      continue;
+    }
+    ++metrics.completed;
+    earned += outcome.profit;
+    const double flow = outcome.completion_time - job.release();
+    metrics.flow_time.add(flow);
+    metrics.stretch.add(flow / job.min_execution_time(m));
+    if (job.has_deadline()) {
+      const double late = outcome.completion_time - job.absolute_deadline();
+      metrics.lateness.add(late);
+      if (late > 1e-9) ++metrics.missed;  // completed, but past the deadline
+    }
+  }
+  const Profit peak = jobs.total_peak_profit();
+  metrics.profit_fraction = peak > 0.0 ? earned / peak : 0.0;
+  return metrics;
+}
+
+std::vector<double> utilization_profile(const Trace& trace, ProcCount m,
+                                        Time horizon, std::size_t buckets) {
+  DS_CHECK(m >= 1 && horizon > 0.0 && buckets >= 1);
+  std::vector<double> busy(buckets, 0.0);
+  const double bucket_width = horizon / static_cast<double>(buckets);
+  for (const TraceInterval& interval : trace.intervals()) {
+    // Spread the interval's busy time over the buckets it overlaps.
+    const Time start = std::max(interval.start, 0.0);
+    const Time end = std::min(interval.end, horizon);
+    if (!(end > start)) continue;
+    auto first =
+        static_cast<std::size_t>(std::floor(start / bucket_width));
+    first = std::min(first, buckets - 1);
+    for (std::size_t b = first; b < buckets; ++b) {
+      const Time b_start = static_cast<double>(b) * bucket_width;
+      const Time b_end = b_start + bucket_width;
+      if (b_start >= end) break;
+      busy[b] += std::max(0.0, std::min(end, b_end) - std::max(start, b_start));
+    }
+  }
+  const double capacity = bucket_width * static_cast<double>(m);
+  for (double& value : busy) value /= capacity;
+  return busy;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,40 @@
+// Derived schedule metrics beyond raw profit: flow times, lateness, and a
+// machine-utilization profile, computed from SimResult (+Trace for the
+// profile).  Used by the CLI, examples and E-benches for richer reporting;
+// the flow-time summary also connects this system to the authors' SODA'16
+// companion paper (same model, average-flow-time objective).
+#pragma once
+
+#include <vector>
+
+#include "job/job.h"
+#include "sim/outcome.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct ScheduleMetrics {
+  /// Flow time (completion - release) of completed jobs.
+  SampleSet flow_time;
+  /// Normalized flow time: flow / max(L, W/m) ("stretch").
+  SampleSet stretch;
+  /// Lateness (completion - absolute deadline) of completed deadline jobs;
+  /// negative = early.
+  SampleSet lateness;
+  std::size_t completed = 0;
+  std::size_t missed = 0;  // deadline jobs that never completed in time
+  /// Fraction of peak profit earned.
+  double profit_fraction = 0.0;
+};
+
+/// Computes per-job metrics from a finished run.
+ScheduleMetrics compute_metrics(const SimResult& result, const JobSet& jobs,
+                                ProcCount m);
+
+/// Machine utilization profile: fraction of busy processor-time in each of
+/// `buckets` equal windows of [0, horizon).  Requires a recorded trace.
+std::vector<double> utilization_profile(const Trace& trace, ProcCount m,
+                                        Time horizon, std::size_t buckets);
+
+}  // namespace dagsched

@@ -1,0 +1,122 @@
+#include "sim/node_selector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+namespace {
+
+class FifoSelector final : public NodeSelector {
+ public:
+  std::string name() const override { return "fifo"; }
+  void select(const Dag& dag, const UnfoldingState& state, std::size_t k,
+              std::vector<NodeId>& out) override {
+    (void)dag;
+    out.clear();
+    const auto ready = state.ready();
+    const std::size_t take = std::min(k, ready.size());
+    out.assign(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+};
+
+class LifoSelector final : public NodeSelector {
+ public:
+  std::string name() const override { return "lifo"; }
+  void select(const Dag& dag, const UnfoldingState& state, std::size_t k,
+              std::vector<NodeId>& out) override {
+    (void)dag;
+    out.clear();
+    const auto ready = state.ready();
+    const std::size_t take = std::min(k, ready.size());
+    out.assign(ready.end() - static_cast<std::ptrdiff_t>(take), ready.end());
+    std::reverse(out.begin(), out.end());
+  }
+};
+
+class RandomSelector final : public NodeSelector {
+ public:
+  explicit RandomSelector(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  void select(const Dag& dag, const UnfoldingState& state, std::size_t k,
+              std::vector<NodeId>& out) override {
+    (void)dag;
+    out.clear();
+    const auto ready = state.ready();
+    out.assign(ready.begin(), ready.end());
+    // Partial Fisher-Yates: shuffle the first `take` positions.
+    const std::size_t take = std::min(k, out.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const auto j = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<std::int64_t>(i),
+          static_cast<std::int64_t>(out.size()) - 1));
+      std::swap(out[i], out[j]);
+    }
+    out.resize(take);
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Orders ready nodes by bottom level (ties by node id for determinism).
+class LevelOrderedSelector : public NodeSelector {
+ public:
+  explicit LevelOrderedSelector(bool largest_first)
+      : largest_first_(largest_first) {}
+  std::string name() const override {
+    return largest_first_ ? "critical-path" : "adversarial";
+  }
+  void select(const Dag& dag, const UnfoldingState& state, std::size_t k,
+              std::vector<NodeId>& out) override {
+    out.clear();
+    const auto ready = state.ready();
+    out.assign(ready.begin(), ready.end());
+    const std::size_t take = std::min(k, out.size());
+    const bool largest = largest_first_;
+    auto better = [&dag, largest](NodeId a, NodeId b) {
+      const Work la = dag.bottom_level(a);
+      const Work lb = dag.bottom_level(b);
+      if (la != lb) return largest ? la > lb : la < lb;
+      return a < b;
+    };
+    std::partial_sort(out.begin(),
+                      out.begin() + static_cast<std::ptrdiff_t>(take),
+                      out.end(), better);
+    out.resize(take);
+  }
+
+ private:
+  bool largest_first_;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeSelector> make_selector(SelectorKind kind,
+                                            std::uint64_t seed) {
+  switch (kind) {
+    case SelectorKind::kFifo: return std::make_unique<FifoSelector>();
+    case SelectorKind::kLifo: return std::make_unique<LifoSelector>();
+    case SelectorKind::kRandom: return std::make_unique<RandomSelector>(seed);
+    case SelectorKind::kAdversarial:
+      return std::make_unique<LevelOrderedSelector>(false);
+    case SelectorKind::kCriticalPath:
+      return std::make_unique<LevelOrderedSelector>(true);
+  }
+  DS_CHECK_MSG(false, "unknown selector kind");
+  return nullptr;
+}
+
+const char* selector_kind_name(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kFifo: return "fifo";
+    case SelectorKind::kLifo: return "lifo";
+    case SelectorKind::kRandom: return "random";
+    case SelectorKind::kAdversarial: return "adversarial";
+    case SelectorKind::kCriticalPath: return "critical-path";
+  }
+  return "?";
+}
+
+}  // namespace dagsched

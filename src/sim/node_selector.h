@@ -1,0 +1,50 @@
+// Ready-node selection policies.
+//
+// The paper's scheduler "arbitrarily picks n_i ready nodes" -- the *machine*
+// decides which ready nodes run, not the scheduler.  The engine therefore
+// owns a NodeSelector:
+//
+//   kFifo        -- ready-list order (nodes become ready in completion
+//                   order); the neutral "arbitrary" choice.
+//   kLifo        -- newest-ready first (depth-first-ish execution).
+//   kRandom      -- uniform random subset.
+//   kAdversarial -- smallest bottom-level first: starves the critical path,
+//                   realizing the Theorem-1 lower bound on the Fig-1 DAG.
+//   kCriticalPath-- largest bottom-level first: the clairvoyant machine's
+//                   best choice (finishes Fig-1 in W/m).
+//
+// Note kAdversarial/kCriticalPath consult DAG structure -- that is fine:
+// they model the machine/adversary, not the scheduler.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/dag.h"
+#include "dag/unfolding.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class NodeSelector {
+ public:
+  virtual ~NodeSelector() = default;
+  virtual std::string name() const = 0;
+
+  /// Append up to `k` distinct ready nodes of `state` to `out` (which is
+  /// cleared first).  Must return min(k, ready_count) nodes.
+  virtual void select(const Dag& dag, const UnfoldingState& state,
+                      std::size_t k, std::vector<NodeId>& out) = 0;
+};
+
+enum class SelectorKind { kFifo, kLifo, kRandom, kAdversarial, kCriticalPath };
+
+/// Factory. `seed` is used by kRandom only.
+std::unique_ptr<NodeSelector> make_selector(SelectorKind kind,
+                                            std::uint64_t seed = 0);
+
+const char* selector_kind_name(SelectorKind kind);
+
+}  // namespace dagsched

@@ -1,0 +1,10 @@
+#include "sim/outcome.h"
+
+namespace dagsched {
+
+double profit_fraction(const SimResult& result, const JobSet& jobs) {
+  const Profit peak = jobs.total_peak_profit();
+  return peak > 0.0 ? result.total_profit / peak : 0.0;
+}
+
+}  // namespace dagsched

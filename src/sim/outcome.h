@@ -1,0 +1,47 @@
+// Simulation results: per-job outcomes and aggregate metrics.
+#pragma once
+
+#include <vector>
+
+#include "job/job.h"
+#include "sim/trace.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct JobOutcome {
+  bool completed = false;
+  /// Absolute completion time (kTimeInfinity if incomplete).
+  Time completion_time = kTimeInfinity;
+  /// Profit actually earned: p_i(completion - release), or 0 if incomplete.
+  Profit profit = 0.0;
+  /// Work units executed on this job (may be > 0 for incomplete jobs).
+  Work executed = 0.0;
+  /// Absolute time of first execution (kTimeInfinity if never ran).
+  Time first_start = kTimeInfinity;
+};
+
+struct SimResult {
+  std::vector<JobOutcome> outcomes;
+  Profit total_profit = 0.0;
+  std::size_t jobs_completed = 0;
+  /// Number of scheduler decision points the engine evaluated.
+  std::size_t decisions = 0;
+  /// Node preemptions: a node was executing, is unfinished, and stops
+  /// executing at a decision boundary.
+  std::size_t node_preemptions = 0;
+  /// Job preemptions: a job held processors, is unfinished, and loses all
+  /// of them at a decision boundary.
+  std::size_t job_preemptions = 0;
+  /// Total processor-time spent executing nodes (sum over processors).
+  double busy_proc_time = 0.0;
+  /// Time of the last event processed.
+  Time end_time = 0.0;
+  /// Populated when EngineOptions::record_trace is set.
+  Trace trace;
+};
+
+/// Fraction of peak profit earned: total_profit / sum of p_i.
+double profit_fraction(const SimResult& result, const JobSet& jobs);
+
+}  // namespace dagsched

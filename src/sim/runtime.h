@@ -1,0 +1,26 @@
+// Per-job mutable simulation state shared by both engines.
+#pragma once
+
+#include <optional>
+
+#include "dag/unfolding.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct JobRuntime {
+  /// Engaged when the job arrives; holds ready-set and remaining work.
+  std::optional<UnfoldingState> unfolding;
+  bool arrived = false;
+  bool completed = false;
+  /// Absolute completion time (kTimeInfinity if never completed).
+  Time completion_time = kTimeInfinity;
+  /// Absolute time the job first ran (kTimeInfinity if never ran).
+  Time first_start = kTimeInfinity;
+  /// Total work units executed on this job so far.
+  Work executed = 0.0;
+  /// Whether on_deadline has already been delivered (step-profit jobs).
+  bool deadline_notified = false;
+};
+
+}  // namespace dagsched

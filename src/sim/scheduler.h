@@ -1,0 +1,70 @@
+// The scheduler interface both engines drive.
+//
+// Engines deliver events (arrival / completion / deadline expiry) and then
+// call decide() to obtain the processor allocation in force until the next
+// event.  decide() is invoked at every decision point, which for the
+// EventEngine is every event (including internal node completions) and for
+// the SlotEngine is every time slot.  Schedulers whose decisions only change
+// at job-level events (like the paper's S) simply return the same allocation
+// when nothing changed.
+#pragma once
+
+#include <string>
+
+#include "sim/assignment.h"
+#include "sim/context.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class SchedulerBase {
+ public:
+  virtual ~SchedulerBase() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Declares whether this policy may inspect DAG internals.  The paper's
+  /// algorithms and all online baselines return false; only the clairvoyant
+  /// reference schedulers return true.
+  virtual bool clairvoyant() const { return false; }
+
+  /// Called once before a simulation starts; resets internal queues so a
+  /// scheduler instance can be reused across runs.
+  virtual void reset() {}
+
+  /// Job `job` just arrived (ctx.now() == its release, up to tolerance).
+  virtual void on_arrival(const EngineContext& ctx, JobId job) {
+    (void)ctx;
+    (void)job;
+  }
+
+  /// Job `job` just completed all its nodes.
+  virtual void on_completion(const EngineContext& ctx, JobId job) {
+    (void)ctx;
+    (void)job;
+  }
+
+  /// A step-profit job's absolute deadline passed without completion.
+  virtual void on_deadline(const EngineContext& ctx, JobId job) {
+    (void)ctx;
+    (void)job;
+  }
+
+  /// Earliest future time at which decide() could return a different answer
+  /// absent new external events (kTimeInfinity if never).  The SlotEngine
+  /// uses this to skip idle stretches and to detect quiescence when a
+  /// scheduler deliberately idles (e.g. the Section-5 profit scheduler
+  /// waiting for one of its assigned slots).  Work-conserving policies can
+  /// keep the default.
+  virtual Time next_wakeup(const EngineContext& ctx) const {
+    (void)ctx;
+    return kTimeInfinity;
+  }
+
+  /// Fill `out` with the allocation for the current instant.  The engine
+  /// validates: total procs <= ctx.num_procs(), every job arrived and
+  /// incomplete, no duplicate jobs, procs >= 1 per entry.
+  virtual void decide(const EngineContext& ctx, Assignment& out) = 0;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,233 @@
+#include "sim/slot_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+#include "util/logging.h"
+
+namespace dagsched {
+
+SlotEngine::SlotEngine(const JobSet& jobs, SchedulerBase& scheduler,
+                       NodeSelector& selector, SlotEngineOptions options)
+    : jobs_(jobs),
+      scheduler_(scheduler),
+      selector_(selector),
+      options_(std::move(options)) {
+  DS_CHECK_MSG(options_.num_procs >= 1, "need at least one processor");
+  DS_CHECK_MSG(options_.speed > 0.0, "speed must be positive");
+  DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
+}
+
+void SlotEngine::validate_assignment(const Assignment& assignment) const {
+  ProcCount total = 0;
+  std::vector<bool> seen(jobs_.size(), false);
+  for (const JobAlloc& alloc : assignment.allocs) {
+    DS_CHECK_MSG(alloc.job < jobs_.size(), "allocation to unknown job");
+    DS_CHECK_MSG(alloc.procs >= 1, "zero-processor allocation");
+    DS_CHECK_MSG(!seen[alloc.job], "duplicate allocation to job " << alloc.job);
+    seen[alloc.job] = true;
+    const JobRuntime& rt = runtimes_[alloc.job];
+    DS_CHECK_MSG(rt.arrived, "allocation to unarrived job " << alloc.job);
+    DS_CHECK_MSG(!rt.completed, "allocation to completed job " << alloc.job);
+    total += alloc.procs;
+  }
+  DS_CHECK_MSG(total <= options_.num_procs,
+               "allocation uses " << total << " > m=" << options_.num_procs);
+}
+
+std::uint64_t SlotEngine::derive_horizon() const {
+  // After the last arrival, even a scheduler that runs one node at a time
+  // finishes within total_work/speed additional slots if it schedules at
+  // all; allow a generous 8x multiplier plus padding for idling policies
+  // (e.g. the profit scheduler deliberately leaving slack slots).
+  Time last_release = 0.0;
+  Work total_work = 0.0;
+  for (const Job& job : jobs_.jobs()) {
+    last_release = std::max(last_release, job.release());
+    total_work += job.work();
+  }
+  const double slots =
+      std::ceil(last_release) + 8.0 * std::ceil(total_work / options_.speed) +
+      64.0 + 16.0 * static_cast<double>(jobs_.size());
+  return static_cast<std::uint64_t>(slots);
+}
+
+SimResult SlotEngine::run() {
+  const std::size_t n = jobs_.size();
+  SimResult result;
+  result.outcomes.resize(n);
+  if (n == 0) return result;
+
+  scheduler_.reset();
+  runtimes_.assign(n, JobRuntime{});
+  active_.clear();
+
+  ctx_.m_ = options_.num_procs;
+  ctx_.speed_ = options_.speed;
+  ctx_.clairvoyant_allowed_ = scheduler_.clairvoyant();
+  ctx_.jobs_ = &jobs_.jobs();
+  ctx_.runtimes_ = &runtimes_;
+  ctx_.active_ = &active_;
+
+  const std::uint64_t horizon =
+      options_.max_slots > 0 ? options_.max_slots : derive_horizon();
+  const double speed = options_.speed;
+
+  std::size_t next_arrival = 0;
+  std::size_t jobs_done = 0;
+
+  Assignment assignment;
+  std::vector<NodeId> picked;
+  std::vector<JobId> completed_now;
+
+  // Previous slot's execution set, for preemption accounting.
+  std::vector<std::pair<JobId, NodeId>> prev_nodes, current_nodes;
+  std::vector<JobId> prev_jobs, current_jobs;
+
+  std::uint64_t slot =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(jobs_[0].release())));
+
+  for (; jobs_done < n; ++slot) {
+    if (slot >= horizon) {
+      DS_LOG_WARN("SlotEngine horizon " << horizon << " reached with "
+                                        << (n - jobs_done)
+                                        << " jobs incomplete");
+      break;
+    }
+    const Time now = static_cast<Time>(slot);
+    ctx_.now_ = now;
+
+    // (1) Arrivals whose release has passed by the start of this slot.
+    while (next_arrival < n &&
+           approx_le(jobs_[next_arrival].release(), now)) {
+      const JobId id = static_cast<JobId>(next_arrival++);
+      JobRuntime& rt = runtimes_[id];
+      rt.arrived = true;
+      rt.unfolding.emplace(jobs_[id].dag());
+      active_.push_back(id);
+      scheduler_.on_arrival(ctx_, id);
+    }
+
+    // (2) Deadline expiries: a job finishing in this slot completes at
+    // slot+1, so once slot+1 > d the deadline has passed.
+    for (const JobId id : active_) {
+      JobRuntime& rt = runtimes_[id];
+      if (rt.deadline_notified || rt.completed) continue;
+      const Job& job = jobs_[id];
+      if (job.has_deadline() &&
+          approx_gt(now + 1.0, job.absolute_deadline())) {
+        rt.deadline_notified = true;
+        scheduler_.on_deadline(ctx_, id);
+      }
+    }
+
+    // (3) Decide and validate.
+    assignment.clear();
+    scheduler_.decide(ctx_, assignment);
+    ++result.decisions;
+    validate_assignment(assignment);
+    if (options_.observer) options_.observer(ctx_, assignment);
+
+    // (4) Execute the slot.
+    completed_now.clear();
+    current_nodes.clear();
+    current_jobs.clear();
+    ProcCount proc_cursor = 0;
+    for (const JobAlloc& alloc : assignment.allocs) {
+      JobRuntime& rt = runtimes_[alloc.job];
+      selector_.select(jobs_[alloc.job].dag(), *rt.unfolding, alloc.procs,
+                       picked);
+      if (!picked.empty()) current_jobs.push_back(alloc.job);
+      Time job_finish = 0.0;
+      for (const NodeId node : picked) {
+        current_nodes.emplace_back(alloc.job, node);
+        const Work remaining = rt.unfolding->remaining_work(node);
+        const Work amount = std::min(speed, remaining);
+        rt.unfolding->advance(node, amount);
+        rt.executed += amount;
+        rt.first_start = std::min(rt.first_start, now);
+        const double duration = amount / speed;
+        result.busy_proc_time += duration;
+        if (options_.record_trace) {
+          result.trace.add(now, now + duration, alloc.job, node, proc_cursor);
+        }
+        ++proc_cursor;
+        job_finish = std::max(job_finish, now + duration);
+      }
+      if (!rt.completed && rt.unfolding->complete()) {
+        rt.completed = true;
+        rt.completion_time = job_finish;
+        completed_now.push_back(alloc.job);
+      }
+    }
+
+    // (4b) Preemption accounting: ran last slot, unfinished, idle now.
+    std::sort(current_nodes.begin(), current_nodes.end());
+    std::sort(current_jobs.begin(), current_jobs.end());
+    for (const auto& [job, node] : prev_nodes) {
+      const JobRuntime& rt = runtimes_[job];
+      if (rt.completed || rt.unfolding->is_done(node)) continue;
+      if (!std::binary_search(current_nodes.begin(), current_nodes.end(),
+                              std::make_pair(job, node))) {
+        ++result.node_preemptions;
+      }
+    }
+    for (const JobId job : prev_jobs) {
+      if (runtimes_[job].completed) continue;
+      if (!std::binary_search(current_jobs.begin(), current_jobs.end(),
+                              job)) {
+        ++result.job_preemptions;
+      }
+    }
+    prev_nodes = current_nodes;
+    prev_jobs = current_jobs;
+
+    // (5) Completion notifications at the end of the slot.
+    if (!completed_now.empty()) {
+      ctx_.now_ = now + 1.0;
+      for (const JobId id : completed_now) std::erase(active_, id);
+      for (const JobId id : completed_now) {
+        scheduler_.on_completion(ctx_, id);
+        ++jobs_done;
+      }
+    }
+    result.end_time = now + 1.0;
+
+    // (6) Idle skip / quiescence: if nothing ran and nothing completed, jump
+    // to the next slot at which anything can change.  A job arriving at
+    // release r first becomes schedulable in slot ceil(r).
+    if (assignment.allocs.empty() && completed_now.empty()) {
+      Time next_t = kTimeInfinity;
+      if (next_arrival < n) {
+        next_t = std::min(next_t, std::ceil(jobs_[next_arrival].release()));
+      }
+      next_t = std::min(next_t,
+                        std::floor(scheduler_.next_wakeup(ctx_)));
+      if (!(next_t < kTimeInfinity)) break;  // nothing will ever change
+      const auto target = static_cast<std::uint64_t>(std::max(0.0, next_t));
+      slot = std::max(slot + 1, target) - 1;  // ++slot lands on the target
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRuntime& rt = runtimes_[i];
+    JobOutcome& out = result.outcomes[i];
+    out.completed = rt.completed;
+    out.completion_time = rt.completion_time;
+    out.executed = rt.executed;
+    out.first_start = rt.first_start;
+    if (rt.completed) {
+      out.profit =
+          jobs_[i].profit().at(rt.completion_time - jobs_[i].release());
+      result.total_profit += out.profit;
+      ++result.jobs_completed;
+    }
+  }
+  return result;
+}
+
+}  // namespace dagsched

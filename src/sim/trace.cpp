@@ -1,0 +1,115 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+std::string Trace::validate(const JobSet& jobs, ProcCount m,
+                            double speed) const {
+  std::ostringstream err;
+
+  // --- Per-processor non-overlap and processor-range check.
+  std::vector<TraceInterval> by_proc = intervals_;
+  std::sort(by_proc.begin(), by_proc.end(),
+            [](const TraceInterval& a, const TraceInterval& b) {
+              if (a.proc != b.proc) return a.proc < b.proc;
+              return a.start < b.start;
+            });
+  for (std::size_t i = 0; i < by_proc.size(); ++i) {
+    const TraceInterval& iv = by_proc[i];
+    if (iv.proc >= m) {
+      err << "interval uses processor " << iv.proc << " >= m=" << m;
+      return err.str();
+    }
+    if (!approx_le(iv.start, iv.end)) {
+      err << "interval with start " << iv.start << " > end " << iv.end;
+      return err.str();
+    }
+    if (i > 0 && by_proc[i - 1].proc == iv.proc &&
+        approx_gt(by_proc[i - 1].end, iv.start)) {
+      err << "processor " << iv.proc << " overlap: [" << by_proc[i - 1].start
+          << "," << by_proc[i - 1].end << ") vs [" << iv.start << ","
+          << iv.end << ")";
+      return err.str();
+    }
+  }
+
+  // --- Per-node accounting: executed work, first start, completion time.
+  struct NodeAccount {
+    Work executed = 0.0;
+    Time first_start = kTimeInfinity;
+    Time last_end = 0.0;
+  };
+  std::map<std::pair<JobId, NodeId>, NodeAccount> accounts;
+  for (const TraceInterval& iv : intervals_) {
+    if (iv.job >= jobs.size()) {
+      err << "interval for unknown job " << iv.job;
+      return err.str();
+    }
+    const Job& job = jobs[iv.job];
+    if (iv.node >= job.dag().num_nodes()) {
+      err << "job " << iv.job << " has no node " << iv.node;
+      return err.str();
+    }
+    if (approx_lt(iv.start, job.release())) {
+      err << "job " << iv.job << " ran at " << iv.start
+          << " before release " << job.release();
+      return err.str();
+    }
+    auto& acct = accounts[{iv.job, iv.node}];
+    acct.executed += (iv.end - iv.start) * speed;
+    acct.first_start = std::min(acct.first_start, iv.start);
+    acct.last_end = std::max(acct.last_end, iv.end);
+  }
+
+  // A tolerance scaled to interval counts: each interval contributes
+  // floating error when the engine slices executions.
+  const double tol = 1e-6 * (1.0 + static_cast<double>(intervals_.size()));
+
+  for (const auto& [key, acct] : accounts) {
+    const auto& [job_id, node] = key;
+    const Work need = jobs[job_id].dag().node_work(node);
+    if (acct.executed > need + tol) {
+      err << "job " << job_id << " node " << node << " executed "
+          << acct.executed << " > work " << need;
+      return err.str();
+    }
+  }
+
+  // --- Precedence: a node's first start must be >= every predecessor's
+  // completion, and a predecessor that ran must have completed fully if its
+  // successor ran at all.
+  for (const auto& [key, acct] : accounts) {
+    const auto& [job_id, node] = key;
+    const Dag& dag = jobs[job_id].dag();
+    for (NodeId pred : dag.predecessors(node)) {
+      const auto it = accounts.find({job_id, pred});
+      if (it == accounts.end()) {
+        err << "job " << job_id << " node " << node
+            << " ran but predecessor " << pred << " never ran";
+        return err.str();
+      }
+      const NodeAccount& pacct = it->second;
+      if (pacct.executed + tol < dag.node_work(pred)) {
+        err << "job " << job_id << " node " << node
+            << " ran but predecessor " << pred << " incomplete ("
+            << pacct.executed << " / " << dag.node_work(pred) << ")";
+        return err.str();
+      }
+      if (approx_lt(acct.first_start, pacct.last_end)) {
+        err << "job " << job_id << " node " << node << " started at "
+            << acct.first_start << " before predecessor " << pred
+            << " finished at " << pacct.last_end;
+        return err.str();
+      }
+    }
+  }
+
+  return {};
+}
+
+}  // namespace dagsched

@@ -1,0 +1,79 @@
+// JobView: the semi-non-clairvoyant window onto a job.
+//
+// Exposes exactly what the paper allows such a scheduler to know: W_i, L_i,
+// r_i, the profit function (deadline/profit), the number of currently-ready
+// nodes, and progress the scheduler could have tracked itself (executed
+// work, completion).  It does NOT expose the DAG structure or node
+// identities; those are reachable only through EngineContext's clairvoyant
+// accessors, which are gated on SchedulerBase::clairvoyant().
+#pragma once
+
+#include "job/job.h"
+#include "sim/runtime.h"
+#include "util/check.h"
+#include "util/float_cmp.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class JobView {
+ public:
+  JobView(const Job* job, const JobRuntime* runtime, JobId id)
+      : job_(job), runtime_(runtime), id_(id) {}
+
+  JobId id() const { return id_; }
+  Time release() const { return job_->release(); }
+  Work work() const { return job_->work(); }
+  Work span() const { return job_->span(); }
+  const ProfitFn& profit() const { return job_->profit(); }
+
+  bool has_deadline() const { return job_->has_deadline(); }
+  Time relative_deadline() const { return job_->relative_deadline(); }
+  Time absolute_deadline() const { return job_->absolute_deadline(); }
+  Profit peak_profit() const { return job_->peak_profit(); }
+
+  Work min_execution_time(ProcCount m) const {
+    return job_->min_execution_time(m);
+  }
+  Work greedy_execution_time(ProcCount m) const {
+    return job_->greedy_execution_time(m);
+  }
+
+  bool arrived() const { return runtime_->arrived; }
+  bool completed() const { return runtime_->completed; }
+  Time completion_time() const { return runtime_->completion_time; }
+  Work executed_work() const { return runtime_->executed; }
+
+  /// Number of ready nodes right now (0 before arrival / after completion).
+  std::size_t ready_count() const {
+    if (!runtime_->unfolding || runtime_->completed) return 0;
+    return runtime_->unfolding->ready_count();
+  }
+
+  Work remaining_work() const {
+    if (!runtime_->unfolding) return job_->work();
+    return runtime_->unfolding->total_remaining_work();
+  }
+
+  /// For step-profit jobs: true once `now` is past the absolute deadline
+  /// (completing the job no longer earns profit).
+  bool deadline_expired(Time now) const {
+    return has_deadline() && approx_gt(now, absolute_deadline());
+  }
+
+  /// True when the job can no longer earn its profit: at now >= d any
+  /// remaining work pushes completion strictly past the deadline.  This is
+  /// the predicate schedulers should use to *stop spending capacity* on a
+  /// job (deadline_expired(d) is still false exactly at t == d).
+  bool deadline_unreachable(Time now) const {
+    return has_deadline() && !completed() &&
+           approx_ge(now, absolute_deadline());
+  }
+
+ private:
+  const Job* job_;
+  const JobRuntime* runtime_;
+  JobId id_;
+};
+
+}  // namespace dagsched

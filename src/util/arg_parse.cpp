@@ -1,0 +1,90 @@
+#include "util/arg_parse.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dagsched {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare flag
+    }
+    if (name.empty()) throw std::invalid_argument("empty flag name");
+    values_[name] = value;
+    consumed_[name] = false;
+  }
+}
+
+std::optional<std::string> ArgParser::take(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& default_value) {
+  return take(name).value_or(default_value);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t default_value) {
+  const auto raw = take(name);
+  if (!raw) return default_value;
+  std::int64_t value = 0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("--" + name + ": not an integer: " + *raw);
+  }
+  return value;
+}
+
+double ArgParser::get_double(const std::string& name, double default_value) {
+  const auto raw = take(name);
+  if (!raw) return default_value;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(*raw, &used);
+    if (used != raw->size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": not a number: " + *raw);
+  }
+}
+
+bool ArgParser::get_flag(const std::string& name) {
+  const auto raw = take(name);
+  if (!raw) return false;
+  if (*raw == "true" || *raw == "1") return true;
+  if (*raw == "false" || *raw == "0") return false;
+  throw std::invalid_argument("--" + name + ": not a boolean: " + *raw);
+}
+
+void ArgParser::finish() const {
+  std::string unknown;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) unknown += (unknown.empty() ? "--" : ", --") + name;
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown flag(s): " + unknown);
+  }
+}
+
+}  // namespace dagsched

@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+//   ArgParser args(argc, argv);
+//   const int m = args.get_int("m", 8);              // --m 16  or --m=16
+//   const double load = args.get_double("load", 1.0);
+//   const bool csv = args.get_flag("csv");           // --csv
+//   args.finish();  // aborts on unknown/unconsumed flags (typo guard)
+//
+// Only long options (--name) are supported; values may be attached with
+// '=' or follow as the next argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dagsched {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Typed getters with defaults; throw std::invalid_argument on malformed
+  /// values.  Each call marks the flag as consumed.
+  std::string get_string(const std::string& name,
+                         const std::string& default_value);
+  std::int64_t get_int(const std::string& name, std::int64_t default_value);
+  double get_double(const std::string& name, double default_value);
+  /// Presence flag: true if --name was given (with no value or "true"/"1").
+  bool get_flag(const std::string& name);
+
+  /// Positional (non --flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Verifies every provided flag was consumed; throws
+  /// std::invalid_argument listing unknown flags otherwise.
+  void finish() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> take(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,41 @@
+// Lightweight always-on invariant checking.
+//
+// DS_CHECK is used for programmer errors and simulator invariants; violations
+// abort with a message.  It stays enabled in release builds: the simulator's
+// correctness claims (work conservation, precedence safety) are part of the
+// library's contract and benchmarks must not silently run a broken engine.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dagsched::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::cerr << "DS_CHECK failed: " << expr << "\n  at " << file << ":" << line;
+  if (!msg.empty()) std::cerr << "\n  " << msg;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace dagsched::detail
+
+#define DS_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::dagsched::detail::check_failed(#cond, __FILE__, __LINE__, "");      \
+    }                                                                       \
+  } while (0)
+
+#define DS_CHECK_MSG(cond, ...)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ds_check_oss;                                      \
+      ds_check_oss << __VA_ARGS__;                                          \
+      ::dagsched::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                       ds_check_oss.str());                 \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  DS_CHECK_MSG(!header.empty(), "CSV header must be non-empty");
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  DS_CHECK_MSG(cells.size() == columns_,
+               "CSV row arity " << cells.size() << " != header " << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  DS_CHECK(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::cell(long long v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  DS_CHECK(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  const bool needs_quote =
+      raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return raw;
+  std::string quoted = "\"";
+  for (char ch : raw) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,40 @@
+// Minimal CSV writer for experiment output.
+//
+// Values are quoted only when needed (comma, quote, newline); numeric cells
+// are written with enough precision to round-trip doubles.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dagsched {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits `header` as the first row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one data row; must have the same arity as the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles/ints into cells.
+  static std::string cell(double v);
+  static std::string cell(long long v);
+  static std::string cell(std::string_view s) { return std::string(s); }
+
+  std::size_t columns() const { return columns_; }
+
+ private:
+  static std::string escape(const std::string& raw);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,54 @@
+// Tolerant floating-point comparisons for simulation time/work arithmetic.
+//
+// The event engine accumulates work as `remaining -= rate * dt`; tiny
+// residues (~1e-12) must be treated as zero or completion events never fire.
+// All engine and scheduler comparisons of times/works go through this header
+// so that the tolerance lives in exactly one place.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace dagsched {
+
+/// Absolute tolerance used to snap nearly-equal times/works together.
+inline constexpr double kEps = 1e-9;
+
+/// True if a and b are equal within tolerance (absolute + relative).
+inline bool approx_eq(double a, double b, double eps = kEps) {
+  const double diff = std::fabs(a - b);
+  if (diff <= eps) return true;
+  return diff <= eps * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// True if a < b and not approx_eq(a, b).
+inline bool approx_lt(double a, double b, double eps = kEps) {
+  return a < b && !approx_eq(a, b, eps);
+}
+
+/// True if a > b and not approx_eq(a, b).
+inline bool approx_gt(double a, double b, double eps = kEps) {
+  return a > b && !approx_eq(a, b, eps);
+}
+
+/// True if a <= b or approx_eq(a, b).
+inline bool approx_le(double a, double b, double eps = kEps) {
+  return a < b || approx_eq(a, b, eps);
+}
+
+/// True if a >= b or approx_eq(a, b).
+inline bool approx_ge(double a, double b, double eps = kEps) {
+  return a > b || approx_eq(a, b, eps);
+}
+
+/// True if x is within tolerance of zero.
+inline bool approx_zero(double x, double eps = kEps) {
+  return std::fabs(x) <= eps;
+}
+
+/// Clamp tiny negative residues (from floating subtraction) to exactly zero.
+inline double snap_nonnegative(double x, double eps = kEps) {
+  return (x < 0.0 && x > -eps) ? 0.0 : x;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,35 @@
+// Tiny severity-filtered logger. Default level is kWarn so simulations stay
+// quiet; benches raise to kInfo for progress lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dagsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+#define DS_LOG(level, ...)                                             \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::dagsched::log_level())) {                   \
+      std::ostringstream ds_log_oss;                                   \
+      ds_log_oss << __VA_ARGS__;                                       \
+      ::dagsched::detail::log_emit(level, ds_log_oss.str());           \
+    }                                                                  \
+  } while (0)
+
+#define DS_LOG_DEBUG(...) DS_LOG(::dagsched::LogLevel::kDebug, __VA_ARGS__)
+#define DS_LOG_INFO(...) DS_LOG(::dagsched::LogLevel::kInfo, __VA_ARGS__)
+#define DS_LOG_WARN(...) DS_LOG(::dagsched::LogLevel::kWarn, __VA_ARGS__)
+#define DS_LOG_ERROR(...) DS_LOG(::dagsched::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dagsched

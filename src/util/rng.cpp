@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 never
+  // produces four zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  std::uint64_t mix = seed_;
+  (void)splitmix64(mix);
+  mix ^= 0xA3EC647659359ACDULL * (index + 1);
+  return Rng(splitmix64(mix));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  DS_CHECK_MSG(lo <= hi, "uniform(" << lo << "," << hi << ")");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DS_CHECK_MSG(lo <= hi, "uniform_int(" << lo << "," << hi << ")");
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 for full range
+  if (range == 0) return static_cast<std::int64_t>((*this)());
+  // Rejection sampling for unbiased results.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % range;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::exponential(double rate) {
+  DS_CHECK_MSG(rate > 0.0, "exponential rate=" << rate);
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::pareto(double scale, double shape) {
+  DS_CHECK_MSG(scale > 0.0 && shape > 0.0,
+               "pareto scale=" << scale << " shape=" << shape);
+  return scale / std::pow(1.0 - uniform01(), 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; one sample per call keeps the generator stateless w.r.t.
+  // distribution choice (simpler reproducibility story than caching pairs).
+  const double u1 = 1.0 - uniform01();  // (0, 1]
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    DS_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  DS_CHECK_MSG(total > 0.0, "weighted_index: all weights zero");
+  double draw = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating round-off fell past the end
+}
+
+}  // namespace dagsched

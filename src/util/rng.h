@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded via splitmix64 rather
+// than using std::mt19937 so that (a) streams are cheap to split per-trial in
+// parallel sweeps, and (b) sequences are reproducible across standard library
+// implementations -- distribution results from libstdc++/libc++ differ, so we
+// also implement the distributions we need ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dagsched {
+
+/// splitmix64 step; used for seeding and for hashing seeds into streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Derive an independent stream for sub-experiment `index`.
+  /// Equivalent to hashing (original seed, index); streams do not overlap in
+  /// practice because each reseed decorrelates the full 256-bit state.
+  Rng split(std::uint64_t index) const;
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with rate lambda (mean 1/lambda). Requires lambda > 0.
+  double exponential(double rate);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed work sizes).
+  double pareto(double scale, double shape);
+
+  /// Log-normal via Box-Muller: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace dagsched

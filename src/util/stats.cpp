@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  DS_CHECK_MSG(n_ > 0, "min() of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  DS_CHECK_MSG(n_ > 0, "max() of empty RunningStats");
+  return max_;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : samples_) total += x;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mu = mean();
+  double m2 = 0.0;
+  for (double x : samples_) m2 += (x - mu) * (x - mu);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  DS_CHECK_MSG(!samples_.empty(), "quantile of empty SampleSet");
+  DS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q=" << q);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,54 @@
+// Streaming statistics accumulators for experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dagsched {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact quantiles. Use for per-trial metrics
+/// where sample counts are modest (<= millions).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  /// Linear-interpolated quantile, q in [0, 1]. Requires non-empty set.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  std::vector<double> samples_;
+  void ensure_sorted() const;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace dagsched {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DS_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DS_CHECK_MSG(cells.size() == header_.size(),
+               "row arity " << cells.size() << " != header " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int digits) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string TextTable::num(long long v) { return std::to_string(v); }
+
+void TextTable::write_csv(const std::string& path) const {
+  CsvWriter csv(path, header_);
+  for (const auto& row : rows_) csv.row(row);
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  for (std::size_t i = 0; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace dagsched

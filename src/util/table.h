@@ -1,0 +1,37 @@
+// Aligned plain-text table printer used by benches to emit paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dagsched {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+///   TextTable t({"m", "speed", "ratio"});
+///   t.add_row({"4", "1.0", "2.31"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` significant digits.
+  static std::string num(double v, int digits = 4);
+  static std::string num(long long v);
+
+  void print(std::ostream& os) const;
+
+  /// Writes header + rows as CSV (for downstream plotting).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dagsched

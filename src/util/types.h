@@ -1,0 +1,42 @@
+// Core scalar types shared across the library.
+//
+// Time and work are continuous quantities (the paper's "time steps" are unit
+// intervals; the event engine generalizes to real-valued time).  Identifiers
+// are strongly typed to prevent mixing job and node indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dagsched {
+
+/// Simulation time, in abstract time units.
+using Time = double;
+
+/// Amount of computation, in abstract work units (1 processor * 1 time unit
+/// at speed 1 completes 1 work unit).
+using Work = double;
+
+/// Profit (a.k.a. weight) of a job.
+using Profit = double;
+
+/// Job density as defined by the paper: v_i = p_i / (x_i * n_i).
+using Density = double;
+
+/// Index of a job within a JobSet.
+using JobId = std::uint32_t;
+
+/// Index of a node within one job's DAG.
+using NodeId = std::uint32_t;
+
+/// Number of processors.
+using ProcCount = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// A time so far in the future it never occurs in a simulation.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+}  // namespace dagsched

@@ -1,0 +1,54 @@
+// Deterministic adversarial instances.
+//
+// Random workloads are benign: almost any density-ordered policy does fine
+// on them (bench_ablation_admission's first table shows exactly that).  The
+// instances here realize the failure modes the paper's analysis guards
+// against, and are used by the ablation benches and tests to show *why* the
+// algorithm is built the way it is.
+#pragma once
+
+#include "job/job.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+/// The "preemption trap" against density-greedy scheduling without
+/// admission control (condition (2)).
+///
+/// `waves` parallel-block jobs arrive every x/2 time units, each requiring
+/// n ~ 3m/4 processors (so two cannot run together) with strictly
+/// increasing density (profit grows by `density_growth` per wave) and
+/// deadline exactly (1+eps)((W-L)/m + L).
+///
+///  * Without admission control, every wave is preempted halfway by the
+///    next (denser) wave and misses its deadline: only the last wave's
+///    profit is earned.
+///  * With condition (2), wave k+1 is rejected while wave k runs (their
+///    shared density window would exceed b*m), so alternating waves run to
+///    completion: ~waves/2 jobs complete.
+///
+/// Profits are chosen within a factor c of each other so all waves share
+/// density windows.  Requires m >= 4, waves >= 2.
+JobSet make_preemption_trap(ProcCount m, double eps, std::size_t waves,
+                            double density_growth = 0.02);
+
+/// A "clogger" DAG: half its work is a single chain, so S must park n_i
+/// processors for the whole span with most of them idle -- x_i n_i is a
+/// multiple of W_i.  Sized so W = 3m, L = 3m/2.
+Dag make_clogger_dag(ProcCount m);
+
+/// A flat DAG with the same total work as make_clogger_dag(m) but span 1:
+/// x_i n_i ~ W_i.
+Dag make_flat_dag(ProcCount m);
+
+/// Homogeneous overload stream: `count` copies of `dag` with profit
+/// `profit_per_work * W`, deadlines at (1+eps) slack, arriving every
+/// `interval`.  Used by E9 to show that the paper's density p/(x n)
+/// predicts the realized profit rate of a stream while the classic p/W
+/// does not (clogger and flat streams have identical p/W but differ by
+/// ~x n / W in achievable profit).
+JobSet make_overload_stream(std::shared_ptr<const Dag> dag, ProcCount m,
+                            double eps, std::size_t count,
+                            double profit_per_work, Time interval);
+
+}  // namespace dagsched

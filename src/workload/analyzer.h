@@ -1,0 +1,39 @@
+// Instance analysis: the structural quantities the paper's guarantees and
+// lower bounds depend on, computed for a concrete JobSet.  Used by the CLI
+// `inspect` summary and by experiments to characterize what they generated.
+#pragma once
+
+#include <iosfwd>
+
+#include "job/job.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct InstanceProfile {
+  std::size_t jobs = 0;
+  /// Offered load sum W / (m * span of release window + drain time).
+  double offered_load = 0.0;
+  /// Per-job parallelism W/L ("how parallel are the programs").
+  SampleSet parallelism;
+  /// Per-job deadline slack D / ((W-L)/m + L) -- Theorem 2's knob; values
+  /// below 1+eps violate its assumption.
+  SampleSet slack;
+  /// Classic density p/W spread: max/min ratio (the delta of the
+  /// no-augmentation lower bounds).
+  double density_spread = 1.0;
+  /// Fraction of jobs that are sequential (W == L), i.e. the subclass with
+  /// exactly computable OPT (opt/exact.h).
+  double sequential_fraction = 0.0;
+  /// Fraction of jobs clairvoyantly feasible (max(L, W/m) <= D).
+  double feasible_fraction = 0.0;
+};
+
+/// Analyzes `jobs` as an instance for an m-processor machine.
+InstanceProfile analyze_instance(const JobSet& jobs, ProcCount m);
+
+/// Human-readable multi-line summary.
+void print_profile(std::ostream& os, const InstanceProfile& profile);
+
+}  // namespace dagsched

@@ -1,0 +1,70 @@
+#include "workload/scenarios.h"
+
+namespace dagsched {
+
+namespace {
+
+WorkloadConfig base_config(double load, ProcCount m) {
+  WorkloadConfig config;
+  config.m = m;
+  config.target_load = load;
+  config.horizon = 600.0;
+  config.family = DagFamily::kMixed;
+  config.profit.magnitude = ProfitPolicy::Magnitude::kProportionalWork;
+  config.profit.lo = 0.5;
+  config.profit.hi = 2.0;
+  return config;
+}
+
+}  // namespace
+
+WorkloadConfig scenario_thm2(double eps, double load, ProcCount m) {
+  WorkloadConfig config = base_config(load, m);
+  config.deadline.kind = DeadlinePolicy::Kind::kProportionalSlack;
+  config.deadline.eps = eps;
+  return config;
+}
+
+WorkloadConfig scenario_tight(double load, ProcCount m) {
+  WorkloadConfig config = base_config(load, m);
+  config.deadline.kind = DeadlinePolicy::Kind::kTight;
+  config.deadline.tight_margin = 1e-3;
+  return config;
+}
+
+WorkloadConfig scenario_reasonable(double load, ProcCount m) {
+  WorkloadConfig config = base_config(load, m);
+  config.deadline.kind = DeadlinePolicy::Kind::kReasonable;
+  config.deadline.extra = 1.0;
+  return config;
+}
+
+WorkloadConfig scenario_profit(double eps, double load, ProcCount m,
+                               ProfitPolicy::Shape shape) {
+  WorkloadConfig config = base_config(load, m);
+  config.deadline.kind = DeadlinePolicy::Kind::kProportionalSlack;
+  config.deadline.eps = eps;
+  config.profit.shape = shape;
+  config.profit.decay = 1.0;
+  config.integral_releases = true;
+  // The paper's time-step model has unit-work nodes: fractional node sizes
+  // would waste slot capacity the x_i budget does not account for.
+  config.node_work = WorkDist::constant(1.0);
+  // Keep jobs big enough that slot quantization is mild relative to x*.
+  config.size_scale = 1.5;
+  return config;
+}
+
+WorkloadConfig scenario_shootout(double load, ProcCount m, double slack_lo,
+                                 double slack_hi) {
+  WorkloadConfig config = base_config(load, m);
+  config.deadline.kind = DeadlinePolicy::Kind::kUniformSlack;
+  config.deadline.eps_lo = slack_lo;
+  config.deadline.eps_hi = slack_hi;
+  config.profit.magnitude = ProfitPolicy::Magnitude::kPareto;
+  config.profit.lo = 1.0;   // scale
+  config.profit.hi = 1.5;   // shape (heavy tail)
+  return config;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,140 @@
+#include "workload/trace_import.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "dag/builder.h"
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace CSV error at line " + std::to_string(line) +
+                           ": " + what);
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) {
+    // Trim spaces and CR.
+    const auto first = cell.find_first_not_of(" \t\r");
+    const auto last = cell.find_last_not_of(" \t\r");
+    cells.push_back(first == std::string::npos
+                        ? std::string{}
+                        : cell.substr(first, last - first + 1));
+  }
+  return cells;
+}
+
+double parse_number(const std::string& cell, std::size_t line,
+                    const char* what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(cell, &used);
+    if (used != cell.size()) fail(line, std::string("trailing junk in ") + what);
+    return value;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, std::string("bad ") + what + " '" + cell + "'");
+  }
+}
+
+/// A Figure-1-style DAG with total work ~W and span ~L (exact up to node
+/// rounding): a chain realizing the span beside an independent block.
+std::shared_ptr<const Dag> synthesize_dag(Work work, Work span,
+                                          double granularity) {
+  const auto chain_nodes =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(span / granularity)));
+  const double node = span / static_cast<double>(chain_nodes);
+  DagBuilder b;
+  b.add_chain(chain_nodes, node);
+  Work remaining = work - span;
+  while (remaining > 1e-9) {
+    const Work chunk = std::min(remaining, node);
+    b.add_node(chunk);
+    remaining -= chunk;
+  }
+  return std::make_shared<const Dag>(std::move(b).build());
+}
+
+}  // namespace
+
+JobSet import_trace_csv(std::istream& is, const TraceImportOptions& options) {
+  DS_CHECK(options.granularity > 0.0);
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header.
+  if (!std::getline(is, line)) fail(lineno, "empty input");
+  ++lineno;
+  {
+    const auto header = split_csv(line);
+    const std::vector<std::string> expected = {"release", "work", "span",
+                                               "deadline", "profit"};
+    if (header != expected) {
+      fail(lineno,
+           "bad header (expected 'release,work,span,deadline,profit')");
+    }
+  }
+
+  JobSet jobs;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line[0] == '#') continue;
+    const auto cells = split_csv(line);
+    if (cells.size() != 5) fail(lineno, "expected 5 fields");
+    const double release = parse_number(cells[0], lineno, "release");
+    const double work = parse_number(cells[1], lineno, "work");
+    const double span = parse_number(cells[2], lineno, "span");
+    const double deadline = parse_number(cells[3], lineno, "deadline");
+    const double profit = parse_number(cells[4], lineno, "profit");
+    if (release < 0.0) fail(lineno, "negative release");
+    if (!(work > 0.0) || !(span > 0.0)) fail(lineno, "non-positive size");
+    if (span > work + 1e-9) fail(lineno, "span exceeds work");
+    if (!(deadline > 0.0) || !(profit > 0.0)) {
+      fail(lineno, "non-positive deadline/profit");
+    }
+    jobs.add(Job::with_deadline(
+        synthesize_dag(work, span, options.granularity), release, deadline,
+        profit));
+  }
+  jobs.finalize();
+  return jobs;
+}
+
+JobSet load_trace_csv(const std::string& path,
+                      const TraceImportOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return import_trace_csv(in, options);
+}
+
+void export_trace_csv(std::ostream& os, const JobSet& jobs) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "release,work,span,deadline,profit\n";
+  for (const Job& job : jobs.jobs()) {
+    os << job.release() << ',' << job.work() << ',' << job.span() << ','
+       << job.profit().plateau_end() << ',' << job.peak_profit() << '\n';
+  }
+}
+
+void save_trace_csv(const std::string& path, const JobSet& jobs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  export_trace_csv(out, jobs);
+}
+
+}  // namespace dagsched

@@ -1,0 +1,235 @@
+#include "workload/workload_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "dag/builder.h"
+
+namespace dagsched {
+
+namespace {
+
+constexpr const char* kMagic = "dagsched-workload";
+constexpr int kVersion = 1;
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("workload parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+/// Reads the next non-empty, non-comment line; returns false at EOF.
+bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+void write_profit(std::ostream& os, const ProfitFn& fn) {
+  os << "profit ";
+  if (fn.is_step()) {
+    os << "step " << fn.peak() << ' ' << fn.deadline() << '\n';
+  } else if (fn.support_end() == kTimeInfinity) {
+    // Recover the exponential rate from one sample past the plateau.
+    const Time probe = fn.plateau_end() + 1.0;
+    const double rate = -std::log(fn.at(probe) / fn.peak());
+    os << "plateau_exp " << fn.peak() << ' ' << fn.plateau_end() << ' '
+       << rate << '\n';
+  } else {
+    // Distinguish linear from piecewise by sampling the midpoint.
+    const Time mid = 0.5 * (fn.plateau_end() + fn.support_end());
+    const double linear_value = fn.peak() * (fn.support_end() - mid) /
+                                (fn.support_end() - fn.plateau_end());
+    if (std::abs(fn.at(mid) - linear_value) < 1e-9 * fn.peak()) {
+      os << "plateau_linear " << fn.peak() << ' ' << fn.plateau_end() << ' '
+         << fn.support_end() << '\n';
+    } else {
+      // Piecewise staircase: enumerate the level changes by probing just
+      // after each breakpoint is not possible generically -- instead, the
+      // writer is only ever given ProfitFn values this library built, and
+      // piecewise is the only remaining case; sample densely to recover
+      // levels (exact because the staircase is right-continuous at its
+      // breakpoints and breakpoints are the stored times).
+      os << "piecewise";
+      // Binary-search each level end over a dense grid.
+      std::vector<std::pair<Time, Profit>> levels;
+      Time t = 0.0;
+      while (t < fn.support_end() + 1e-9) {
+        const Profit value = fn.at(t);
+        if (value <= 0.0) break;
+        // Find the largest end with the same value.
+        Time lo = t, hi = fn.support_end();
+        while (hi - lo > 1e-9) {
+          const Time mid2 = 0.5 * (lo + hi);
+          if (std::abs(fn.at(mid2) - value) < 1e-12) {
+            lo = mid2;
+          } else {
+            hi = mid2;
+          }
+        }
+        levels.emplace_back(hi, value);
+        t = hi + 1e-6;
+      }
+      os << ' ' << levels.size();
+      for (const auto& [end, value] : levels) os << ' ' << end << ' ' << value;
+      os << '\n';
+    }
+  }
+}
+
+ProfitFn read_profit(const std::string& line, std::size_t lineno) {
+  std::istringstream in(line);
+  std::string keyword, kind;
+  in >> keyword >> kind;
+  if (keyword != "profit") fail(lineno, "expected 'profit', got " + keyword);
+  if (kind == "step") {
+    double p = 0, d = 0;
+    if (!(in >> p >> d)) fail(lineno, "bad step profit");
+    return ProfitFn::step(p, d);
+  }
+  if (kind == "plateau_linear") {
+    double p = 0, plateau = 0, zero = 0;
+    if (!(in >> p >> plateau >> zero)) fail(lineno, "bad plateau_linear");
+    return ProfitFn::plateau_linear(p, plateau, zero);
+  }
+  if (kind == "plateau_exp") {
+    double p = 0, plateau = 0, rate = 0;
+    if (!(in >> p >> plateau >> rate)) fail(lineno, "bad plateau_exp");
+    return ProfitFn::plateau_exponential(p, plateau, rate);
+  }
+  if (kind == "piecewise") {
+    std::size_t count = 0;
+    if (!(in >> count) || count == 0) fail(lineno, "bad piecewise count");
+    std::vector<std::pair<Time, Profit>> levels(count);
+    for (auto& [t, p] : levels) {
+      if (!(in >> t >> p)) fail(lineno, "bad piecewise level");
+    }
+    return ProfitFn::piecewise(std::move(levels));
+  }
+  fail(lineno, "unknown profit kind " + kind);
+}
+
+}  // namespace
+
+void write_workload(std::ostream& os, const JobSet& jobs) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "# " << jobs.size() << " jobs\n";
+  for (const Job& job : jobs.jobs()) {
+    os << "job " << job.release() << '\n';
+    write_profit(os, job.profit());
+    const Dag& dag = job.dag();
+    os << "nodes " << dag.num_nodes() << '\n';
+    for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+      os << (v == 0 ? "" : " ") << dag.node_work(v);
+    }
+    os << '\n';
+    os << "edges " << dag.num_edges() << '\n';
+    for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+      for (const NodeId succ : dag.successors(v)) {
+        os << v << ' ' << succ << '\n';
+      }
+    }
+    os << "end\n";
+  }
+}
+
+JobSet read_workload(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  if (!next_line(is, line, lineno)) fail(lineno, "empty input");
+  {
+    std::istringstream in(line);
+    std::string magic;
+    int version = 0;
+    if (!(in >> magic >> version) || magic != kMagic) {
+      fail(lineno, "bad header");
+    }
+    if (version != kVersion) {
+      fail(lineno, "unsupported version " + std::to_string(version));
+    }
+  }
+
+  JobSet jobs;
+  while (next_line(is, line, lineno)) {
+    std::istringstream in(line);
+    std::string keyword;
+    in >> keyword;
+    if (keyword != "job") fail(lineno, "expected 'job', got " + keyword);
+    Time release = 0;
+    if (!(in >> release)) fail(lineno, "bad release");
+
+    if (!next_line(is, line, lineno)) fail(lineno, "missing profit");
+    ProfitFn profit = read_profit(line, lineno);
+
+    if (!next_line(is, line, lineno)) fail(lineno, "missing nodes");
+    std::size_t num_nodes = 0;
+    {
+      std::istringstream nodes_in(line);
+      std::string nodes_kw;
+      if (!(nodes_in >> nodes_kw >> num_nodes) || nodes_kw != "nodes" ||
+          num_nodes == 0) {
+        fail(lineno, "bad nodes line");
+      }
+    }
+    if (!next_line(is, line, lineno)) fail(lineno, "missing node works");
+    DagBuilder builder;
+    {
+      std::istringstream works_in(line);
+      for (std::size_t i = 0; i < num_nodes; ++i) {
+        double work = 0;
+        if (!(works_in >> work)) fail(lineno, "too few node works");
+        builder.add_node(work);
+      }
+    }
+
+    if (!next_line(is, line, lineno)) fail(lineno, "missing edges");
+    std::size_t num_edges = 0;
+    {
+      std::istringstream edges_in(line);
+      std::string edges_kw;
+      if (!(edges_in >> edges_kw >> num_edges) || edges_kw != "edges") {
+        fail(lineno, "bad edges line");
+      }
+    }
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      if (!next_line(is, line, lineno)) fail(lineno, "missing edge");
+      std::istringstream edge_in(line);
+      NodeId from = 0, to = 0;
+      if (!(edge_in >> from >> to)) fail(lineno, "bad edge");
+      builder.add_edge(from, to);
+    }
+
+    if (!next_line(is, line, lineno) || line.rfind("end", 0) != 0) {
+      fail(lineno, "missing 'end'");
+    }
+    jobs.add(Job(std::make_shared<const Dag>(std::move(builder).build()),
+                 release, std::move(profit)));
+  }
+  jobs.finalize();
+  return jobs;
+}
+
+void save_workload(const std::string& path, const JobSet& jobs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_workload(out, jobs);
+}
+
+JobSet load_workload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_workload(in);
+}
+
+}  // namespace dagsched

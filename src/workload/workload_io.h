@@ -1,0 +1,34 @@
+// Plain-text (de)serialization of workloads, so experiment instances can be
+// saved, diffed and shared.  Format (line-oriented, '#' comments):
+//
+//   dagsched-workload 1
+//   job <release>
+//   profit step <p> <D>
+//        | plateau_linear <p> <plateau_end> <zero_at>
+//        | plateau_exp <p> <plateau_end> <rate>
+//        | piecewise <k> <t1> <p1> ... <tk> <pk>
+//   nodes <n>
+//   <w0> <w1> ... <w_{n-1}>
+//   edges <e>
+//   <u> <v>            (e lines)
+//   end
+//
+// Numbers round-trip exactly (printed with max precision).  read_workload
+// throws std::runtime_error with a line number on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "job/job.h"
+
+namespace dagsched {
+
+void write_workload(std::ostream& os, const JobSet& jobs);
+JobSet read_workload(std::istream& is);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_workload(const std::string& path, const JobSet& jobs);
+JobSet load_workload(const std::string& path);
+
+}  // namespace dagsched

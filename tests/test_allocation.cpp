@@ -1,0 +1,140 @@
+// Allocation math: n_i, x_i, density, and Lemmas 1-3 as numeric checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocation.h"
+#include "util/rng.h"
+
+namespace dagsched {
+namespace {
+
+TEST(Allocation, PureChainGetsOneProcessor) {
+  const Params p = Params::from_epsilon(0.5);
+  // W == L: only the critical path exists.
+  const JobAllocation alloc =
+      compute_deadline_allocation(10.0, 10.0, 20.0, 1.0, p, 1.0);
+  EXPECT_EQ(alloc.n, 1u);
+  EXPECT_DOUBLE_EQ(alloc.x, 10.0);
+  EXPECT_TRUE(alloc.good);
+}
+
+TEST(Allocation, InfeasibleWhenDeadlineBelowSpan) {
+  const Params p = Params::from_epsilon(0.5);
+  // D/(1+2delta) <= L: no processor count can make the job delta-good.
+  const JobAllocation alloc =
+      compute_deadline_allocation(10.0, 8.0, 9.0, 1.0, p, 1.0);
+  EXPECT_EQ(alloc.n, 0u);
+  EXPECT_FALSE(alloc.good);
+}
+
+TEST(Allocation, MatchesPaperFormulaBeforeRounding) {
+  const Params p = Params::from_epsilon(0.5);  // delta = 0.125
+  const Work W = 100.0, L = 4.0;
+  const Time D = 30.0;
+  const JobAllocation alloc =
+      compute_deadline_allocation(W, L, D, 2.0, p, 1.0);
+  const double exact_n = (W - L) / (D / 1.25 - L);  // = 96/20 = 4.8
+  EXPECT_EQ(alloc.n, static_cast<ProcCount>(std::ceil(exact_n)));  // 5
+  EXPECT_DOUBLE_EQ(alloc.x, (W - L) / 5.0 + L);                    // 23.2
+  EXPECT_DOUBLE_EQ(alloc.v, 2.0 / (alloc.x * 5.0));
+  EXPECT_TRUE(alloc.good);
+  // delta-good: x (1+2delta) <= D.
+  EXPECT_LE(alloc.x * 1.25, D + 1e-9);
+}
+
+TEST(Allocation, SpeedScalesWorkAndSpan) {
+  const Params p = Params::from_epsilon(0.5);
+  const JobAllocation at1 =
+      compute_deadline_allocation(100.0, 4.0, 30.0, 2.0, p, 1.0);
+  const JobAllocation at2 =
+      compute_deadline_allocation(200.0, 8.0, 30.0, 2.0, p, 2.0);
+  // Doubling both the job and the speed is a no-op.
+  EXPECT_EQ(at1.n, at2.n);
+  EXPECT_DOUBLE_EQ(at1.x, at2.x);
+}
+
+// Lemma 1 (with the rounding allowance): n_i <= ceil(b^2 m) whenever the
+// deadline satisfies the Theorem-2 assumption.
+TEST(Allocation, Lemma1ProcessorBound) {
+  Rng rng(3);
+  for (double eps : {0.2, 0.5, 1.0}) {
+    const Params p = Params::from_epsilon(eps);
+    for (ProcCount m : {4u, 16u, 64u}) {
+      for (int trial = 0; trial < 200; ++trial) {
+        const Work L = rng.uniform(1.0, 10.0);
+        const Work W = L + rng.uniform(0.0, 100.0 * L);
+        const Time D =
+            (1.0 + eps) * ((W - L) / static_cast<double>(m) + L) *
+            rng.uniform(1.0, 3.0);  // at least the assumed slack
+        const JobAllocation alloc =
+            compute_deadline_allocation(W, L, D, 1.0, p, 1.0);
+        ASSERT_GE(alloc.n, 1u);
+        EXPECT_LE(alloc.n,
+                  static_cast<ProcCount>(
+                      std::ceil(p.b * p.b * static_cast<double>(m))))
+            << "eps=" << eps << " m=" << m << " W=" << W << " L=" << L;
+      }
+    }
+  }
+}
+
+// Lemma 2: every allocated job is delta-good.
+TEST(Allocation, Lemma2DeltaGood) {
+  Rng rng(17);
+  const Params p = Params::from_epsilon(0.4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Work L = rng.uniform(0.5, 5.0);
+    const Work W = L + rng.uniform(0.0, 50.0);
+    const Time D = rng.uniform(L * (1.0 + 2.0 * p.delta) * 1.01, 100.0);
+    const JobAllocation alloc =
+        compute_deadline_allocation(W, L, D, 1.0, p, 1.0);
+    if (alloc.n == 0) continue;  // infeasible deadline, allowed
+    EXPECT_LE(alloc.x * (1.0 + 2.0 * p.delta), D + 1e-9);
+  }
+}
+
+// Lemma 3: x_i n_i <= a W_i under the Theorem-2 deadline assumption.
+TEST(Allocation, Lemma3ProcessorSteps) {
+  Rng rng(29);
+  for (double eps : {0.3, 0.8}) {
+    const Params p = Params::from_epsilon(eps);
+    const double a = p.a();
+    for (int trial = 0; trial < 300; ++trial) {
+      const ProcCount m = 16;
+      const Work L = rng.uniform(1.0, 8.0);
+      const Work W = L + rng.uniform(0.0, 60.0 * L);
+      const Time D =
+          (1.0 + eps) * ((W - L) / static_cast<double>(m) + L) *
+          rng.uniform(1.0, 2.0);
+      const JobAllocation alloc =
+          compute_deadline_allocation(W, L, D, 1.0, p, 1.0);
+      ASSERT_GE(alloc.n, 1u);
+      EXPECT_LE(alloc.x * static_cast<double>(alloc.n), a * W + 1e-6)
+          << "eps=" << eps << " W=" << W << " L=" << L << " D=" << D;
+    }
+  }
+}
+
+TEST(Allocation, ProfitVariantUsesPlateau) {
+  const Params p = Params::from_epsilon(0.5);
+  const JobAllocation alloc =
+      compute_profit_allocation(100.0, 4.0, 30.0, p, 1.0);
+  // Same formula as the deadline variant with D := x* = 30.
+  const JobAllocation ref =
+      compute_deadline_allocation(100.0, 4.0, 30.0, 1.0, p, 1.0);
+  EXPECT_EQ(alloc.n, ref.n);
+  EXPECT_DOUBLE_EQ(alloc.x, ref.x);
+  // Lemma 14: x (1+2delta) <= x*.
+  EXPECT_LE(alloc.x * (1.0 + 2.0 * p.delta), 30.0 + 1e-9);
+}
+
+TEST(Allocation, ProfitVariantInfeasiblePlateau) {
+  const Params p = Params::from_epsilon(0.5);
+  const JobAllocation alloc =
+      compute_profit_allocation(10.0, 8.0, 9.0, p, 1.0);
+  EXPECT_EQ(alloc.n, 0u);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,79 @@
+// ArgParser: flag forms, typed access, error handling.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/arg_parse.h"
+
+namespace dagsched {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> args) {
+  static std::vector<const char*> storage;
+  storage.assign(args.begin(), args.end());
+  return ArgParser(static_cast<int>(storage.size()), storage.data());
+}
+
+TEST(ArgParse, DefaultsWhenAbsent) {
+  ArgParser args = make({"prog"});
+  EXPECT_EQ(args.get_int("m", 8), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("load", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("out", "x.csv"), "x.csv");
+  EXPECT_FALSE(args.get_flag("verbose"));
+  args.finish();
+}
+
+TEST(ArgParse, SpaceAndEqualsForms) {
+  ArgParser args = make({"prog", "--m", "16", "--load=2.5", "--name=sweep"});
+  EXPECT_EQ(args.get_int("m", 0), 16);
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0), 2.5);
+  EXPECT_EQ(args.get_string("name", ""), "sweep");
+  args.finish();
+}
+
+TEST(ArgParse, BareFlagIsTrue) {
+  ArgParser args = make({"prog", "--csv", "--verbose=false"});
+  EXPECT_TRUE(args.get_flag("csv"));
+  EXPECT_FALSE(args.get_flag("verbose"));
+  args.finish();
+}
+
+TEST(ArgParse, NegativeNumbers) {
+  // A value starting with '-' (not '--') is consumed as the value.
+  ArgParser args = make({"prog", "--offset", "-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+  args.finish();
+}
+
+TEST(ArgParse, PositionalArguments) {
+  ArgParser args = make({"prog", "input.wl", "--m", "4", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.wl");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+  EXPECT_EQ(args.get_int("m", 0), 4);
+  args.finish();
+}
+
+TEST(ArgParse, MalformedValuesThrow) {
+  EXPECT_THROW(make({"prog", "--m", "abc"}).get_int("m", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"prog", "--load", "1.5x"}).get_double("load", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"prog", "--flag", "maybe"}).get_flag("flag"),
+               std::invalid_argument);
+}
+
+TEST(ArgParse, UnknownFlagsDetectedByFinish) {
+  ArgParser args = make({"prog", "--m", "4", "--tpyo", "1"});
+  EXPECT_EQ(args.get_int("m", 0), 4);
+  EXPECT_THROW(args.finish(), std::invalid_argument);
+}
+
+TEST(ArgParse, LastValueWins) {
+  ArgParser args = make({"prog", "--m", "4", "--m", "8"});
+  EXPECT_EQ(args.get_int("m", 0), 8);
+  args.finish();
+}
+
+}  // namespace
+}  // namespace dagsched

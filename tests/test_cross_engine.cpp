@@ -1,0 +1,108 @@
+// Cross-validation: on integer workloads (unit node works, integer releases
+// and deadlines, speed 1) the EventEngine and SlotEngine must produce
+// identical schedules for job-level schedulers -- the continuous engine is
+// then an exact accelerated implementation of the paper's time-step model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/list_scheduler.h"
+#include "core/deadline_scheduler.h"
+#include "dag/generators.h"
+#include "job/job.h"
+#include "sim/event_engine.h"
+#include "sim/slot_engine.h"
+#include "util/rng.h"
+
+namespace dagsched {
+namespace {
+
+JobSet integer_workload(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  JobSet jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    RandomDagParams params;
+    params.nodes = static_cast<std::size_t>(rng.uniform_int(4, 16));
+    params.edge_prob = 0.15;
+    params.work = WorkDist::constant(1.0);
+    Dag dag = make_random_dag(rng, params);
+    const double release = static_cast<double>(rng.uniform_int(0, 40));
+    // Integer deadline with comfortable slack.
+    const double greedy =
+        (dag.total_work() - dag.span()) / 4.0 + dag.span();
+    const double deadline =
+        std::ceil(greedy * rng.uniform(1.5, 3.0)) + 2.0;
+    jobs.add(Job::with_deadline(std::make_shared<const Dag>(std::move(dag)),
+                                release, deadline,
+                                std::floor(rng.uniform(1.0, 10.0))));
+  }
+  jobs.finalize();
+  return jobs;
+}
+
+class CrossEngine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossEngine, EdfSchedulesIdentically) {
+  const JobSet jobs = integer_workload(GetParam(), 14);
+  ListScheduler s1({ListPolicy::kEdf, false, true});
+  ListScheduler s2({ListPolicy::kEdf, false, true});
+  auto sel1 = make_selector(SelectorKind::kFifo);
+  auto sel2 = make_selector(SelectorKind::kFifo);
+
+  EngineOptions ev_options;
+  ev_options.num_procs = 4;
+  EventEngine event_engine(jobs, s1, *sel1, ev_options);
+  const SimResult ev = event_engine.run();
+
+  SlotEngineOptions slot_options;
+  slot_options.num_procs = 4;
+  SlotEngine slot_engine(jobs, s2, *sel2, slot_options);
+  const SimResult slot = slot_engine.run();
+
+  ASSERT_EQ(ev.outcomes.size(), slot.outcomes.size());
+  for (std::size_t i = 0; i < ev.outcomes.size(); ++i) {
+    EXPECT_EQ(ev.outcomes[i].completed, slot.outcomes[i].completed)
+        << "job " << i;
+    if (ev.outcomes[i].completed && slot.outcomes[i].completed) {
+      EXPECT_NEAR(ev.outcomes[i].completion_time,
+                  slot.outcomes[i].completion_time, 1e-6)
+          << "job " << i;
+    }
+  }
+  EXPECT_NEAR(ev.total_profit, slot.total_profit, 1e-6);
+}
+
+TEST_P(CrossEngine, PaperSchedulerSchedulesIdentically) {
+  const JobSet jobs = integer_workload(GetParam() ^ 0x5555, 12);
+  DeadlineScheduler s1({.params = Params::from_epsilon(0.5)});
+  DeadlineScheduler s2({.params = Params::from_epsilon(0.5)});
+  auto sel1 = make_selector(SelectorKind::kFifo);
+  auto sel2 = make_selector(SelectorKind::kFifo);
+
+  EngineOptions ev_options;
+  ev_options.num_procs = 4;
+  EventEngine event_engine(jobs, s1, *sel1, ev_options);
+  const SimResult ev = event_engine.run();
+
+  SlotEngineOptions slot_options;
+  slot_options.num_procs = 4;
+  SlotEngine slot_engine(jobs, s2, *sel2, slot_options);
+  const SimResult slot = slot_engine.run();
+
+  for (std::size_t i = 0; i < ev.outcomes.size(); ++i) {
+    EXPECT_EQ(ev.outcomes[i].completed, slot.outcomes[i].completed)
+        << "job " << i;
+    if (ev.outcomes[i].completed && slot.outcomes[i].completed) {
+      EXPECT_NEAR(ev.outcomes[i].completion_time,
+                  slot.outcomes[i].completion_time, 1e-6)
+          << "job " << i;
+    }
+  }
+  EXPECT_NEAR(ev.total_profit, slot.total_profit, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngine,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dagsched

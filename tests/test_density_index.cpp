@@ -1,0 +1,154 @@
+// DensityWindowIndex: admission condition (2) bookkeeping, checked against
+// a brute-force reference on randomized member sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/density_index.h"
+#include "util/rng.h"
+
+namespace dagsched {
+namespace {
+
+TEST(DensityIndex, EmptyAdmitsWithinCap) {
+  DensityWindowIndex index;
+  EXPECT_TRUE(index.admits(1.0, 4, 2.0, 8.0));
+  EXPECT_FALSE(index.admits(1.0, 9, 2.0, 8.0));
+}
+
+TEST(DensityIndex, InsertEraseContains) {
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 2);
+  index.insert(1, 3.0, 4);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.contains(0));
+  EXPECT_TRUE(index.erase(0));
+  EXPECT_FALSE(index.erase(0));
+  EXPECT_FALSE(index.contains(0));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(DensityIndex, WindowLoadHalfOpen) {
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 2);
+  index.insert(1, 2.0, 3);
+  index.insert(2, 4.0, 5);
+  EXPECT_DOUBLE_EQ(index.window_load(1.0, 4.0), 5.0);   // [1, 4): jobs 0, 1
+  EXPECT_DOUBLE_EQ(index.window_load(1.0, 4.01), 10.0); // includes job 2
+  EXPECT_DOUBLE_EQ(index.window_load(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(index.load_at_least(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(index.load_at_least(0.1), 10.0);
+}
+
+TEST(DensityIndex, AdmitsRespectsExistingWindows) {
+  // Window [v_j, 2 v_j), cap 8.  Jobs at density 1.0 with n=3 and 1.5 with
+  // n=4: their shared window [1.0, 2.0) holds 7.
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 3);
+  index.insert(1, 1.5, 4);
+  // Adding density 1.9, n=1 lands in [1.0, 2.0): 8 <= 8 OK.
+  EXPECT_TRUE(index.admits(1.9, 1, 2.0, 8.0));
+  // n=2 would push that window to 9 > 8.
+  EXPECT_FALSE(index.admits(1.9, 2, 2.0, 8.0));
+  // Density 3.5 is outside every existing window start's range and its own
+  // window [3.5, 7) is empty: any n <= cap admits.
+  EXPECT_TRUE(index.admits(3.5, 8, 2.0, 8.0));
+}
+
+TEST(DensityIndex, AdmitsBoundaryExactlyAtVOverC) {
+  // v_j = 1, c = 2: window [1, 2).  New density exactly 2 is NOT inside
+  // (half-open), and its own window [2, 4) is empty.
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 8);
+  EXPECT_TRUE(index.admits(2.0, 8, 2.0, 8.0));
+  // Density 1.999 IS inside [1, 2): total would be 16 > 8.
+  EXPECT_FALSE(index.admits(1.999, 8, 2.0, 8.0));
+}
+
+TEST(DensityIndex, MaxWindowLoad) {
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 2);
+  index.insert(1, 1.5, 3);
+  index.insert(2, 10.0, 4);
+  // Window at v=1.0, c=2: [1, 2) holds 5.  At 1.5: [1.5, 3) holds 3.
+  // At 10: holds 4.
+  EXPECT_DOUBLE_EQ(index.max_window_load(2.0), 5.0);
+}
+
+// Brute-force reference: simulate condition (2) literally.
+bool brute_admits(const std::vector<std::pair<Density, double>>& members,
+                  Density v, double n, double c, double cap) {
+  std::vector<std::pair<Density, double>> all = members;
+  all.emplace_back(v, n);
+  for (const auto& [vj, nj] : all) {
+    (void)nj;
+    double load = 0.0;
+    for (const auto& [vk, nk] : all) {
+      if (vk >= vj && vk < c * vj) load += nk;
+    }
+    if (load > cap) return false;
+  }
+  return true;
+}
+
+class DensityIndexFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DensityIndexFuzz, AdmitsMatchesBruteForce) {
+  Rng rng(GetParam());
+  const double c = rng.uniform(1.5, 20.0);
+  const double cap = rng.uniform(4.0, 32.0);
+  DensityWindowIndex index;
+  std::vector<std::pair<Density, double>> members;
+  std::vector<JobId> ids;
+  JobId next_id = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const Density v = rng.uniform(0.01, 10.0);
+    const auto n = static_cast<ProcCount>(rng.uniform_int(1, 6));
+    const bool expected = brute_admits(members, v, n, c, cap);
+    const bool actual = index.admits(v, n, c, cap);
+    ASSERT_EQ(actual, expected)
+        << "v=" << v << " n=" << n << " c=" << c << " cap=" << cap
+        << " members=" << members.size();
+    // Maintain the inductive invariant: only insert admitted members (as the
+    // schedulers do).  Occasionally erase a member to exercise removal.
+    if (expected) {
+      index.insert(next_id, v, n);
+      ids.push_back(next_id);
+      ++next_id;
+      members.emplace_back(v, static_cast<double>(n));
+    } else if (!members.empty() && rng.bernoulli(0.3)) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(members.size()) - 1));
+      ASSERT_TRUE(index.erase(ids[victim]));
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(victim));
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    // Invariant from Observation 3: max window load stays within cap.
+    EXPECT_LE(index.max_window_load(c), cap + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensityIndexFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DensityIndex, EraseRestoresAdmissibility) {
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 5);
+  index.insert(1, 1.2, 3);
+  EXPECT_FALSE(index.admits(1.1, 2, 2.0, 8.0));  // window [1,2) would be 10
+  index.erase(0);
+  EXPECT_TRUE(index.admits(1.1, 2, 2.0, 8.0));  // now 5
+}
+
+TEST(DensityIndex, ClearEmptiesEverything) {
+  DensityWindowIndex index;
+  index.insert(0, 1.0, 5);
+  index.clear();
+  EXPECT_TRUE(index.empty());
+  EXPECT_DOUBLE_EQ(index.load_at_least(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dagsched

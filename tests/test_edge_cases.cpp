@@ -1,0 +1,152 @@
+// Assorted edge-case coverage: option caps, boundary semantics, zero-size
+// requests -- the corners a downstream user will eventually hit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/deadline_scheduler.h"
+#include "core/profit_scheduler.h"
+#include "exp/runner.h"
+#include "dag/generators.h"
+#include "sim/event_engine.h"
+#include "sim/slot_engine.h"
+#include "sim/views.h"
+#include "workload/analyzer.h"
+
+namespace dagsched {
+namespace {
+
+std::shared_ptr<const Dag> share(Dag dag) {
+  return std::make_shared<const Dag>(std::move(dag));
+}
+
+TEST(EdgeCases, SelectorWithZeroBudgetReturnsNothing) {
+  const Dag dag = make_parallel_block(4, 1.0);
+  UnfoldingState state(dag);
+  for (const SelectorKind kind :
+       {SelectorKind::kFifo, SelectorKind::kRandom,
+        SelectorKind::kAdversarial}) {
+    auto selector = make_selector(kind, 3);
+    std::vector<NodeId> out{99};  // pre-filled: select must clear
+    selector->select(dag, state, 0, out);
+    EXPECT_TRUE(out.empty()) << selector_kind_name(kind);
+  }
+}
+
+TEST(EdgeCases, DeadlineUnreachableBoundarySemantics) {
+  JobSet jobs;
+  jobs.add(Job::with_deadline(share(make_single_node(2.0)), 1.0, 4.0, 1.0));
+  jobs.finalize();
+  JobRuntime runtime;
+  runtime.arrived = true;
+  const JobView view(&jobs[0], &runtime, 0);
+  // d = 5.  Strictly before: reachable.  At d: unreachable (remaining work
+  // cannot finish by d).  deadline_expired stays false exactly at d.
+  EXPECT_FALSE(view.deadline_unreachable(4.999));
+  EXPECT_TRUE(view.deadline_unreachable(5.0));
+  EXPECT_FALSE(view.deadline_expired(5.0));
+  EXPECT_TRUE(view.deadline_expired(5.001));
+}
+
+TEST(EdgeCases, SlotEngineHonorsMaxSlotsCap) {
+  JobSet jobs;
+  jobs.add(Job::with_deadline(share(make_chain(50, 1.0)), 0.0, 500.0, 1.0));
+  jobs.finalize();
+  auto scheduler = [] {
+    return DeadlineScheduler({.params = Params::from_epsilon(0.5)});
+  }();
+  auto selector = make_selector(SelectorKind::kFifo);
+  SlotEngineOptions options;
+  options.num_procs = 2;
+  options.max_slots = 10;  // far below the 50 slots the chain needs
+  SlotEngine engine(jobs, scheduler, *selector, options);
+  const SimResult result = engine.run();
+  EXPECT_FALSE(result.outcomes[0].completed);
+  EXPECT_LE(result.end_time, 11.0);
+}
+
+TEST(EdgeCases, ProfitSchedulerSearchCapLeavesJobUnscheduled) {
+  // Exponential decay never hits zero, but the search cap bounds the scan;
+  // make the early slots inadmissible by saturating them first.
+  const ProcCount m = 8;
+  auto big = share(make_parallel_block(40, 1.0));
+  JobSet jobs;
+  // Saturating competitor with huge profit (denser in every window).
+  jobs.add(Job(big, 0.0, ProfitFn::plateau_exponential(500.0, 9.0, 1e-6)));
+  // Victim with a tiny search budget configured below.
+  jobs.add(Job(big, 0.0, ProfitFn::plateau_exponential(1.0, 9.0, 1e-6)));
+  jobs.finalize();
+  ProfitScheduler scheduler({.params = Params::from_epsilon(0.5),
+                             .max_search_slots = 12});
+  auto selector = make_selector(SelectorKind::kFifo);
+  SlotEngineOptions options;
+  options.num_procs = m;
+  SlotEngine engine(jobs, scheduler, *selector, options);
+  engine.run();
+  // The rich job is scheduled; whether the victim fits depends on window
+  // math -- the invariant under test is that an *unscheduled* job reports
+  // an infinite chosen deadline instead of a bogus one.
+  ASSERT_GE(scheduler.scheduled_count(), 1u);
+  for (JobId j = 0; j < jobs.size(); ++j) {
+    if (scheduler.allocation_of(j) != nullptr &&
+        scheduler.assigned_slots(j).empty()) {
+      EXPECT_EQ(scheduler.chosen_deadline(j), kTimeInfinity);
+    }
+  }
+}
+
+TEST(EdgeCases, DensityIndexSingleMemberWideWindow) {
+  DensityWindowIndex index;
+  index.insert(7, 1.0, 3);
+  EXPECT_DOUBLE_EQ(index.max_window_load(1e9), 3.0);
+  EXPECT_DOUBLE_EQ(index.load_at_least(1.0), 3.0);
+  // Boundaries are exact (no tolerance): any density above the member's
+  // excludes it.
+  EXPECT_DOUBLE_EQ(index.load_at_least(1.0 + 1e-12), 0.0);
+  EXPECT_DOUBLE_EQ(index.load_at_least(2.0), 0.0);
+}
+
+TEST(EdgeCases, AnalyzerOnSingleInstantJob) {
+  JobSet jobs;
+  jobs.add(Job::with_deadline(share(make_single_node(1.0)), 0.0, 1.0, 1.0));
+  jobs.finalize();
+  const InstanceProfile profile = analyze_instance(jobs, 4);
+  EXPECT_EQ(profile.jobs, 1u);
+  EXPECT_DOUBLE_EQ(profile.parallelism.median(), 1.0);
+  EXPECT_DOUBLE_EQ(profile.sequential_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(profile.feasible_fraction, 1.0);
+}
+
+TEST(EdgeCases, CheckMacrosFormatMessages) {
+  EXPECT_DEATH(
+      [] {
+        const int x = 3;
+        DS_CHECK_MSG(x == 4, "expected " << 4 << " got " << x);
+      }(),
+      "expected 4 got 3");
+}
+
+TEST(EdgeCases, EngineWithJobsReleasedAtSameInstant) {
+  // 16 simultaneous releases on 2 processors: engine must serialize them
+  // without double-allocating at the shared decision instant.
+  JobSet jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.add(Job::with_deadline(share(make_single_node(1.0)), 0.0, 100.0,
+                                1.0));
+  }
+  jobs.finalize();
+  // Work-conserving EDF exercises the engine's parallelism; note the paper
+  // scheduler would serialize here by design (its b*m window cap on m=2
+  // admits one unit job at a time).
+  auto scheduler = make_named_scheduler("edf");
+  auto selector = make_selector(SelectorKind::kFifo);
+  EngineOptions options;
+  options.num_procs = 2;
+  const SimResult result = simulate(jobs, *scheduler, *selector, options);
+  EXPECT_EQ(result.jobs_completed, 16u);
+  EXPECT_NEAR(result.busy_proc_time, 16.0, 1e-9);
+  EXPECT_NEAR(result.end_time, 8.0, 1e-9);  // 16 unit jobs over 2 procs
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,102 @@
+// MaxFlow (Dinic): classic instances and randomized min-cut cross-checks.
+#include <gtest/gtest.h>
+
+#include "opt/maxflow.h"
+#include "util/rng.h"
+
+namespace dagsched {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow flow(2);
+  const std::size_t e = flow.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(flow.max_flow(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e), 5.0);
+}
+
+TEST(MaxFlow, NoPath) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(flow.max_flow(0, 2), 0.0);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 5.0);
+  flow.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(flow.max_flow(0, 2), 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 3.0);
+  flow.add_edge(1, 3, 3.0);
+  flow.add_edge(0, 2, 4.0);
+  flow.add_edge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(flow.max_flow(0, 3), 7.0);
+}
+
+TEST(MaxFlow, ClassicTextbookInstance) {
+  // CLRS figure: max flow 23.
+  MaxFlow flow(6);
+  flow.add_edge(0, 1, 16);
+  flow.add_edge(0, 2, 13);
+  flow.add_edge(1, 3, 12);
+  flow.add_edge(2, 1, 4);
+  flow.add_edge(2, 4, 14);
+  flow.add_edge(3, 2, 9);
+  flow.add_edge(3, 5, 20);
+  flow.add_edge(4, 3, 7);
+  flow.add_edge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(flow.max_flow(0, 5), 23.0);
+}
+
+TEST(MaxFlow, NeedsAugmentingThroughResidual) {
+  // The classic trap where a greedy path must be partially undone.
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 1);
+  flow.add_edge(0, 2, 1);
+  flow.add_edge(1, 2, 1);
+  flow.add_edge(1, 3, 1);
+  flow.add_edge(2, 3, 1);
+  EXPECT_DOUBLE_EQ(flow.max_flow(0, 3), 2.0);
+}
+
+TEST(MaxFlow, FractionalCapacities) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 0.75);
+  flow.add_edge(1, 2, 1.25);
+  EXPECT_NEAR(flow.max_flow(0, 2), 0.75, 1e-12);
+}
+
+// Property: flow value equals capacity of a randomly planted cut when the
+// cut is the unique bottleneck.
+class MaxFlowFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowFuzz, BipartiteMatchesHallBound) {
+  // Bipartite b-matching: left nodes with supply 1, right nodes with
+  // capacity 1, full bipartite edges => flow = min(left, right).
+  Rng rng(GetParam());
+  const auto left = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  const auto right = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  MaxFlow flow(left + right + 2);
+  const std::size_t source = left + right;
+  const std::size_t sink = left + right + 1;
+  for (std::size_t i = 0; i < left; ++i) flow.add_edge(source, i, 1.0);
+  for (std::size_t j = 0; j < right; ++j) {
+    flow.add_edge(left + j, sink, 1.0);
+  }
+  for (std::size_t i = 0; i < left; ++i) {
+    for (std::size_t j = 0; j < right; ++j) {
+      flow.add_edge(i, left + j, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(flow.max_flow(source, sink),
+                   static_cast<double>(std::min(left, right)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dagsched

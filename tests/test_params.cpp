@@ -1,0 +1,62 @@
+// Params: the paper's constant constraints (Table 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/params.h"
+
+namespace dagsched {
+namespace {
+
+TEST(Params, FromEpsilonSatisfiesAllConstraints) {
+  for (double eps : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    const Params p = Params::from_epsilon(eps);
+    EXPECT_DOUBLE_EQ(p.epsilon, eps);
+    EXPECT_LT(p.delta, eps / 2.0);
+    EXPECT_GT(p.delta, 0.0);
+    EXPECT_GE(p.c, 1.0 + 1.0 / (p.delta * eps));
+    EXPECT_NEAR(p.b, std::sqrt((1.0 + 2.0 * p.delta) / (1.0 + eps)), 1e-15);
+    EXPECT_LT(p.b, 1.0);
+    EXPECT_GT(p.a(), 1.0);
+  }
+}
+
+TEST(Params, CompletionFractionPositive) {
+  // Lemma 5's constant eps - 1/((c-1) delta) must be strictly positive for
+  // the canonical parameterization.
+  for (double eps : {0.1, 0.5, 1.0, 3.0}) {
+    const Params p = Params::from_epsilon(eps);
+    EXPECT_GT(p.completion_fraction(), 0.0) << "eps=" << eps;
+  }
+}
+
+TEST(Params, AMatchesLemma3Formula) {
+  const Params p = Params::from_epsilon(0.5);  // delta = 0.125
+  EXPECT_NEAR(p.a(), 1.0 + (1.0 + 0.25) / (0.5 - 0.25), 1e-12);  // = 6
+}
+
+TEST(Params, RejectsInvalidEpsilon) {
+  EXPECT_THROW(Params::from_epsilon(0.0), std::invalid_argument);
+  EXPECT_THROW(Params::from_epsilon(-1.0), std::invalid_argument);
+}
+
+TEST(Params, ExplicitValidation) {
+  // Valid explicit parameterization.
+  const Params p = Params::explicit_params(0.5, 0.2, 20.0);
+  EXPECT_DOUBLE_EQ(p.delta, 0.2);
+  // delta >= eps/2 rejected.
+  EXPECT_THROW(Params::explicit_params(0.5, 0.25, 100.0),
+               std::invalid_argument);
+  // c below 1 + 1/(delta*eps) = 11 rejected.
+  EXPECT_THROW(Params::explicit_params(0.5, 0.2, 5.0), std::invalid_argument);
+}
+
+TEST(Params, ValidateRejectsTamperedB) {
+  Params p = Params::from_epsilon(0.5);
+  p.b = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsched

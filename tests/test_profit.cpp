@@ -1,0 +1,106 @@
+// ProfitFn shapes: evaluation, plateau/support metadata, validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "job/profit.h"
+#include "util/types.h"
+
+namespace dagsched {
+namespace {
+
+TEST(ProfitStep, EvaluatesAsIndicator) {
+  const ProfitFn fn = ProfitFn::step(5.0, 10.0);
+  EXPECT_DOUBLE_EQ(fn.at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(fn.at(10.0), 5.0);  // completing exactly at D earns p
+  EXPECT_DOUBLE_EQ(fn.at(10.0 + 1e-6), 0.0);
+  EXPECT_TRUE(fn.is_step());
+  EXPECT_DOUBLE_EQ(fn.deadline(), 10.0);
+  EXPECT_DOUBLE_EQ(fn.peak(), 5.0);
+  EXPECT_DOUBLE_EQ(fn.plateau_end(), 10.0);
+  EXPECT_DOUBLE_EQ(fn.support_end(), 10.0);
+}
+
+TEST(ProfitStep, RejectsInvalid) {
+  EXPECT_THROW(ProfitFn::step(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ProfitFn::step(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ProfitFn::step(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(ProfitPlateauLinear, ShapeAndBoundaries) {
+  const ProfitFn fn = ProfitFn::plateau_linear(4.0, 10.0, 20.0);
+  EXPECT_FALSE(fn.is_step());
+  EXPECT_DOUBLE_EQ(fn.at(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(fn.at(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(fn.at(15.0), 2.0);  // halfway down
+  EXPECT_DOUBLE_EQ(fn.at(20.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.at(25.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.plateau_end(), 10.0);
+  EXPECT_DOUBLE_EQ(fn.support_end(), 20.0);
+}
+
+TEST(ProfitPlateauLinear, RejectsBadOrdering) {
+  EXPECT_THROW(ProfitFn::plateau_linear(1.0, 10.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(ProfitFn::plateau_linear(1.0, 10.0, 5.0),
+               std::invalid_argument);
+}
+
+TEST(ProfitPlateauExp, DecaysButNeverZero) {
+  const ProfitFn fn = ProfitFn::plateau_exponential(2.0, 5.0, 0.5);
+  EXPECT_DOUBLE_EQ(fn.at(5.0), 2.0);
+  EXPECT_NEAR(fn.at(5.0 + 2.0), 2.0 * std::exp(-1.0), 1e-12);
+  EXPECT_GT(fn.at(100.0), 0.0);
+  EXPECT_EQ(fn.support_end(), kTimeInfinity);
+}
+
+TEST(ProfitPiecewise, StaircaseEvaluation) {
+  const ProfitFn fn = ProfitFn::piecewise({{5.0, 10.0}, {8.0, 6.0}, {12.0, 1.0}});
+  EXPECT_DOUBLE_EQ(fn.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(fn.at(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(fn.at(6.0), 6.0);
+  EXPECT_DOUBLE_EQ(fn.at(8.0), 6.0);
+  EXPECT_DOUBLE_EQ(fn.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.at(12.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.at(13.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.peak(), 10.0);
+  EXPECT_DOUBLE_EQ(fn.plateau_end(), 5.0);
+  EXPECT_DOUBLE_EQ(fn.support_end(), 12.0);
+}
+
+TEST(ProfitPiecewise, RejectsNonMonotone) {
+  EXPECT_THROW(ProfitFn::piecewise({}), std::invalid_argument);
+  EXPECT_THROW(ProfitFn::piecewise({{5.0, 1.0}, {3.0, 0.5}}),
+               std::invalid_argument);  // times must increase
+  EXPECT_THROW(ProfitFn::piecewise({{3.0, 1.0}, {5.0, 2.0}}),
+               std::invalid_argument);  // values must not increase
+}
+
+// Property: every shape is non-increasing on a dense grid.
+class ProfitMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfitMonotone, NonIncreasing) {
+  ProfitFn fn = ProfitFn::step(1.0, 1.0);
+  switch (GetParam()) {
+    case 0: fn = ProfitFn::step(3.0, 7.0); break;
+    case 1: fn = ProfitFn::plateau_linear(3.0, 7.0, 15.0); break;
+    case 2: fn = ProfitFn::plateau_exponential(3.0, 7.0, 0.3); break;
+    case 3:
+      fn = ProfitFn::piecewise({{2.0, 3.0}, {4.0, 2.5}, {9.0, 0.25}});
+      break;
+  }
+  double prev = fn.at(0.0);
+  EXPECT_DOUBLE_EQ(prev, fn.peak());
+  for (double t = 0.05; t < 20.0; t += 0.05) {
+    const double cur = fn.at(t);
+    EXPECT_LE(cur, prev + 1e-12) << "at t=" << t;
+    EXPECT_GE(cur, 0.0);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ProfitMonotone, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,149 @@
+// Experiment harness: run_workload, OPT bracketing, trial aggregation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/list_scheduler.h"
+#include "core/deadline_scheduler.h"
+#include "dag/generators.h"
+#include "exp/runner.h"
+#include "workload/scenarios.h"
+
+namespace dagsched {
+namespace {
+
+TEST(Runner, RunWorkloadProducesConsistentMetrics) {
+  Rng rng(1);
+  const JobSet jobs = generate_workload(rng, scenario_thm2(0.5, 0.7, 8));
+  ASSERT_FALSE(jobs.empty());
+  DeadlineScheduler scheduler({.params = Params::from_epsilon(0.5)});
+  RunConfig config;
+  config.m = 8;
+  const RunMetrics metrics = run_workload(jobs, scheduler, config);
+  EXPECT_EQ(metrics.num_jobs, jobs.size());
+  EXPECT_LE(metrics.completed, metrics.num_jobs);
+  EXPECT_GE(metrics.fraction, 0.0);
+  EXPECT_LE(metrics.fraction, 1.0 + 1e-9);
+  EXPECT_GT(metrics.decisions, 0u);
+}
+
+TEST(Runner, OptBracketOrdered) {
+  Rng rng(2);
+  const JobSet jobs = generate_workload(rng, scenario_thm2(0.5, 0.9, 8));
+  const OptBracket bracket = estimate_opt(jobs, 8);
+  EXPECT_GE(bracket.upper, bracket.lower - 1e-6);
+  EXPECT_GT(bracket.lower, 0.0);
+  EXPECT_FALSE(bracket.lower_scheduler.empty());
+  // Ratios behave.
+  EXPECT_GE(bracket.ratio_upper(bracket.lower), 1.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(bracket.ratio_lower(bracket.lower), 1.0);
+}
+
+TEST(Runner, AlgorithmNeverExceedsUpperBound) {
+  Rng rng(3);
+  const JobSet jobs = generate_workload(rng, scenario_shootout(1.2, 8, 0.2, 1.0));
+  const OptBracket bracket = estimate_opt(jobs, 8);
+  DeadlineScheduler scheduler({.params = Params::from_epsilon(0.5)});
+  RunConfig config;
+  config.m = 8;
+  const RunMetrics metrics = run_workload(jobs, scheduler, config);
+  EXPECT_LE(metrics.profit, bracket.upper + 1e-6);
+}
+
+TEST(Runner, OfflineGreedyLowerBoundWithinBracket) {
+  Rng rng(17);
+  const JobSet jobs = generate_workload(rng, scenario_shootout(2.0, 8, 0.3, 1.0));
+  ASSERT_FALSE(jobs.empty());
+  const Profit planned = offline_greedy_lower_bound(jobs, 8);
+  const OptBracket bracket = estimate_opt(jobs, 8);
+  // The planner is folded into the bracket's lower bound...
+  EXPECT_GE(bracket.lower, planned - 1e-9);
+  // ...and stays below the LP upper bound.
+  EXPECT_LE(planned, bracket.upper + 1e-6);
+  EXPECT_GT(planned, 0.0);
+}
+
+TEST(Runner, OfflineGreedySelectsDenseJobsUnderOverload) {
+  // One machine, window [0, 2]: profit-3 job of work 2 vs two profit-2
+  // jobs of work 1 each.  Classic density ranks the small ones first; the
+  // planner must accept exactly those (total 4), as the exact OPT would.
+  JobSet jobs;
+  auto node = [](Work w) {
+    return std::make_shared<const Dag>(make_single_node(w));
+  };
+  jobs.add(Job::with_deadline(node(2.0), 0.0, 2.0, 3.0));
+  jobs.add(Job::with_deadline(node(1.0), 0.0, 2.0, 2.0));
+  jobs.add(Job::with_deadline(node(1.0), 0.0, 2.0, 2.0));
+  jobs.finalize();
+  EXPECT_DOUBLE_EQ(offline_greedy_lower_bound(jobs, 1), 4.0);
+}
+
+TEST(Runner, TrialsAggregateDeterministically) {
+  TrialConfig config;
+  config.workload = scenario_thm2(0.5, 0.6, 8);
+  config.workload.horizon = 120.0;
+  config.run.m = 8;
+  config.trials = 4;
+  config.base_seed = 77;
+  const SchedulerFactory factory = [] {
+    return std::make_unique<DeadlineScheduler>(
+        DeadlineSchedulerOptions{.params = Params::from_epsilon(0.5)});
+  };
+  const TrialStats a = run_trials(config, factory);
+  const TrialStats b = run_trials(config, factory);
+  EXPECT_EQ(a.profit.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.profit.mean(), b.profit.mean());
+  EXPECT_DOUBLE_EQ(a.fraction.mean(), b.fraction.mean());
+}
+
+TEST(Runner, TrialsParallelMatchesSequential) {
+  TrialConfig config;
+  config.workload = scenario_thm2(0.5, 0.6, 8);
+  config.workload.horizon = 100.0;
+  config.run.m = 8;
+  config.trials = 6;
+  config.base_seed = 5;
+  const SchedulerFactory factory = [] {
+    return std::make_unique<ListScheduler>(
+        ListSchedulerOptions{ListPolicy::kEdf, false, true});
+  };
+  ThreadPool pool(3);
+  const TrialStats sequential = run_trials(config, factory, nullptr);
+  const TrialStats parallel = run_trials(config, factory, &pool);
+  EXPECT_DOUBLE_EQ(sequential.profit.mean(), parallel.profit.mean());
+  EXPECT_DOUBLE_EQ(sequential.profit.min(), parallel.profit.min());
+  EXPECT_DOUBLE_EQ(sequential.profit.max(), parallel.profit.max());
+}
+
+TEST(Runner, WithOptPopulatesRatios) {
+  TrialConfig config;
+  config.workload = scenario_thm2(0.5, 0.6, 4);
+  config.workload.horizon = 60.0;
+  config.run.m = 4;
+  config.trials = 2;
+  config.with_opt = true;
+  const SchedulerFactory factory = [] {
+    return std::make_unique<DeadlineScheduler>(
+        DeadlineSchedulerOptions{.params = Params::from_epsilon(0.5)});
+  };
+  const TrialStats stats = run_trials(config, factory);
+  EXPECT_EQ(stats.ratio_ub.count(), 2u);
+  EXPECT_GE(stats.ratio_ub.min(), 1.0 - 1e-6);
+}
+
+TEST(Runner, SlotEngineRouting) {
+  Rng rng(9);
+  WorkloadConfig wconfig =
+      scenario_profit(0.5, 0.5, 8, ProfitPolicy::Shape::kPlateauLinear);
+  wconfig.horizon = 60.0;
+  const JobSet jobs = generate_workload(rng, wconfig);
+  ListScheduler scheduler({ListPolicy::kEdf, false, true});
+  RunConfig config;
+  config.m = 8;
+  config.use_slot_engine = true;
+  const RunMetrics metrics = run_workload(jobs, scheduler, config);
+  EXPECT_GE(metrics.profit, 0.0);
+}
+
+}  // namespace
+}  // namespace dagsched

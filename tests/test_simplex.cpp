@@ -1,0 +1,142 @@
+// Simplex LP solver on hand-checkable and randomized instances.
+#include <gtest/gtest.h>
+
+#include "opt/simplex.h"
+#include "util/rng.h"
+
+namespace dagsched {
+namespace {
+
+TEST(Simplex, TrivialNoConstraintsBounded) {
+  // max x subject to x <= 1 only.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_row({{0, 1.0}}, 1.0);
+  const LpSolution s = solve_lp_max(lp);
+  ASSERT_EQ(s.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(s.value, 1.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, v=36.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 5.0};
+  lp.add_row({{0, 1.0}}, 4.0);
+  lp.add_row({{1, 2.0}}, 12.0);
+  lp.add_row({{0, 3.0}, {1, 2.0}}, 18.0);
+  const LpSolution s = solve_lp_max(lp);
+  ASSERT_EQ(s.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(s.value, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  lp.add_row({{1, 1.0}}, 5.0);  // x0 unconstrained above
+  const LpSolution s = solve_lp_max(lp);
+  EXPECT_EQ(s.status, LpSolution::Status::kUnbounded);
+}
+
+TEST(Simplex, DegenerateTies) {
+  // Degenerate vertex: multiple constraints active at the optimum.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 1.0);
+  lp.add_row({{0, 1.0}}, 1.0);
+  lp.add_row({{1, 1.0}}, 1.0);
+  const LpSolution s = solve_lp_max(lp);
+  ASSERT_EQ(s.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(s.value, 1.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjective) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 0.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 3.0);
+  const LpSolution s = solve_lp_max(lp);
+  ASSERT_EQ(s.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(s.value, 0.0, 1e-12);
+}
+
+TEST(Simplex, RejectsNegativeRhs) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  EXPECT_DEATH(lp.add_row({{0, 1.0}}, -1.0), "rhs");
+}
+
+// Property: on random knapsack-like LPs the solution is feasible and no
+// worse than any of 100 random feasible points.
+class SimplexFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexFuzz, OptimalBeatsRandomFeasiblePoints) {
+  Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  LpProblem lp;
+  lp.num_vars = n;
+  lp.objective.resize(n);
+  for (auto& c : lp.objective) c = rng.uniform(0.1, 5.0);
+  std::vector<std::vector<double>> dense(m, std::vector<double>(n, 0.0));
+  std::vector<double> rhs(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.7)) {
+        dense[r][j] = rng.uniform(0.1, 3.0);
+        terms.emplace_back(j, dense[r][j]);
+      }
+    }
+    rhs[r] = rng.uniform(1.0, 10.0);
+    lp.add_row(std::move(terms), rhs[r]);
+  }
+  // Upper bounds keep the LP bounded.
+  for (std::size_t j = 0; j < n; ++j) lp.add_row({{j, 1.0}}, 4.0);
+
+  const LpSolution s = solve_lp_max(lp);
+  ASSERT_EQ(s.status, LpSolution::Status::kOptimal);
+
+  // Feasibility of the reported x.
+  for (std::size_t r = 0; r < m; ++r) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) lhs += dense[r][j] * s.x[j];
+    EXPECT_LE(lhs, rhs[r] + 1e-6);
+  }
+  double value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_GE(s.x[j], -1e-9);
+    EXPECT_LE(s.x[j], 4.0 + 1e-6);
+    value += lp.objective[j] * s.x[j];
+  }
+  EXPECT_NEAR(value, s.value, 1e-6);
+
+  // Dominates random feasible points.
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> x(n);
+    for (auto& xi : x) xi = rng.uniform(0.0, 4.0);
+    bool feasible = true;
+    for (std::size_t r = 0; r < m && feasible; ++r) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += dense[r][j] * x[j];
+      feasible = lhs <= rhs[r];
+    }
+    if (!feasible) continue;
+    double candidate = 0.0;
+    for (std::size_t j = 0; j < n; ++j) candidate += lp.objective[j] * x[j];
+    EXPECT_LE(candidate, s.value + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,113 @@
+// Trace::validate -- the schedule-legality checker used by integration
+// tests; here we verify the checker itself catches each violation class.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dag/generators.h"
+#include "job/job.h"
+#include "sim/trace.h"
+
+namespace dagsched {
+namespace {
+
+JobSet chain_jobset() {
+  JobSet jobs;
+  jobs.add(Job::with_deadline(
+      std::make_shared<const Dag>(make_chain(2, 1.0)), 1.0, 10.0, 1.0));
+  jobs.finalize();
+  return jobs;
+}
+
+TEST(TraceValidate, AcceptsLegalSchedule) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 2.0, 0, 0, 0);
+  trace.add(2.0, 3.0, 0, 1, 0);
+  EXPECT_EQ(trace.validate(jobs, 1, 1.0), "");
+}
+
+TEST(TraceValidate, EmptyTraceIsLegal) {
+  const JobSet jobs = chain_jobset();
+  EXPECT_EQ(Trace{}.validate(jobs, 1, 1.0), "");
+}
+
+TEST(TraceValidate, CatchesProcessorOverlap) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 2.5, 0, 0, 0);
+  trace.add(2.0, 3.0, 0, 1, 0);  // overlaps on proc 0
+  EXPECT_NE(trace.validate(jobs, 1, 1.0).find("overlap"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesProcessorOutOfRange) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 2.0, 0, 0, 3);
+  EXPECT_NE(trace.validate(jobs, 1, 1.0).find("processor"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesRunBeforeRelease) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(0.5, 1.5, 0, 0, 0);  // release is 1.0
+  EXPECT_NE(trace.validate(jobs, 1, 1.0).find("release"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesPrecedenceViolation) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 2.0, 0, 1, 0);  // node 1 before node 0 ever ran
+  const std::string err = trace.validate(jobs, 1, 1.0);
+  EXPECT_NE(err.find("predecessor"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesPartialPredecessor) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 1.5, 0, 0, 0);  // only half of node 0
+  trace.add(2.0, 3.0, 0, 1, 0);
+  const std::string err = trace.validate(jobs, 1, 1.0);
+  EXPECT_NE(err.find("incomplete"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesStartBeforePredecessorEnd) {
+  JobSet jobs;
+  jobs.add(Job::with_deadline(
+      std::make_shared<const Dag>(make_chain(2, 1.0)), 0.0, 10.0, 1.0));
+  jobs.finalize();
+  Trace trace;
+  trace.add(0.0, 1.0, 0, 0, 0);
+  trace.add(0.5, 1.5, 0, 1, 1);  // starts while predecessor still running
+  const std::string err = trace.validate(jobs, 2, 1.0);
+  EXPECT_NE(err.find("started"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesOverExecution) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 4.0, 0, 0, 0);  // node 0 has work 1.0, ran 3.0
+  const std::string err = trace.validate(jobs, 1, 1.0);
+  EXPECT_NE(err.find("executed"), std::string::npos);
+}
+
+TEST(TraceValidate, CatchesUnknownJobAndNode) {
+  const JobSet jobs = chain_jobset();
+  Trace trace1;
+  trace1.add(1.0, 2.0, 7, 0, 0);
+  EXPECT_NE(trace1.validate(jobs, 1, 1.0).find("unknown"), std::string::npos);
+  Trace trace2;
+  trace2.add(1.0, 2.0, 0, 9, 0);
+  EXPECT_NE(trace2.validate(jobs, 1, 1.0).find("no node"), std::string::npos);
+}
+
+TEST(TraceValidate, SpeedScalesExecutedWork) {
+  const JobSet jobs = chain_jobset();
+  Trace trace;
+  trace.add(1.0, 1.5, 0, 0, 0);  // 0.5 time * speed 2 = work 1.0
+  trace.add(1.5, 2.0, 0, 1, 0);
+  EXPECT_EQ(trace.validate(jobs, 1, 2.0), "");
+}
+
+}  // namespace
+}  // namespace dagsched

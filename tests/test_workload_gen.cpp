@@ -1,0 +1,191 @@
+// Workload generation: determinism, load targeting, deadline/profit policy
+// semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/scenarios.h"
+#include "workload/workload.h"
+
+namespace dagsched {
+namespace {
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.m = 8;
+  config.target_load = 0.7;
+  config.horizon = 100.0;
+  Rng r1(42), r2(42), r3(43);
+  const JobSet a = generate_workload(r1, config);
+  const JobSet b = generate_workload(r2, config);
+  const JobSet c = generate_workload(r3, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].release(), b[i].release());
+    EXPECT_DOUBLE_EQ(a[i].work(), b[i].work());
+    EXPECT_DOUBLE_EQ(a[i].peak_profit(), b[i].peak_profit());
+  }
+  // Different seed gives a different instance (overwhelmingly likely).
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < std::min(a.size(), c.size()); ++i) {
+    differs = a[i].release() != c[i].release() || a[i].work() != c[i].work();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, HitsTargetLoadApproximately) {
+  WorkloadConfig config;
+  config.m = 16;
+  config.target_load = 0.8;
+  config.horizon = 2000.0;  // long horizon for concentration
+  Rng rng(7);
+  const JobSet jobs = generate_workload(rng, config);
+  const double load = jobs.utilization(config.m, config.horizon);
+  EXPECT_NEAR(load, 0.8, 0.2);
+}
+
+TEST(Workload, SortedAndNonNegativeReleases) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kPeriodicBurst,
+        ArrivalKind::kUniform}) {
+    WorkloadConfig config;
+    config.arrivals.kind = kind;
+    config.horizon = 200.0;
+    Rng rng(11);
+    const JobSet jobs = generate_workload(rng, config);
+    EXPECT_TRUE(jobs.sorted_by_release());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_GE(jobs[i].release(), 0.0);
+      EXPECT_LT(jobs[i].release(), config.horizon);
+    }
+  }
+}
+
+TEST(Workload, IntegralReleasesFlag) {
+  WorkloadConfig config;
+  config.integral_releases = true;
+  config.horizon = 100.0;
+  Rng rng(13);
+  const JobSet jobs = generate_workload(rng, config);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs[i].release(), std::floor(jobs[i].release()));
+  }
+}
+
+TEST(DeadlinePolicyTest, ProportionalSlackExact) {
+  Rng rng(1);
+  DeadlinePolicy policy;
+  policy.kind = DeadlinePolicy::Kind::kProportionalSlack;
+  policy.eps = 0.5;
+  const Time d = assign_deadline(rng, policy, 100.0, 10.0, 8);
+  EXPECT_DOUBLE_EQ(d, 1.5 * (90.0 / 8.0 + 10.0));
+}
+
+TEST(DeadlinePolicyTest, TightIsNearIdealBound) {
+  Rng rng(1);
+  DeadlinePolicy policy;
+  policy.kind = DeadlinePolicy::Kind::kTight;
+  policy.tight_margin = 0.01;
+  // W=100, L=10, m=8: ideal = max(10, 12.5) = 12.5.
+  EXPECT_DOUBLE_EQ(assign_deadline(rng, policy, 100.0, 10.0, 8),
+                   12.5 * 1.01);
+  // Chain-dominant: W=20, L=15, m=8: ideal = 15.
+  EXPECT_DOUBLE_EQ(assign_deadline(rng, policy, 20.0, 15.0, 8), 15.0 * 1.01);
+}
+
+TEST(DeadlinePolicyTest, ReasonableAtLeastGreedyBound) {
+  Rng rng(5);
+  DeadlinePolicy policy;
+  policy.kind = DeadlinePolicy::Kind::kReasonable;
+  policy.extra = 2.0;
+  for (int i = 0; i < 100; ++i) {
+    const Time d = assign_deadline(rng, policy, 64.0, 4.0, 16);
+    const double greedy = 60.0 / 16.0 + 4.0;
+    EXPECT_GE(d, greedy - 1e-9);
+    EXPECT_LE(d, greedy * 3.0 + 1e-9);
+  }
+}
+
+TEST(DeadlinePolicyTest, UniformSlackWithinRange) {
+  Rng rng(5);
+  DeadlinePolicy policy;
+  policy.kind = DeadlinePolicy::Kind::kUniformSlack;
+  policy.eps_lo = 0.2;
+  policy.eps_hi = 0.4;
+  const double greedy = 60.0 / 16.0 + 4.0;
+  for (int i = 0; i < 100; ++i) {
+    const Time d = assign_deadline(rng, policy, 64.0, 4.0, 16);
+    EXPECT_GE(d, 1.2 * greedy - 1e-9);
+    EXPECT_LE(d, 1.4 * greedy + 1e-9);
+  }
+}
+
+TEST(ProfitPolicyTest, ShapesMatchConfig) {
+  Rng rng(3);
+  ProfitPolicy policy;
+  policy.shape = ProfitPolicy::Shape::kStep;
+  EXPECT_TRUE(assign_profit(rng, policy, 10.0, 5.0).is_step());
+  policy.shape = ProfitPolicy::Shape::kPlateauLinear;
+  const ProfitFn linear = assign_profit(rng, policy, 10.0, 5.0);
+  EXPECT_FALSE(linear.is_step());
+  EXPECT_DOUBLE_EQ(linear.plateau_end(), 5.0);
+  EXPECT_DOUBLE_EQ(linear.support_end(), 10.0);  // decay = 1.0
+  policy.shape = ProfitPolicy::Shape::kPlateauExp;
+  EXPECT_EQ(assign_profit(rng, policy, 10.0, 5.0).support_end(),
+            kTimeInfinity);
+}
+
+TEST(ProfitPolicyTest, ProportionalWorkBoundsDensitySpread) {
+  Rng rng(9);
+  ProfitPolicy policy;
+  policy.magnitude = ProfitPolicy::Magnitude::kProportionalWork;
+  policy.lo = 0.5;
+  policy.hi = 2.0;
+  for (int i = 0; i < 100; ++i) {
+    const Work w = rng.uniform(1.0, 100.0);
+    const ProfitFn fn = assign_profit(rng, policy, w, 10.0);
+    const double classic_density = fn.peak() / w;
+    EXPECT_GE(classic_density, 0.5 - 1e-9);
+    EXPECT_LE(classic_density, 2.0 + 1e-9);
+  }
+}
+
+TEST(Scenarios, PresetsAreSane) {
+  const WorkloadConfig thm2 = scenario_thm2(0.5, 0.7, 16);
+  EXPECT_EQ(thm2.deadline.kind, DeadlinePolicy::Kind::kProportionalSlack);
+  EXPECT_DOUBLE_EQ(thm2.deadline.eps, 0.5);
+
+  const WorkloadConfig tight = scenario_tight(0.7, 16);
+  EXPECT_EQ(tight.deadline.kind, DeadlinePolicy::Kind::kTight);
+
+  const WorkloadConfig profit =
+      scenario_profit(0.5, 0.7, 16, ProfitPolicy::Shape::kPlateauExp);
+  EXPECT_TRUE(profit.integral_releases);
+  EXPECT_EQ(profit.profit.shape, ProfitPolicy::Shape::kPlateauExp);
+
+  const WorkloadConfig shootout = scenario_shootout(0.7, 16, 0.1, 1.0);
+  EXPECT_EQ(shootout.profit.magnitude, ProfitPolicy::Magnitude::kPareto);
+  // All presets generate non-empty workloads.
+  for (const WorkloadConfig& config : {thm2, tight, profit, shootout}) {
+    Rng rng(21);
+    EXPECT_GT(generate_workload(rng, config).size(), 0u);
+  }
+}
+
+TEST(SampleDag, AllFamiliesProduceValidDags) {
+  Rng rng(17);
+  for (const DagFamily family :
+       {DagFamily::kChain, DagFamily::kParallelBlock, DagFamily::kForkJoin,
+        DagFamily::kLayered, DagFamily::kSeriesParallel, DagFamily::kRandom,
+        DagFamily::kMixed, DagFamily::kWavefront, DagFamily::kStencil,
+        DagFamily::kMapReduce}) {
+    for (int i = 0; i < 10; ++i) {
+      const Dag dag = sample_dag(rng, family, 1.0);
+      EXPECT_GE(dag.num_nodes(), 1u);
+      EXPECT_LE(dag.span(), dag.total_work() + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,339 @@
+// dagsched -- command-line front end.
+//
+//   dagsched generate --scenario thm2 --eps 0.5 --load 1.0 --m 8
+//            --horizon 200 --seed 42 --out instance.wl
+//   dagsched run instance.wl --scheduler s --m 8 [--speed 1.0] [--eps 0.5]
+//            [--engine event|slot] [--selector fifo|lifo|random|adversarial|
+//             critical-path] [--gantt] [--svg out.svg]
+//   dagsched inspect instance.wl [--dot <job-index> ]
+//   dagsched opt instance.wl --m 8   # bracket OPT; exact if all-sequential
+//
+// Exit code 0 on success, 1 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/deadline_scheduler.h"
+#include "dag/dot.h"
+#include "exp/runner.h"
+#include "opt/exact.h"
+#include "opt/upper_bound.h"
+#include "sim/event_engine.h"
+#include "sim/gantt.h"
+#include "sim/metrics.h"
+#include "sim/slot_engine.h"
+#include "util/arg_parse.h"
+#include "util/table.h"
+#include "workload/analyzer.h"
+#include "workload/scenarios.h"
+#include "workload/trace_import.h"
+#include "workload/workload_io.h"
+
+namespace {
+
+using namespace dagsched;
+
+/// Loads either a .wl workload file or a .csv parameterized trace.
+JobSet load_instance(const std::string& path) {
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".csv") {
+    return load_trace_csv(path);
+  }
+  return load_workload(path);
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  dagsched generate --scenario thm2|tight|reasonable|profit|"
+         "shootout\n"
+         "           [--eps E] [--load L] [--m M] [--horizon H] [--seed S] "
+         "--out FILE\n"
+         "  dagsched run FILE --scheduler NAME [--m M] [--speed S] [--eps E]"
+         "\n           [--engine event|slot] [--selector KIND] [--gantt] "
+         "[--svg FILE]\n"
+         "  dagsched inspect FILE [--dot JOB]\n"
+         "  dagsched compare FILE [--m M] [--eps E]\n"
+         "  dagsched opt FILE [--m M]\n"
+         "schedulers:";
+  for (const std::string& name : named_scheduler_list()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << '\n';
+  return 1;
+}
+
+SelectorKind parse_selector(const std::string& name) {
+  if (name == "fifo") return SelectorKind::kFifo;
+  if (name == "lifo") return SelectorKind::kLifo;
+  if (name == "random") return SelectorKind::kRandom;
+  if (name == "adversarial") return SelectorKind::kAdversarial;
+  if (name == "critical-path") return SelectorKind::kCriticalPath;
+  throw std::invalid_argument("unknown selector '" + name + "'");
+}
+
+int cmd_generate(ArgParser& args) {
+  const std::string scenario = args.get_string("scenario", "thm2");
+  const double eps = args.get_double("eps", 0.5);
+  const double load = args.get_double("load", 1.0);
+  const auto m = static_cast<ProcCount>(args.get_int("m", 8));
+  const double horizon = args.get_double("horizon", 200.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string out = args.get_string("out", "");
+  args.finish();
+  if (out.empty()) {
+    std::cerr << "generate: --out is required\n";
+    return 1;
+  }
+
+  WorkloadConfig config;
+  if (scenario == "thm2") {
+    config = scenario_thm2(eps, load, m);
+  } else if (scenario == "tight") {
+    config = scenario_tight(load, m);
+  } else if (scenario == "reasonable") {
+    config = scenario_reasonable(load, m);
+  } else if (scenario == "profit") {
+    config = scenario_profit(eps, load, m, ProfitPolicy::Shape::kPlateauLinear);
+  } else if (scenario == "shootout") {
+    config = scenario_shootout(load, m, 0.3, 1.2);
+  } else {
+    std::cerr << "generate: unknown scenario '" << scenario << "'\n";
+    return 1;
+  }
+  config.horizon = horizon;
+
+  Rng rng(seed);
+  const JobSet jobs = generate_workload(rng, config);
+  save_workload(out, jobs);
+  std::cout << "wrote " << jobs.size() << " jobs to " << out
+            << " (offered load " << jobs.utilization(m, horizon) << ")\n";
+  return 0;
+}
+
+int cmd_run(ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  const JobSet jobs = load_instance(args.positional()[1]);
+  const std::string scheduler_name = args.get_string("scheduler", "s");
+  const auto m = static_cast<ProcCount>(args.get_int("m", 8));
+  const double speed = args.get_double("speed", 1.0);
+  const double eps = args.get_double("eps", 0.5);
+  const std::string engine = args.get_string("engine", "event");
+  const SelectorKind selector =
+      parse_selector(args.get_string("selector", "fifo"));
+  const bool show_gantt = args.get_flag("gantt");
+  const bool show_profile = args.get_flag("profile");
+  const bool show_audit = args.get_flag("audit");
+  const std::string svg_path = args.get_string("svg", "");
+  args.finish();
+
+  auto scheduler = make_named_scheduler(scheduler_name, eps);
+  auto* deadline_scheduler = dynamic_cast<DeadlineScheduler*>(scheduler.get());
+  if (show_audit) {
+    if (deadline_scheduler == nullptr) {
+      std::cerr << "run: --audit is only available for the paper-S family "
+                   "(s, s-wc, s-noadm)\n";
+      return 1;
+    }
+    // Rebuild the scheduler with auditing enabled.
+    DeadlineSchedulerOptions options;
+    options.params = Params::from_epsilon(eps);
+    options.enforce_admission = scheduler_name != "s-noadm";
+    options.work_conserving = scheduler_name == "s-wc";
+    options.record_audit = true;
+    scheduler = std::make_unique<DeadlineScheduler>(options);
+    deadline_scheduler = dynamic_cast<DeadlineScheduler*>(scheduler.get());
+  }
+  auto sel = make_selector(selector, 1);
+  SimResult result;
+  if (engine == "slot") {
+    SlotEngineOptions options;
+    options.num_procs = m;
+    options.speed = speed;
+    options.record_trace = show_gantt || show_profile || !svg_path.empty();
+    SlotEngine slot_engine(jobs, *scheduler, *sel, options);
+    result = slot_engine.run();
+  } else if (engine == "event") {
+    EngineOptions options;
+    options.num_procs = m;
+    options.speed = speed;
+    options.record_trace = show_gantt || show_profile || !svg_path.empty();
+    EventEngine event_engine(jobs, *scheduler, *sel, options);
+    result = event_engine.run();
+  } else {
+    std::cerr << "run: unknown engine '" << engine << "'\n";
+    return 1;
+  }
+
+  std::cout << "scheduler:        " << scheduler->name() << "\n"
+            << "jobs:             " << jobs.size() << "\n"
+            << "completed:        " << result.jobs_completed << "\n"
+            << "profit:           " << result.total_profit << " / "
+            << jobs.total_peak_profit() << " ("
+            << 100.0 * profit_fraction(result, jobs) << "%)\n"
+            << "busy proc-time:   " << result.busy_proc_time << "\n"
+            << "decisions:        " << result.decisions << "\n"
+            << "node preemptions: " << result.node_preemptions << "\n"
+            << "job preemptions:  " << result.job_preemptions << "\n";
+  const ScheduleMetrics schedule_metrics =
+      compute_metrics(result, jobs, m);
+  if (schedule_metrics.flow_time.count() > 0) {
+    std::cout << "flow time:        mean "
+              << schedule_metrics.flow_time.mean() << ", p50 "
+              << schedule_metrics.flow_time.median() << ", p99 "
+              << schedule_metrics.flow_time.quantile(0.99) << "\n"
+              << "stretch:          mean "
+              << schedule_metrics.stretch.mean() << ", max "
+              << schedule_metrics.stretch.quantile(1.0) << "\n";
+  }
+  std::cout << "deadline misses:  " << schedule_metrics.missed << "\n";
+  if (show_gantt) {
+    std::cout << to_ascii_gantt(result.trace, m);
+  }
+  if (show_profile && result.end_time > 0.0) {
+    // Utilization sparkline over 60 windows.
+    const std::vector<double> profile =
+        utilization_profile(result.trace, m, result.end_time, 60);
+    static const char* kBars[] = {" ", ".", ":", "-", "=", "#", "%", "@"};
+    std::cout << "utilization:      [";
+    for (const double value : profile) {
+      const auto level = static_cast<std::size_t>(
+          std::min(7.0, std::max(0.0, value * 7.999)));
+      std::cout << kBars[level];
+    }
+    std::cout << "] over [0, " << result.end_time << ")\n";
+  }
+  if (!svg_path.empty()) {
+    std::ofstream svg(svg_path);
+    if (!svg) {
+      std::cerr << "cannot open " << svg_path << "\n";
+      return 1;
+    }
+    write_svg_gantt(svg, result.trace, m);
+    std::cout << "wrote Gantt SVG to " << svg_path << "\n";
+  }
+  if (show_audit && deadline_scheduler != nullptr) {
+    std::cout << "\nadmission audit:\n";
+    for (const AuditEvent& event : deadline_scheduler->audit()) {
+      std::cout << "  t=" << event.time << "  J" << event.job << "  "
+                << audit_action_name(event.action) << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_inspect(ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  const JobSet jobs = load_instance(args.positional()[1]);
+  const std::int64_t dot_job = args.get_int("dot", -1);
+  const auto m = static_cast<ProcCount>(args.get_int("m", 8));
+  args.finish();
+
+  if (dot_job < 0) {
+    print_profile(std::cout, analyze_instance(jobs, m));
+    std::cout << "\n";
+  }
+  if (dot_job >= 0) {
+    if (static_cast<std::size_t>(dot_job) >= jobs.size()) {
+      std::cerr << "inspect: no job " << dot_job << "\n";
+      return 1;
+    }
+    write_dot(std::cout, jobs[static_cast<std::size_t>(dot_job)].dag(),
+              "job" + std::to_string(dot_job));
+    return 0;
+  }
+
+  TextTable table({"job", "release", "W", "L", "nodes", "profit",
+                   "plateau/deadline", "shape"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    table.add_row(
+        {TextTable::num(static_cast<long long>(i)),
+         TextTable::num(job.release(), 5), TextTable::num(job.work(), 5),
+         TextTable::num(job.span(), 5),
+         TextTable::num(static_cast<long long>(job.dag().num_nodes())),
+         TextTable::num(job.peak_profit(), 5),
+         TextTable::num(job.profit().plateau_end(), 5),
+         job.has_deadline() ? "step" : "decaying"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_compare(ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  const JobSet jobs = load_instance(args.positional()[1]);
+  const auto m = static_cast<ProcCount>(args.get_int("m", 8));
+  const double eps = args.get_double("eps", 0.5);
+  args.finish();
+
+  TextTable table({"scheduler", "completed", "profit", "fraction",
+                   "node_preempt", "busy"});
+  for (const std::string& name : named_scheduler_list()) {
+    auto scheduler = make_named_scheduler(name, eps);
+    auto sel = make_selector(SelectorKind::kFifo);
+    SimResult result;
+    if (name == "profit") {
+      SlotEngineOptions options;
+      options.num_procs = m;
+      SlotEngine engine(jobs, *scheduler, *sel, options);
+      result = engine.run();
+    } else {
+      EngineOptions options;
+      options.num_procs = m;
+      EventEngine engine(jobs, *scheduler, *sel, options);
+      result = engine.run();
+    }
+    table.add_row(
+        {name,
+         TextTable::num(static_cast<long long>(result.jobs_completed)) +
+             "/" + TextTable::num(static_cast<long long>(jobs.size())),
+         TextTable::num(result.total_profit, 5),
+         TextTable::num(profit_fraction(result, jobs), 3),
+         TextTable::num(static_cast<long long>(result.node_preemptions)),
+         TextTable::num(result.busy_proc_time, 5)});
+  }
+  table.print(std::cout);
+  std::cout << "(profit ran on the slot engine; everything else on the "
+               "event engine)\n";
+  return 0;
+}
+
+int cmd_opt(ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  const JobSet jobs = load_instance(args.positional()[1]);
+  const auto m = static_cast<ProcCount>(args.get_int("m", 8));
+  args.finish();
+
+  const OptBracket bracket = estimate_opt(jobs, m);
+  std::cout << "clairvoyant OPT bracket on m=" << m << ":\n"
+            << "  lower (witnessed by " << bracket.lower_scheduler
+            << "): " << bracket.lower << "\n"
+            << "  upper (" << (bracket.lp_used ? "interval-capacity LP" : "trivial")
+            << "): " << bracket.upper << "\n";
+  if (const auto sequential = to_sequential(jobs)) {
+    const ExactOptResult exact = exact_opt_sequential(*sequential, m);
+    std::cout << "  exact (all jobs sequential, "
+              << (exact.proven_optimal ? "proven" : "node-limit hit")
+              << "): " << exact.value << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string& command = args.positional()[0];
+    if (command == "generate") return cmd_generate(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "opt") return cmd_opt(args);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "dagsched: " << error.what() << "\n";
+    return 1;
+  }
+}
