@@ -3,14 +3,27 @@
 // Measures the cost of the building blocks so users can size experiments:
 // event-engine decision throughput, slot-engine slot throughput, admission
 // index operations, allocation math, and the simplex OPT bound.
+//
+// Pass `--out perf.json` (stripped before google-benchmark sees the
+// arguments) to additionally write the measurements as a versioned
+// "dagsched.bench_report/1" document, so perf numbers land in a
+// mechanically trackable file instead of ad-hoc console output.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "baselines/list_scheduler.h"
 #include "core/deadline_scheduler.h"
 #include "core/density_index.h"
 #include "dag/generators.h"
+#include "obs/report.h"
 #include "opt/upper_bound.h"
 #include "sim/event_engine.h"
 #include "sim/slot_engine.h"
@@ -124,4 +137,69 @@ void BM_DagGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_DagGeneration);
 
+/// Console output as usual, plus a structured copy of every finished run
+/// for the --out bench report.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      BenchMeasurement measurement;
+      measurement.name = run.benchmark_name();
+      measurement.iterations = static_cast<std::uint64_t>(run.iterations);
+      measurement.real_time_ns = run.GetAdjustedRealTime();
+      measurement.cpu_time_ns = run.GetAdjustedCPUTime();
+      measurement.aggregate = run.run_type == Run::RT_Aggregate;
+      for (const auto& [name, counter] : run.counters) {
+        measurement.counters.emplace_back(name, counter.value);
+      }
+      measurements.push_back(std::move(measurement));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<BenchMeasurement> measurements;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Split off --out before google-benchmark parses the command line (it
+  // rejects flags it does not know).
+  std::string out_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string(arg.substr(6));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!out_path.empty()) {
+    const JsonValue report =
+        build_bench_report("engine_perf", reporter.measurements);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    report.write_pretty(out);
+    out << "\n";
+    std::cout << "wrote bench report to " << out_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+# (the `asan-ubsan` preset in CMakePresets.json) and run it.
+#
+# Usage: scripts/check_sanitizers.sh [ctest-args...]
+#   e.g. scripts/check_sanitizers.sh -R ObsReplay
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"$(nproc)"
+
+# abort_on_error gives a backtrace instead of exit(1) deep inside gtest;
+# detect_leaks stays on (default) to catch registry/log ownership slips.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --preset asan-ubsan "$@"

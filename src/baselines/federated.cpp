@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sink.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 
@@ -27,7 +28,13 @@ void FederatedScheduler::on_arrival(const EngineContext& ctx, JobId job) {
                                             : view.profit().plateau_end();
   const Work work_eff = view.work() / ctx.speed();
   const Work span_eff = view.span() / ctx.speed();
-  if (!(deadline > span_eff)) return;  // infeasible on any cluster
+  if (!(deadline > span_eff)) {  // infeasible on any cluster
+    if (ctx.obs() != nullptr) {
+      ctx.obs()->count("sched.drops.infeasible");
+      ctx.obs()->event(ctx.now(), job, ObsEventKind::kDrop, "infeasible");
+    }
+    return;
+  }
 
   ProcCount cluster;
   const Work parallel_work = std::max(work_eff - span_eff, 0.0);
@@ -39,12 +46,25 @@ void FederatedScheduler::on_arrival(const EngineContext& ctx, JobId job) {
     cluster = std::max<ProcCount>(cluster, 1);
   }
 
-  if (committed_ + cluster > ctx.num_procs()) return;  // reject permanently
+  if (committed_ + cluster > ctx.num_procs()) {  // reject permanently
+    if (ctx.obs() != nullptr) {
+      ctx.obs()->count("sched.drops.cluster_overflow");
+      ctx.obs()->event(ctx.now(), job, ObsEventKind::kDrop, "cluster-overflow",
+                       {{"cluster", static_cast<double>(cluster)},
+                        {"committed", static_cast<double>(committed_)}});
+    }
+    return;
+  }
   info.cluster = cluster;
   info.admitted = true;
   committed_ += cluster;
   ++admitted_count_;
   running_.push_back(job);
+  if (ctx.obs() != nullptr) {
+    ctx.obs()->count("sched.admissions");
+    ctx.obs()->event(ctx.now(), job, ObsEventKind::kAdmit, "cluster-fit",
+                     {{"cluster", static_cast<double>(cluster)}});
+  }
 }
 
 void FederatedScheduler::on_completion(const EngineContext& ctx, JobId job) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/sink.h"
 #include "util/check.h"
 
 namespace dagsched {
@@ -60,8 +61,14 @@ void ListScheduler::decide(const EngineContext& ctx, Assignment& out) {
   order.clear();
   for (const JobId job : ctx.active_jobs()) {
     const JobView view = ctx.view(job);
-    if (options_.drop_expired && view.deadline_unreachable(ctx.now())) continue;
-    if (view.ready_count() == 0) continue;  // completed jobs are not active
+    if (options_.drop_expired && view.deadline_unreachable(ctx.now())) {
+      if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.expired");
+      continue;
+    }
+    if (view.ready_count() == 0) {  // completed jobs are not active
+      if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.not_ready");
+      continue;
+    }
     order.emplace_back(key(ctx, job), job);
   }
   std::sort(order.begin(), order.end());

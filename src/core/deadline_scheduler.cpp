@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/sink.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 
@@ -43,9 +44,50 @@ const char* audit_action_name(AuditEvent::Action action) {
   return "?";
 }
 
-void DeadlineScheduler::record(Time time, JobId job,
+void DeadlineScheduler::record(const EngineContext& ctx, JobId job,
                                AuditEvent::Action action) {
-  if (options_.record_audit) audit_.push_back({time, job, action});
+  if (options_.record_audit) audit_.push_back({ctx.now(), job, action});
+  const ObsSink* obs = ctx.obs();
+  if (obs == nullptr) return;
+  // Every event carries the allocation the decision was made against, so a
+  // consumer can replay condition (2) offline (see docs/OBSERVABILITY.md).
+  std::vector<std::pair<std::string, double>> detail = {
+      {"v", info_[job].alloc.v},
+      {"n", static_cast<double>(info_[job].alloc.n)},
+      {"good", info_[job].alloc.good ? 1.0 : 0.0}};
+  switch (action) {
+    case AuditEvent::Action::kAdmitted:
+      obs->count("sched.admissions");
+      obs->event(ctx.now(), job, ObsEventKind::kAdmit, "cond2-ok",
+                 std::move(detail));
+      break;
+    case AuditEvent::Action::kQueuedNotGood:
+      obs->count("sched.deferrals");
+      obs->event(ctx.now(), job, ObsEventKind::kDefer, "not-delta-good",
+                 std::move(detail));
+      break;
+    case AuditEvent::Action::kQueuedWindowFull:
+      obs->count("sched.deferrals");
+      obs->event(ctx.now(), job, ObsEventKind::kDefer, "window-full",
+                 std::move(detail));
+      break;
+    case AuditEvent::Action::kPromoted:
+      obs->count("sched.admissions");
+      obs->count("sched.promotions");
+      obs->event(ctx.now(), job, ObsEventKind::kAdmit, "promoted",
+                 std::move(detail));
+      break;
+    case AuditEvent::Action::kDroppedStale:
+      obs->count("sched.drops.stale");
+      obs->event(ctx.now(), job, ObsEventKind::kDrop, "stale",
+                 std::move(detail));
+      break;
+    case AuditEvent::Action::kExpiredInQ:
+      obs->count("sched.drops.expired_in_q");
+      obs->event(ctx.now(), job, ObsEventKind::kDrop, "expired-in-q",
+                 std::move(detail));
+      break;
+  }
 }
 
 void DeadlineScheduler::reset() {
@@ -119,23 +161,25 @@ void DeadlineScheduler::on_arrival(const EngineContext& ctx, JobId job) {
   if (info.alloc.n == 0) {
     // Infeasible for any processor count: park in P; it will expire there.
     sorted_insert(p_, job);
-    record(ctx.now(), job, AuditEvent::Action::kQueuedNotGood);
+    record(ctx, job, AuditEvent::Action::kQueuedNotGood);
     return;
   }
   info.alloc.v = density_for(ctx, info, view.work(), view.span());
 
   const double cap =
       options_.params.b * static_cast<double>(ctx.num_procs());
-  const bool admissible =
-      info.alloc.good &&
-      (!options_.enforce_admission ||
-       q_index_.admits(info.alloc.v, info.alloc.n, options_.params.c, cap));
+  bool admissible = info.alloc.good;
+  if (admissible && options_.enforce_admission) {
+    if (ctx.obs() != nullptr) ctx.obs()->count("sched.admission_checks");
+    admissible =
+        q_index_.admits(info.alloc.v, info.alloc.n, options_.params.c, cap);
+  }
   if (admissible) {
     admit_to_q(job);
-    record(ctx.now(), job, AuditEvent::Action::kAdmitted);
+    record(ctx, job, AuditEvent::Action::kAdmitted);
   } else {
     sorted_insert(p_, job);
-    record(ctx.now(), job,
+    record(ctx, job,
            info.alloc.good ? AuditEvent::Action::kQueuedWindowFull
                            : AuditEvent::Action::kQueuedNotGood);
   }
@@ -154,7 +198,7 @@ void DeadlineScheduler::drain_p(const EngineContext& ctx) {
         approx_gt(ctx.now(), info.abs_plateau_deadline)) {
       info.dropped = true;
       p_.erase(p_.begin() + static_cast<std::ptrdiff_t>(i));
-      record(ctx.now(), job, AuditEvent::Action::kDroppedStale);
+      record(ctx, job, AuditEvent::Action::kDroppedStale);
       continue;
     }
     // Optional recomputation (future-work extension): re-derive the
@@ -167,6 +211,7 @@ void DeadlineScheduler::drain_p(const EngineContext& ctx) {
       const Time remaining_window =
           info.abs_plateau_deadline - ctx.now();
       if (remaining_window > 0.0) {
+        if (ctx.obs() != nullptr) ctx.obs()->count("sched.recomputes");
         JobAllocation fresh_alloc = compute_deadline_allocation(
             view.work(), view.span(), remaining_window, info.peak,
             options_.params, ctx.speed());
@@ -177,15 +222,16 @@ void DeadlineScheduler::drain_p(const EngineContext& ctx) {
       }
     }
     const bool fresh = !options_.require_fresh || is_fresh(info, ctx.now());
-    const bool admissible =
-        info.alloc.n > 0 && fresh &&
-        (!options_.enforce_admission ||
-         q_index_.admits(info.alloc.v, info.alloc.n, options_.params.c,
-                         cap));
+    bool admissible = info.alloc.n > 0 && fresh;
+    if (admissible && options_.enforce_admission) {
+      if (ctx.obs() != nullptr) ctx.obs()->count("sched.admission_checks");
+      admissible = q_index_.admits(info.alloc.v, info.alloc.n,
+                                   options_.params.c, cap);
+    }
     if (admissible) {
       p_.erase(p_.begin() + static_cast<std::ptrdiff_t>(i));
       admit_to_q(job);
-      record(ctx.now(), job, AuditEvent::Action::kPromoted);
+      record(ctx, job, AuditEvent::Action::kPromoted);
       continue;
     }
     info.alloc = saved;
@@ -205,8 +251,8 @@ void DeadlineScheduler::on_deadline(const EngineContext& ctx, JobId job) {
   const bool was_in_q = std::erase(q_, job) > 0;
   if (was_in_q) q_index_.erase(job);
   const bool was_in_p = std::erase(p_, job) > 0;
-  if (was_in_q) record(ctx.now(), job, AuditEvent::Action::kExpiredInQ);
-  if (was_in_p) record(ctx.now(), job, AuditEvent::Action::kDroppedStale);
+  if (was_in_q) record(ctx, job, AuditEvent::Action::kExpiredInQ);
+  if (was_in_p) record(ctx, job, AuditEvent::Action::kDroppedStale);
   if (options_.admit_on_deadline && was_in_q) drain_p(ctx);
 }
 

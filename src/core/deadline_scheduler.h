@@ -141,7 +141,9 @@ class DeadlineScheduler final : public SchedulerBase {
   std::size_t started_count_ = 0;
   Profit started_profit_ = 0.0;
 
-  void record(Time time, JobId job, AuditEvent::Action action);
+  /// Appends to the audit trail (if recording) and mirrors the transition
+  /// to the run's ObsSink as a decision event + policy counter (if wired).
+  void record(const EngineContext& ctx, JobId job, AuditEvent::Action action);
 };
 
 }  // namespace dagsched

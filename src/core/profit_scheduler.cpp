@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sink.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 #include "util/logging.h"
@@ -57,6 +58,10 @@ void ProfitScheduler::on_arrival(const EngineContext& ctx, JobId job) {
   if (info.alloc.n == 0) {
     DS_LOG_DEBUG("profit scheduler: job " << job
                                           << " infeasible (x* too tight)");
+    if (ctx.obs() != nullptr) {
+      ctx.obs()->count("sched.drops.infeasible");
+      ctx.obs()->event(ctx.now(), job, ObsEventKind::kDrop, "infeasible");
+    }
     return;
   }
   const ProcCount n = info.alloc.n;
@@ -128,11 +133,26 @@ void ProfitScheduler::on_arrival(const EngineContext& ctx, JobId job) {
         slot.index.insert(job, v, n);
         slot.jobs.push_back(job);
       }
+      if (ctx.obs() != nullptr) {
+        ctx.obs()->count("sched.admissions");
+        ctx.obs()->event(ctx.now(), job, ObsEventKind::kSchedule,
+                         "deadline-found",
+                         {{"d", static_cast<double>(d)},
+                          {"v", v},
+                          {"n", static_cast<double>(n)},
+                          {"slots", static_cast<double>(assignable.size())}});
+      }
       return;
     }
   }
   DS_LOG_DEBUG("profit scheduler: no valid deadline for job "
                << job << " within " << d_hi << " slots");
+  if (ctx.obs() != nullptr) {
+    ctx.obs()->count("sched.drops.no_valid_deadline");
+    ctx.obs()->event(ctx.now(), job, ObsEventKind::kDrop,
+                     "no-valid-deadline",
+                     {{"d_hi", static_cast<double>(d_hi)}});
+  }
 }
 
 void ProfitScheduler::on_completion(const EngineContext& ctx, JobId job) {

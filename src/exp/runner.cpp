@@ -73,12 +73,16 @@ RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
     SlotEngineOptions options;
     options.num_procs = config.m;
     options.speed = config.speed;
+    options.record_trace = config.record_trace;
+    options.obs = config.obs;
     SlotEngine engine(jobs, scheduler, *selector, options);
     result = engine.run();
   } else {
     EngineOptions options;
     options.num_procs = config.m;
     options.speed = config.speed;
+    options.record_trace = config.record_trace;
+    options.obs = config.obs;
     EventEngine engine(jobs, scheduler, *selector, options);
     result = engine.run();
   }

@@ -40,6 +40,10 @@ struct RunConfig {
   std::uint64_t selector_seed = 0;
   /// Use the discrete SlotEngine (required by ProfitScheduler).
   bool use_slot_engine = false;
+  /// Record a full execution trace (needed for utilization timelines).
+  bool record_trace = false;
+  /// Observability sink forwarded to the engine (null = off).
+  const ObsSink* obs = nullptr;
 };
 
 struct RunMetrics {

@@ -1,0 +1,106 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dagsched {
+
+void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+
+  std::size_t bucket = 0;
+  if (value > 0.0) {
+    const int exponent = static_cast<int>(std::floor(std::log2(value)));
+    const int index = exponent + kBucketBias;
+    if (index > 0) {
+      bucket = std::min<std::size_t>(static_cast<std::size_t>(index),
+                                     kNumBuckets - 1);
+    }
+  }
+  ++buckets_[bucket];
+}
+
+double Histogram::bucket_lower_bound(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) - kBucketBias);
+}
+
+void Histogram::reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+}
+
+Counter* MetricRegistry::counter(std::string_view name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return it->second;
+  counters_.emplace_back();
+  Counter* instrument = &counters_.back();
+  counter_index_.emplace(std::string(name), instrument);
+  return instrument;
+}
+
+Gauge* MetricRegistry::gauge(std::string_view name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return it->second;
+  gauges_.emplace_back();
+  Gauge* instrument = &gauges_.back();
+  gauge_index_.emplace(std::string(name), instrument);
+  return instrument;
+}
+
+Histogram* MetricRegistry::histogram(std::string_view name) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return it->second;
+  histograms_.emplace_back();
+  Histogram* instrument = &histograms_.back();
+  histogram_index_.emplace(std::string(name), instrument);
+  return instrument;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::counter_values()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counter_index_.size());
+  for (const auto& [name, instrument] : counter_index_) {
+    out.emplace_back(name, instrument->value());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::gauge_values()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauge_index_.size());
+  for (const auto& [name, instrument] : gauge_index_) {
+    out.emplace_back(name, instrument->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricRegistry::histogram_values() const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histogram_index_.size());
+  for (const auto& [name, instrument] : histogram_index_) {
+    out.emplace_back(name, instrument);
+  }
+  return out;
+}
+
+void MetricRegistry::reset() {
+  for (Counter& instrument : counters_) instrument.reset();
+  for (Gauge& instrument : gauges_) instrument.reset();
+  for (Histogram& instrument : histograms_) instrument.reset();
+}
+
+}  // namespace dagsched

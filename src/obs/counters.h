@@ -1,0 +1,144 @@
+// Low-overhead counter/gauge/histogram registry for run instrumentation.
+//
+// A MetricRegistry is owned by whoever drives a run (the CLI, a bench, a
+// test) and handed to engines/schedulers through ObsSink (obs/sink.h).
+// Instruments are registered on first use and live for the registry's
+// lifetime, so hot paths resolve a name once and then touch a pointer:
+//
+//   Counter* decisions = registry.counter("engine.decisions");
+//   ...
+//   DS_OBS_ADD(decisions, 1.0);     // no-op when the pointer is null
+//
+// The registry is deliberately not thread-safe: the simulation engines are
+// single-threaded per run, and parallel trial runners own one registry per
+// trial.  All instrumentation macros compile to nothing when
+// DAGSCHED_OBS_ENABLED is defined to 0, so a build can prove the layer has
+// zero cost.  The counter catalog lives in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dagsched {
+
+/// Monotonically accumulating value (events, work, seconds).  Doubles so
+/// time-like quantities (idle processor-time) share the type.
+class Counter {
+ public:
+  void add(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-layout power-of-two histogram plus streaming count/sum/min/max.
+/// Bucket i covers [2^(i-kBucketBias), 2^(i+1-kBucketBias)); values <= 0 or
+/// below the smallest bound land in bucket 0, values beyond the largest in
+/// the final bucket.  Good enough for dt distributions and queue depths
+/// without per-observation allocation.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 40;
+  static constexpr int kBucketBias = 20;  // bucket 0 starts at 2^-20
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  const std::uint64_t* buckets() const { return buckets_; }
+  /// Lower bound of bucket `i` (2^(i-kBucketBias)).
+  static double bucket_lower_bound(std::size_t i);
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// Name -> instrument registry.  Instruments have stable addresses (deque
+/// storage); reset() zeroes every instrument but keeps registrations so
+/// resolved pointers stay valid across runs.
+class MetricRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Snapshots, sorted by name (deterministic report output).
+  std::vector<std::pair<std::string, double>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_values()
+      const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes all instruments; registrations (and pointers) survive.
+  void reset();
+
+ private:
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*, std::less<>> counter_index_;
+  std::map<std::string, Gauge*, std::less<>> gauge_index_;
+  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+};
+
+#ifndef DAGSCHED_OBS_ENABLED
+#define DAGSCHED_OBS_ENABLED 1
+#endif
+
+#if DAGSCHED_OBS_ENABLED
+/// Adds `delta` to a possibly-null Counter*.
+#define DS_OBS_ADD(counter_ptr, delta)                         \
+  do {                                                         \
+    if ((counter_ptr) != nullptr) (counter_ptr)->add(delta);   \
+  } while (0)
+/// Increments a possibly-null Counter* by one.
+#define DS_OBS_INC(counter_ptr) DS_OBS_ADD(counter_ptr, 1.0)
+/// Records `value` into a possibly-null Histogram*.
+#define DS_OBS_OBSERVE(hist_ptr, value)                          \
+  do {                                                           \
+    if ((hist_ptr) != nullptr) (hist_ptr)->observe(value);       \
+  } while (0)
+#else
+#define DS_OBS_ADD(counter_ptr, delta) \
+  do {                                 \
+  } while (0)
+#define DS_OBS_INC(counter_ptr) \
+  do {                          \
+  } while (0)
+#define DS_OBS_OBSERVE(hist_ptr, value) \
+  do {                                  \
+  } while (0)
+#endif
+
+}  // namespace dagsched

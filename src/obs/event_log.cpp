@@ -1,0 +1,112 @@
+#include "obs/event_log.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/json.h"
+
+namespace dagsched {
+
+const char* obs_event_kind_name(ObsEventKind kind) {
+  switch (kind) {
+    case ObsEventKind::kArrival: return "arrival";
+    case ObsEventKind::kAdmit: return "admit";
+    case ObsEventKind::kDefer: return "defer";
+    case ObsEventKind::kDrop: return "drop";
+    case ObsEventKind::kSchedule: return "schedule";
+    case ObsEventKind::kComplete: return "complete";
+    case ObsEventKind::kExpire: return "expire";
+    case ObsEventKind::kPreempt: return "preempt";
+  }
+  return "?";
+}
+
+std::optional<ObsEventKind> obs_event_kind_from_name(std::string_view name) {
+  if (name == "arrival") return ObsEventKind::kArrival;
+  if (name == "admit") return ObsEventKind::kAdmit;
+  if (name == "defer") return ObsEventKind::kDefer;
+  if (name == "drop") return ObsEventKind::kDrop;
+  if (name == "schedule") return ObsEventKind::kSchedule;
+  if (name == "complete") return ObsEventKind::kComplete;
+  if (name == "expire") return ObsEventKind::kExpire;
+  if (name == "preempt") return ObsEventKind::kPreempt;
+  return std::nullopt;
+}
+
+double DecisionEvent::detail_value(std::string_view key,
+                                   double fallback) const {
+  for (const auto& [name, value] : detail) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+void EventLog::write_jsonl(std::ostream& out) const {
+  for (const DecisionEvent& event : events_) {
+    JsonValue line = JsonValue::object();
+    line.set("t", JsonValue(event.time));
+    line.set("job", JsonValue(static_cast<double>(event.job)));
+    line.set("kind", JsonValue(obs_event_kind_name(event.kind)));
+    if (!event.reason.empty()) line.set("reason", JsonValue(event.reason));
+    if (!event.detail.empty()) {
+      JsonValue detail = JsonValue::object();
+      for (const auto& [key, value] : event.detail) {
+        detail.set(key, JsonValue(value));
+      }
+      line.set("detail", std::move(detail));
+    }
+    line.write(out);
+    out << '\n';
+  }
+}
+
+std::optional<std::vector<DecisionEvent>> EventLog::parse_jsonl(
+    std::istream& in, std::string* error) {
+  std::vector<DecisionEvent> events;
+  std::string line;
+  std::size_t line_number = 0;
+  auto fail = [error, &line_number](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const JsonParseResult parsed = json_parse(line);
+    if (!parsed.ok) return fail(parsed.error);
+    const JsonValue& doc = parsed.value;
+    if (!doc.is_object()) return fail("event is not a JSON object");
+    const JsonValue* t = doc.find("t");
+    const JsonValue* job = doc.find("job");
+    const JsonValue* kind = doc.find("kind");
+    if (t == nullptr || !t->is_number() || job == nullptr ||
+        !job->is_number() || kind == nullptr || !kind->is_string()) {
+      return fail("missing or mistyped t/job/kind");
+    }
+    const auto parsed_kind = obs_event_kind_from_name(kind->as_string());
+    if (!parsed_kind) return fail("unknown kind '" + kind->as_string() + "'");
+
+    DecisionEvent event;
+    event.time = t->as_number();
+    event.job = static_cast<JobId>(job->as_number());
+    event.kind = *parsed_kind;
+    if (const JsonValue* reason = doc.find("reason")) {
+      if (!reason->is_string()) return fail("reason is not a string");
+      event.reason = reason->as_string();
+    }
+    if (const JsonValue* detail = doc.find("detail")) {
+      if (!detail->is_object()) return fail("detail is not an object");
+      for (const auto& [key, value] : detail->members()) {
+        if (!value.is_number()) return fail("detail value is not a number");
+        event.detail.emplace_back(key, value.as_number());
+      }
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,87 @@
+// Structured decision event log: an audit trail of every scheduling
+// decision a run makes, with the decision-maker's stated reason.
+//
+// Engines emit lifecycle events (arrival, complete, expire, preempt);
+// schedulers emit policy events (admit, defer, drop, schedule) carrying a
+// machine-checkable reason slug plus the numeric facts behind the decision
+// (density v, requirement n, ...).  For the paper's Section-3 scheduler the
+// admit/defer events carry exactly the quantities of admission condition
+// (2), so a consumer can replay the density-window test against the log --
+// tests/test_obs_events.cpp does precisely that.
+//
+// Serialization is JSONL (one compact JSON object per line), the format
+// production schedulers such as DAGPS use for per-decision telemetry; the
+// parser reuses util/json.h so emit -> parse round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dagsched {
+
+enum class ObsEventKind {
+  kArrival,   // engine: job released
+  kAdmit,     // scheduler: job entered the served set
+  kDefer,     // scheduler: job parked in a waiting queue
+  kDrop,      // scheduler: job abandoned (reason says why)
+  kSchedule,  // scheduler: job pinned to future slots (Section-5)
+  kComplete,  // engine: all nodes of the job finished
+  kExpire,    // engine: deadline passed without completion
+  kPreempt,   // engine: job lost all processors while unfinished
+};
+
+const char* obs_event_kind_name(ObsEventKind kind);
+std::optional<ObsEventKind> obs_event_kind_from_name(std::string_view name);
+
+struct DecisionEvent {
+  Time time = 0.0;
+  JobId job = kInvalidJob;
+  ObsEventKind kind = ObsEventKind::kArrival;
+  /// Machine-checkable slug ("window-full", "not-delta-good", "stale", ...);
+  /// empty for plain lifecycle events.
+  std::string reason;
+  /// Numeric facts behind the decision, e.g. {{"v", 1.5}, {"n", 2}}.
+  std::vector<std::pair<std::string, double>> detail;
+
+  double detail_value(std::string_view key, double fallback = 0.0) const;
+
+  friend bool operator==(const DecisionEvent& lhs, const DecisionEvent& rhs) {
+    return lhs.time == rhs.time && lhs.job == rhs.job &&
+           lhs.kind == rhs.kind && lhs.reason == rhs.reason &&
+           lhs.detail == rhs.detail;
+  }
+};
+
+class EventLog {
+ public:
+  void emit(Time time, JobId job, ObsEventKind kind, std::string reason = {},
+            std::vector<std::pair<std::string, double>> detail = {}) {
+    events_.push_back(
+        {time, job, kind, std::move(reason), std::move(detail)});
+  }
+
+  const std::vector<DecisionEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// One compact JSON object per line:
+  ///   {"t":3,"job":17,"kind":"drop","reason":"stale","detail":{"v":1.5}}
+  void write_jsonl(std::ostream& out) const;
+
+  /// Parses a JSONL stream produced by write_jsonl.  Returns std::nullopt
+  /// (with a message in `error` if non-null) on the first malformed line.
+  static std::optional<std::vector<DecisionEvent>> parse_jsonl(
+      std::istream& in, std::string* error = nullptr);
+
+ private:
+  std::vector<DecisionEvent> events_;
+};
+
+}  // namespace dagsched

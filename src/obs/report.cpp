@@ -1,0 +1,325 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+namespace {
+
+JsonValue sample_set_summary(const SampleSet& samples) {
+  JsonValue out = JsonValue::object();
+  out.set("count", JsonValue(samples.count()));
+  if (samples.count() > 0) {
+    out.set("mean", JsonValue(samples.mean()));
+    out.set("p50", JsonValue(samples.median()));
+    out.set("p99", JsonValue(samples.quantile(0.99)));
+    out.set("max", JsonValue(samples.quantile(1.0)));
+  }
+  return out;
+}
+
+JsonValue histogram_to_json(const Histogram& histogram) {
+  JsonValue out = JsonValue::object();
+  out.set("count", JsonValue(histogram.count()));
+  out.set("sum", JsonValue(histogram.sum()));
+  out.set("min", JsonValue(histogram.min()));
+  out.set("max", JsonValue(histogram.max()));
+  // Sparse bucket encoding: only non-empty buckets, keyed by lower bound.
+  JsonValue buckets = JsonValue::object();
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (histogram.buckets()[i] == 0) continue;
+    buckets.set(json_number_to_string(Histogram::bucket_lower_bound(i)),
+                JsonValue(histogram.buckets()[i]));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+/// Mean number of arrived-but-incomplete jobs per timeline bucket, sampled
+/// at bucket midpoints (outcome times are exact, so midpoint sampling is a
+/// faithful piecewise-constant summary at bucket resolution).
+JsonValue active_jobs_timeline(const JobSet& jobs, const SimResult& result,
+                               Time horizon, std::size_t buckets) {
+  JsonValue out = JsonValue::array();
+  if (!(horizon > 0.0) || buckets == 0) return out;
+  const double width = horizon / static_cast<double>(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const Time t = (static_cast<double>(b) + 0.5) * width;
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].release() > t) continue;
+      const JobOutcome& outcome = result.outcomes[i];
+      if (outcome.completed && outcome.completion_time <= t) continue;
+      ++active;
+    }
+    out.push_back(JsonValue(active));
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue spans_to_json(const SpanRegistry& spans) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [name, stats] : spans.snapshot()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", JsonValue(stats.count));
+    entry.set("total_ns", JsonValue(stats.total_ns));
+    entry.set("min_ns", JsonValue(stats.min_ns));
+    entry.set("max_ns", JsonValue(stats.max_ns));
+    out.set(name, std::move(entry));
+  }
+  return out;
+}
+
+JsonValue build_run_report(const RunReportInputs& inputs) {
+  DS_CHECK_MSG(inputs.jobs != nullptr && inputs.result != nullptr,
+               "run report requires jobs and result");
+  const JobSet& jobs = *inputs.jobs;
+  const SimResult& result = *inputs.result;
+
+  JsonValue report = JsonValue::object();
+  report.set("schema", JsonValue(std::string(kRunReportSchema)));
+
+  JsonValue run = JsonValue::object();
+  run.set("scheduler", JsonValue(inputs.scheduler));
+  run.set("engine", JsonValue(inputs.engine));
+  run.set("workload", JsonValue(inputs.workload));
+  run.set("m", JsonValue(static_cast<double>(inputs.m)));
+  run.set("speed", JsonValue(inputs.speed));
+  run.set("jobs", JsonValue(jobs.size()));
+  report.set("run", std::move(run));
+
+  JsonValue results = JsonValue::object();
+  results.set("profit", JsonValue(result.total_profit));
+  results.set("peak_profit", JsonValue(jobs.total_peak_profit()));
+  results.set("profit_fraction", JsonValue(profit_fraction(result, jobs)));
+  results.set("completed", JsonValue(result.jobs_completed));
+  results.set("decisions", JsonValue(result.decisions));
+  results.set("node_preemptions", JsonValue(result.node_preemptions));
+  results.set("job_preemptions", JsonValue(result.job_preemptions));
+  results.set("busy_proc_time", JsonValue(result.busy_proc_time));
+  results.set("end_time", JsonValue(result.end_time));
+  report.set("results", std::move(results));
+
+  if (inputs.metrics != nullptr) {
+    JsonValue metrics = JsonValue::object();
+    metrics.set("missed", JsonValue(inputs.metrics->missed));
+    metrics.set("flow_time", sample_set_summary(inputs.metrics->flow_time));
+    metrics.set("stretch", sample_set_summary(inputs.metrics->stretch));
+    metrics.set("lateness", sample_set_summary(inputs.metrics->lateness));
+    report.set("metrics", std::move(metrics));
+  }
+
+  if (inputs.registry != nullptr) {
+    JsonValue counters = JsonValue::object();
+    for (const auto& [name, value] : inputs.registry->counter_values()) {
+      counters.set(name, JsonValue(value));
+    }
+    report.set("counters", std::move(counters));
+    JsonValue gauges = JsonValue::object();
+    for (const auto& [name, value] : inputs.registry->gauge_values()) {
+      gauges.set(name, JsonValue(value));
+    }
+    report.set("gauges", std::move(gauges));
+    JsonValue histograms = JsonValue::object();
+    for (const auto& [name, histogram] : inputs.registry->histogram_values()) {
+      histograms.set(name, histogram_to_json(*histogram));
+    }
+    report.set("histograms", std::move(histograms));
+  }
+
+  if (inputs.spans != nullptr) {
+    report.set("spans", spans_to_json(*inputs.spans));
+  }
+
+  JsonValue timeline = JsonValue::object();
+  const Time horizon = result.end_time;
+  timeline.set("buckets", JsonValue(inputs.timeline_buckets));
+  timeline.set("horizon", JsonValue(horizon));
+  JsonValue utilization = JsonValue::array();
+  if (!result.trace.empty() && horizon > 0.0 &&
+      inputs.timeline_buckets > 0) {
+    for (const double value :
+         utilization_profile(result.trace, inputs.m, horizon,
+                             inputs.timeline_buckets)) {
+      utilization.push_back(JsonValue(value));
+    }
+  }
+  timeline.set("utilization", std::move(utilization));
+  timeline.set("active_jobs",
+               active_jobs_timeline(jobs, result, horizon,
+                                    inputs.timeline_buckets));
+  report.set("timeline", std::move(timeline));
+
+  if (inputs.events != nullptr) {
+    JsonValue events = JsonValue::object();
+    events.set("count", JsonValue(inputs.events->size()));
+    if (!inputs.events_path.empty()) {
+      events.set("path", JsonValue(inputs.events_path));
+    }
+    JsonValue by_kind = JsonValue::object();
+    std::map<std::string, std::size_t> kind_counts;
+    for (const DecisionEvent& event : inputs.events->events()) {
+      ++kind_counts[obs_event_kind_name(event.kind)];
+    }
+    for (const auto& [kind, count] : kind_counts) {
+      by_kind.set(kind, JsonValue(count));
+    }
+    events.set("by_kind", std::move(by_kind));
+    report.set("events", std::move(events));
+  }
+
+  return report;
+}
+
+namespace {
+
+std::string fixed(double value, int digits = 4) {
+  std::ostringstream out;
+  out.precision(digits);
+  out << value;
+  return out.str();
+}
+
+void format_number_object(std::ostream& out, const JsonValue& object,
+                          const char* indent) {
+  for (const auto& [key, value] : object.members()) {
+    out << indent << key << ": ";
+    if (value.is_number()) {
+      out << fixed(value.as_number(), 6);
+    } else {
+      value.write(out);
+    }
+    out << '\n';
+  }
+}
+
+std::string sparkline(const JsonValue& values, double scale) {
+  static const char* kBars[] = {" ", ".", ":", "-", "=", "#", "%", "@"};
+  std::string out;
+  for (const JsonValue& value : values.items()) {
+    const double v = value.is_number() ? value.as_number() : 0.0;
+    const double unit = scale > 0.0 ? v / scale : 0.0;
+    const auto level = static_cast<std::size_t>(
+        std::min(7.0, std::max(0.0, unit * 7.999)));
+    out += kBars[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_run_report(const JsonValue& report) {
+  std::ostringstream out;
+  if (const JsonValue* schema = report.find("schema")) {
+    out << "report (" << schema->as_string() << ")\n";
+  }
+  if (const JsonValue* run = report.find("run")) {
+    out << "\n[run]\n";
+    format_number_object(out, *run, "  ");
+  }
+  if (const JsonValue* results = report.find("results")) {
+    out << "\n[results]\n";
+    format_number_object(out, *results, "  ");
+  }
+  if (const JsonValue* metrics = report.find("metrics")) {
+    out << "\n[metrics]\n";
+    for (const auto& [key, value] : metrics->members()) {
+      if (value.is_object()) {
+        out << "  " << key << ":";
+        for (const auto& [stat, stat_value] : value.members()) {
+          out << ' ' << stat << '='
+              << (stat_value.is_number() ? fixed(stat_value.as_number())
+                                         : stat_value.dump());
+        }
+        out << '\n';
+      } else {
+        out << "  " << key << ": "
+            << (value.is_number() ? fixed(value.as_number()) : value.dump())
+            << '\n';
+      }
+    }
+  }
+  if (const JsonValue* counters = report.find("counters")) {
+    if (counters->size() > 0) {
+      out << "\n[counters]\n";
+      format_number_object(out, *counters, "  ");
+    }
+  }
+  if (const JsonValue* spans = report.find("spans")) {
+    if (spans->size() > 0) {
+      out << "\n[spans]\n";
+      for (const auto& [name, stats] : spans->members()) {
+        const JsonValue* count = stats.find("count");
+        const JsonValue* total = stats.find("total_ns");
+        out << "  " << name << ": count="
+            << (count != nullptr ? json_number_to_string(count->as_number())
+                                 : "?")
+            << " total="
+            << (total != nullptr ? fixed(total->as_number() / 1e6) : "?")
+            << "ms\n";
+      }
+    }
+  }
+  if (const JsonValue* events = report.find("events")) {
+    out << "\n[events]\n";
+    format_number_object(out, *events, "  ");
+  }
+  if (const JsonValue* timeline = report.find("timeline")) {
+    const JsonValue* utilization = timeline->find("utilization");
+    const JsonValue* horizon = timeline->find("horizon");
+    if (utilization != nullptr && utilization->size() > 0) {
+      out << "\n[timeline]\n  utilization: ["
+          << sparkline(*utilization, 1.0) << "] over [0, "
+          << (horizon != nullptr ? json_number_to_string(horizon->as_number())
+                                 : "?")
+          << ")\n";
+    }
+    const JsonValue* active = timeline->find("active_jobs");
+    if (active != nullptr && active->size() > 0) {
+      double peak = 0.0;
+      for (const JsonValue& value : active->items()) {
+        peak = std::max(peak, value.as_number());
+      }
+      out << "  active jobs: [" << sparkline(*active, peak)
+          << "] peak " << json_number_to_string(peak) << '\n';
+    }
+  }
+  return out.str();
+}
+
+JsonValue build_bench_report(std::string_view bench_name,
+                             const std::vector<BenchMeasurement>& runs,
+                             const SpanRegistry* spans) {
+  JsonValue report = JsonValue::object();
+  report.set("schema", JsonValue(std::string(kBenchReportSchema)));
+  report.set("bench", JsonValue(std::string(bench_name)));
+  JsonValue measurements = JsonValue::array();
+  for (const BenchMeasurement& run : runs) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(run.name));
+    entry.set("real_time_ns", JsonValue(run.real_time_ns));
+    entry.set("cpu_time_ns", JsonValue(run.cpu_time_ns));
+    entry.set("iterations", JsonValue(run.iterations));
+    entry.set("aggregate", JsonValue(run.aggregate));
+    if (!run.counters.empty()) {
+      JsonValue counters = JsonValue::object();
+      for (const auto& [name, value] : run.counters) {
+        counters.set(name, JsonValue(value));
+      }
+      entry.set("counters", std::move(counters));
+    }
+    measurements.push_back(std::move(entry));
+  }
+  report.set("measurements", std::move(measurements));
+  if (spans != nullptr) report.set("spans", spans_to_json(*spans));
+  return report;
+}
+
+}  // namespace dagsched

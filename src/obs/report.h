@@ -1,0 +1,89 @@
+// Structured run reports: one JSON document per run merging the run
+// configuration, SimResult aggregates, ScheduleMetrics, the counter/span
+// registries, and a time-sliced utilization / active-jobs timeline.
+//
+// The document is the machine-readable artifact of a run (the
+// simulator-comparison literature's prerequisite for auditable cross-engine
+// results); `dagsched run --obs out.json` writes it and `dagsched report
+// out.json` pretty-prints it.  The schema is versioned ("dagsched.run_report/1")
+// and its top-level key set is locked by tests/test_obs_report.cpp --
+// extend by adding keys, never by repurposing existing ones.
+//
+// The same writer backs bench reports ("dagsched.bench_report/1") so perf
+// measurements land in mechanically trackable files instead of ad-hoc
+// stdout (bench/bench_engine_perf.cpp --out).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "job/job.h"
+#include "obs/counters.h"
+#include "obs/event_log.h"
+#include "obs/span_timer.h"
+#include "sim/metrics.h"
+#include "sim/outcome.h"
+#include "util/json.h"
+
+namespace dagsched {
+
+inline constexpr std::string_view kRunReportSchema = "dagsched.run_report/1";
+inline constexpr std::string_view kBenchReportSchema =
+    "dagsched.bench_report/1";
+
+struct RunReportInputs {
+  std::string scheduler;
+  std::string engine;   // "event" or "slot"
+  std::string workload; // instance label/path; may be empty
+  ProcCount m = 1;
+  double speed = 1.0;
+
+  const JobSet* jobs = nullptr;     // required
+  const SimResult* result = nullptr;  // required
+
+  // Optional sections; omitted from the document when null.
+  const ScheduleMetrics* metrics = nullptr;
+  const MetricRegistry* registry = nullptr;
+  const SpanRegistry* spans = nullptr;
+  const EventLog* events = nullptr;
+  std::string events_path;  // recorded in the document when non-empty
+
+  /// Timeline resolution; utilization requires result->trace (recorded
+  /// runs), active-jobs only needs outcomes.
+  std::size_t timeline_buckets = 60;
+};
+
+/// Builds the versioned run-report document.
+JsonValue build_run_report(const RunReportInputs& inputs);
+
+/// Human-readable rendering of a run report (the `dagsched report`
+/// subcommand).  Accepts any document conforming to the run-report schema;
+/// DS_CHECKs on schema mismatch are avoided -- unknown/missing sections are
+/// skipped so newer documents render on older binaries.
+std::string format_run_report(const JsonValue& report);
+
+// ---------------------------------------------------------------------------
+// Bench reports
+// ---------------------------------------------------------------------------
+
+struct BenchMeasurement {
+  std::string name;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  std::uint64_t iterations = 0;
+  bool aggregate = false;  // e.g. google-benchmark mean/median/stddev rows
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Builds the versioned bench-report document (optionally with span
+/// timings from the bench's own hot loops).
+JsonValue build_bench_report(std::string_view bench_name,
+                             const std::vector<BenchMeasurement>& runs,
+                             const SpanRegistry* spans = nullptr);
+
+/// Shared span-section encoding (used by both report flavors).
+JsonValue spans_to_json(const SpanRegistry& spans);
+
+}  // namespace dagsched

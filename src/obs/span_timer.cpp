@@ -1,0 +1,26 @@
+#include "obs/span_timer.h"
+
+namespace dagsched {
+
+SpanStats* SpanRegistry::span(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  stats_.emplace_back();
+  SpanStats* stats = &stats_.back();
+  index_.emplace(std::string(name), stats);
+  return stats;
+}
+
+std::vector<std::pair<std::string, SpanStats>> SpanRegistry::snapshot()
+    const {
+  std::vector<std::pair<std::string, SpanStats>> out;
+  out.reserve(index_.size());
+  for (const auto& [name, stats] : index_) out.emplace_back(name, *stats);
+  return out;
+}
+
+void SpanRegistry::reset() {
+  for (SpanStats& stats : stats_) stats = SpanStats{};
+}
+
+}  // namespace dagsched

@@ -17,12 +17,19 @@
 
 namespace dagsched {
 
+struct ObsSink;
+
 class EngineContext {
  public:
   Time now() const { return now_; }
   ProcCount num_procs() const { return m_; }
   double speed() const { return speed_; }
   std::size_t num_jobs() const { return jobs_->size(); }
+
+  /// Observability sink wired by the engine (nullptr when instrumentation
+  /// is off -- the default).  Schedulers use it to emit decision events and
+  /// policy counters; see obs/sink.h.
+  const ObsSink* obs() const { return obs_; }
 
   /// Semi-non-clairvoyant window onto job `id` (any job, arrived or not --
   /// but an online scheduler should only touch jobs it has been told about).
@@ -59,6 +66,7 @@ class EngineContext {
   ProcCount m_ = 1;
   double speed_ = 1.0;
   bool clairvoyant_allowed_ = false;
+  const ObsSink* obs_ = nullptr;
   const std::vector<Job>* jobs_ = nullptr;
   const std::vector<JobRuntime>* runtimes_ = nullptr;
   const std::vector<JobId>* active_ = nullptr;

@@ -61,6 +61,42 @@ SimResult EventEngine::run() {
   ctx_.jobs_ = &jobs_.jobs();
   ctx_.runtimes_ = &runtimes_;
   ctx_.active_ = &active_;
+  ctx_.obs_ = options_.obs;
+
+  // Resolve instruments once; null pointers make every emission a no-op.
+  const ObsSink* obs = options_.obs;
+  Counter* c_decisions = nullptr;
+  Counter* c_arrivals = nullptr;
+  Counter* c_expiries = nullptr;
+  Counter* c_node_starts = nullptr;
+  Counter* c_node_completions = nullptr;
+  Counter* c_job_completions = nullptr;
+  Counter* c_node_preemptions = nullptr;
+  Counter* c_job_preemptions = nullptr;
+  Counter* c_busy_time = nullptr;
+  Counter* c_idle_time = nullptr;
+  Histogram* h_running = nullptr;
+  Histogram* h_step_dt = nullptr;
+  SpanStats* decide_span = nullptr;
+  if (obs != nullptr && obs->metrics != nullptr) {
+    MetricRegistry& mr = *obs->metrics;
+    c_decisions = mr.counter("engine.decisions");
+    c_arrivals = mr.counter("engine.arrivals");
+    c_expiries = mr.counter("engine.deadline_expiries");
+    c_node_starts = mr.counter("engine.node_starts");
+    c_node_completions = mr.counter("engine.node_completions");
+    c_job_completions = mr.counter("engine.job_completions");
+    c_node_preemptions = mr.counter("engine.node_preemptions");
+    c_job_preemptions = mr.counter("engine.job_preemptions");
+    c_busy_time = mr.counter("engine.busy_proc_time");
+    c_idle_time = mr.counter("engine.idle_proc_time");
+    h_running = mr.histogram("engine.running_nodes");
+    h_step_dt = mr.histogram("engine.step_dt");
+  }
+  if (obs != nullptr && obs->spans != nullptr) {
+    decide_span = obs->spans->span("engine.decide");
+  }
+  ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
 
   // Min-heap of (absolute deadline, job) for arrived step-profit jobs.
   using DeadlineEntry = std::pair<Time, JobId>;
@@ -95,6 +131,8 @@ SimResult EventEngine::run() {
       if (jobs_[id].has_deadline()) {
         deadlines.emplace(jobs_[id].absolute_deadline(), id);
       }
+      DS_OBS_INC(c_arrivals);
+      if (obs != nullptr) obs->event(now, id, ObsEventKind::kArrival);
       scheduler_.on_arrival(ctx_, id);
     }
 
@@ -105,13 +143,19 @@ SimResult EventEngine::run() {
       JobRuntime& rt = runtimes_[id];
       if (!rt.completed && !rt.deadline_notified) {
         rt.deadline_notified = true;
+        DS_OBS_INC(c_expiries);
+        if (obs != nullptr) obs->event(now, id, ObsEventKind::kExpire);
         scheduler_.on_deadline(ctx_, id);
       }
     }
 
     // (3) Ask the scheduler for the allocation in force until the next event.
     assignment.clear();
-    scheduler_.decide(ctx_, assignment);
+    {
+      ScopedSpan decide_scope(decide_span);
+      scheduler_.decide(ctx_, assignment);
+    }
+    DS_OBS_INC(c_decisions);
     ++result.decisions;
     DS_CHECK_MSG(result.decisions <= options_.max_decisions,
                  "decision budget exhausted at t=" << now
@@ -146,6 +190,7 @@ SimResult EventEngine::run() {
       if (!std::binary_search(current_nodes.begin(), current_nodes.end(),
                               std::make_pair(job, node))) {
         ++result.node_preemptions;
+        DS_OBS_INC(c_node_preemptions);
       }
     }
     for (const JobId job : prev_jobs) {
@@ -153,6 +198,8 @@ SimResult EventEngine::run() {
       if (!std::binary_search(current_jobs.begin(), current_jobs.end(),
                               job)) {
         ++result.job_preemptions;
+        DS_OBS_INC(c_job_preemptions);
+        if (obs != nullptr) obs->event(now, job, ObsEventKind::kPreempt);
       }
     }
     prev_nodes = current_nodes;
@@ -186,11 +233,22 @@ SimResult EventEngine::run() {
     const Time dt = std::min(node_dt, next_event - now);
     DS_CHECK_MSG(dt > 0.0, "non-positive step dt=" << dt << " at t=" << now);
 
+    DS_OBS_OBSERVE(h_running, static_cast<double>(running.size()));
+    DS_OBS_OBSERVE(h_step_dt, dt);
+
     // (6) Advance every running node by speed*dt.
     for (std::size_t p = 0; p < running.size(); ++p) {
       const RunningNode& rn = running[p];
       JobRuntime& rt = runtimes_[rn.job];
+      if (c_node_starts != nullptr &&
+          rt.unfolding->remaining_work(rn.node) ==
+              jobs_[rn.job].dag().node_work(rn.node)) {
+        c_node_starts->add(1.0);
+      }
       rt.unfolding->advance(rn.node, speed * dt);
+      if (c_node_completions != nullptr && rt.unfolding->is_done(rn.node)) {
+        c_node_completions->add(1.0);
+      }
       rt.executed += speed * dt;
       rt.first_start = std::min(rt.first_start, now);
       if (options_.record_trace) {
@@ -199,6 +257,9 @@ SimResult EventEngine::run() {
       }
     }
     result.busy_proc_time += dt * static_cast<double>(running.size());
+    DS_OBS_ADD(c_busy_time, dt * static_cast<double>(running.size()));
+    DS_OBS_ADD(c_idle_time,
+               dt * static_cast<double>(options_.num_procs - running.size()));
     now += dt;
     ctx_.now_ = now;
 
@@ -217,6 +278,8 @@ SimResult EventEngine::run() {
       std::erase(active_, id);
     }
     for (const JobId id : completed_now) {
+      DS_OBS_INC(c_job_completions);
+      if (obs != nullptr) obs->event(now, id, ObsEventKind::kComplete);
       scheduler_.on_completion(ctx_, id);
     }
   }

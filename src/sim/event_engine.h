@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "job/job.h"
+#include "obs/sink.h"
 #include "sim/assignment.h"
 #include "sim/context.h"
 #include "sim/node_selector.h"
@@ -36,6 +37,9 @@ struct EngineOptions {
   /// Invoked after each decision has been materialized; used by property
   /// tests to inspect scheduler state mid-run.
   std::function<void(const EngineContext&, const Assignment&)> observer;
+  /// Observability sink (counters / decision events / span timers); null =
+  /// off, and the run is bit-identical to an uninstrumented one.
+  const ObsSink* obs = nullptr;
 };
 
 class EventEngine {

@@ -37,7 +37,10 @@ ScheduleMetrics compute_metrics(const SimResult& result, const JobSet& jobs,
 
 std::vector<double> utilization_profile(const Trace& trace, ProcCount m,
                                         Time horizon, std::size_t buckets) {
-  DS_CHECK(m >= 1 && horizon > 0.0 && buckets >= 1);
+  DS_CHECK(m >= 1 && buckets >= 1);
+  // A run that never executed anything (or an empty trace) has no horizon to
+  // bucket; return an empty profile rather than treating it as a caller bug.
+  if (!(horizon > 0.0)) return {};
   std::vector<double> busy(buckets, 0.0);
   const double bucket_width = horizon / static_cast<double>(buckets);
   for (const TraceInterval& interval : trace.intervals()) {

@@ -34,6 +34,8 @@ ScheduleMetrics compute_metrics(const SimResult& result, const JobSet& jobs,
 
 /// Machine utilization profile: fraction of busy processor-time in each of
 /// `buckets` equal windows of [0, horizon).  Requires a recorded trace.
+/// A non-positive horizon (e.g. a run that executed nothing) yields an
+/// empty profile.
 std::vector<double> utilization_profile(const Trace& trace, ProcCount m,
                                         Time horizon, std::size_t buckets);
 

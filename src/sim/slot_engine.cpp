@@ -72,6 +72,40 @@ SimResult SlotEngine::run() {
   ctx_.jobs_ = &jobs_.jobs();
   ctx_.runtimes_ = &runtimes_;
   ctx_.active_ = &active_;
+  ctx_.obs_ = options_.obs;
+
+  // Resolve instruments once; null pointers make every emission a no-op.
+  const ObsSink* obs = options_.obs;
+  Counter* c_decisions = nullptr;
+  Counter* c_arrivals = nullptr;
+  Counter* c_expiries = nullptr;
+  Counter* c_node_starts = nullptr;
+  Counter* c_node_completions = nullptr;
+  Counter* c_job_completions = nullptr;
+  Counter* c_node_preemptions = nullptr;
+  Counter* c_job_preemptions = nullptr;
+  Counter* c_busy_time = nullptr;
+  Counter* c_idle_time = nullptr;
+  Histogram* h_running = nullptr;
+  SpanStats* decide_span = nullptr;
+  if (obs != nullptr && obs->metrics != nullptr) {
+    MetricRegistry& mr = *obs->metrics;
+    c_decisions = mr.counter("engine.decisions");
+    c_arrivals = mr.counter("engine.arrivals");
+    c_expiries = mr.counter("engine.deadline_expiries");
+    c_node_starts = mr.counter("engine.node_starts");
+    c_node_completions = mr.counter("engine.node_completions");
+    c_job_completions = mr.counter("engine.job_completions");
+    c_node_preemptions = mr.counter("engine.node_preemptions");
+    c_job_preemptions = mr.counter("engine.job_preemptions");
+    c_busy_time = mr.counter("engine.busy_proc_time");
+    c_idle_time = mr.counter("engine.idle_proc_time");
+    h_running = mr.histogram("engine.running_nodes");
+  }
+  if (obs != nullptr && obs->spans != nullptr) {
+    decide_span = obs->spans->span("engine.decide");
+  }
+  ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
 
   const std::uint64_t horizon =
       options_.max_slots > 0 ? options_.max_slots : derive_horizon();
@@ -109,6 +143,8 @@ SimResult SlotEngine::run() {
       rt.arrived = true;
       rt.unfolding.emplace(jobs_[id].dag());
       active_.push_back(id);
+      DS_OBS_INC(c_arrivals);
+      if (obs != nullptr) obs->event(now, id, ObsEventKind::kArrival);
       scheduler_.on_arrival(ctx_, id);
     }
 
@@ -121,13 +157,19 @@ SimResult SlotEngine::run() {
       if (job.has_deadline() &&
           approx_gt(now + 1.0, job.absolute_deadline())) {
         rt.deadline_notified = true;
+        DS_OBS_INC(c_expiries);
+        if (obs != nullptr) obs->event(now, id, ObsEventKind::kExpire);
         scheduler_.on_deadline(ctx_, id);
       }
     }
 
     // (3) Decide and validate.
     assignment.clear();
-    scheduler_.decide(ctx_, assignment);
+    {
+      ScopedSpan decide_scope(decide_span);
+      scheduler_.decide(ctx_, assignment);
+    }
+    DS_OBS_INC(c_decisions);
     ++result.decisions;
     validate_assignment(assignment);
     if (options_.observer) options_.observer(ctx_, assignment);
@@ -147,11 +189,19 @@ SimResult SlotEngine::run() {
         current_nodes.emplace_back(alloc.job, node);
         const Work remaining = rt.unfolding->remaining_work(node);
         const Work amount = std::min(speed, remaining);
+        if (c_node_starts != nullptr &&
+            remaining == jobs_[alloc.job].dag().node_work(node)) {
+          c_node_starts->add(1.0);
+        }
         rt.unfolding->advance(node, amount);
+        if (c_node_completions != nullptr && rt.unfolding->is_done(node)) {
+          c_node_completions->add(1.0);
+        }
         rt.executed += amount;
         rt.first_start = std::min(rt.first_start, now);
         const double duration = amount / speed;
         result.busy_proc_time += duration;
+        DS_OBS_ADD(c_busy_time, duration);
         if (options_.record_trace) {
           result.trace.add(now, now + duration, alloc.job, node, proc_cursor);
         }
@@ -164,6 +214,12 @@ SimResult SlotEngine::run() {
         completed_now.push_back(alloc.job);
       }
     }
+    // Idle processor-time for this executed slot: capacity m minus occupied
+    // processors (each selected node holds its processor for the whole
+    // slot).  Slots skipped wholesale by the idle-skip below are uncounted.
+    DS_OBS_OBSERVE(h_running, static_cast<double>(current_nodes.size()));
+    DS_OBS_ADD(c_idle_time, static_cast<double>(options_.num_procs) -
+                                static_cast<double>(current_nodes.size()));
 
     // (4b) Preemption accounting: ran last slot, unfinished, idle now.
     std::sort(current_nodes.begin(), current_nodes.end());
@@ -174,6 +230,7 @@ SimResult SlotEngine::run() {
       if (!std::binary_search(current_nodes.begin(), current_nodes.end(),
                               std::make_pair(job, node))) {
         ++result.node_preemptions;
+        DS_OBS_INC(c_node_preemptions);
       }
     }
     for (const JobId job : prev_jobs) {
@@ -181,6 +238,8 @@ SimResult SlotEngine::run() {
       if (!std::binary_search(current_jobs.begin(), current_jobs.end(),
                               job)) {
         ++result.job_preemptions;
+        DS_OBS_INC(c_job_preemptions);
+        if (obs != nullptr) obs->event(now, job, ObsEventKind::kPreempt);
       }
     }
     prev_nodes = current_nodes;
@@ -191,6 +250,8 @@ SimResult SlotEngine::run() {
       ctx_.now_ = now + 1.0;
       for (const JobId id : completed_now) std::erase(active_, id);
       for (const JobId id : completed_now) {
+        DS_OBS_INC(c_job_completions);
+        if (obs != nullptr) obs->event(now + 1.0, id, ObsEventKind::kComplete);
         scheduler_.on_completion(ctx_, id);
         ++jobs_done;
       }

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "job/job.h"
+#include "obs/sink.h"
 #include "sim/assignment.h"
 #include "sim/context.h"
 #include "sim/node_selector.h"
@@ -33,6 +34,9 @@ struct SlotEngineOptions {
   /// a generous bound from the workload).  Unfinished jobs earn no profit.
   std::uint64_t max_slots = 0;
   std::function<void(const EngineContext&, const Assignment&)> observer;
+  /// Observability sink (counters / decision events / span timers); null =
+  /// off, and the run is bit-identical to an uninstrumented one.
+  const ObsSink* obs = nullptr;
 };
 
 class SlotEngine {

@@ -1,13 +1,24 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
 #include <iostream>
 #include <mutex>
+#include <string_view>
+#include <thread>
 
 namespace dagsched {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+constexpr int kUnsetLevel = -1;
+
+/// kUnsetLevel until the first query resolves DAGSCHED_LOG (or a
+/// set_log_level call pins it explicitly).
+std::atomic<int> g_level{kUnsetLevel};
 std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,6 +31,29 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+bool parse_level(std::string_view name, LogLevel& out) {
+  if (name == "debug") { out = LogLevel::kDebug; return true; }
+  if (name == "info") { out = LogLevel::kInfo; return true; }
+  if (name == "warn" || name == "warning") { out = LogLevel::kWarn; return true; }
+  if (name == "error") { out = LogLevel::kError; return true; }
+  if (name == "off" || name == "none") { out = LogLevel::kOff; return true; }
+  return false;
+}
+
+/// Resolves the initial level from the DAGSCHED_LOG environment variable
+/// (default kWarn; unrecognized values keep the default and warn once).
+LogLevel level_from_env() {
+  LogLevel level = LogLevel::kWarn;
+  const char* env = std::getenv("DAGSCHED_LOG");
+  if (env != nullptr && env[0] != '\0' && !parse_level(env, level)) {
+    std::lock_guard lock(g_emit_mutex);
+    std::cerr << "[WARN] DAGSCHED_LOG='" << env
+              << "' not recognized (want debug|info|warn|error|off); "
+                 "using warn\n";
+  }
+  return level;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -27,13 +61,38 @@ void set_log_level(LogLevel level) {
 }
 
 LogLevel log_level() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUnsetLevel) {
+    // Racing first queries may both read the env var; they resolve to the
+    // same value, so the double store is benign.
+    level = static_cast<int>(level_from_env());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
 }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
+  // ISO-8601 UTC timestamp with millisecond resolution.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+
+  const std::size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+
   std::lock_guard lock(g_emit_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  std::cerr << stamp << " [" << level_name(level) << "] (t" << tid << ") "
+            << message << '\n';
 }
 }  // namespace detail
 

@@ -1,5 +1,11 @@
 // Tiny severity-filtered logger. Default level is kWarn so simulations stay
 // quiet; benches raise to kInfo for progress lines.
+//
+// The initial level honors the DAGSCHED_LOG environment variable
+// (debug|info|warn|error|off), read lazily on the first level query;
+// set_log_level() always overrides it.  Each emitted line carries an
+// ISO-8601 UTC timestamp and an abbreviated thread id:
+//   2026-08-05T12:00:00.123Z [WARN] (t42517) message
 #pragma once
 
 #include <sstream>

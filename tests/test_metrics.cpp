@@ -87,5 +87,15 @@ TEST(UtilizationProfile, ClampsBeyondHorizon) {
   for (const double value : profile) EXPECT_DOUBLE_EQ(value, 1.0);
 }
 
+TEST(UtilizationProfile, NonPositiveHorizonYieldsEmptyProfile) {
+  // A run that executed nothing has end_time 0; callers hand that straight
+  // in as the horizon, so it must degrade to an empty profile, not abort.
+  Trace trace;
+  EXPECT_TRUE(utilization_profile(trace, 4, 0.0, 60).empty());
+  EXPECT_TRUE(utilization_profile(trace, 4, -1.0, 60).empty());
+  trace.add(0.0, 1.0, 0, 0, 0);
+  EXPECT_TRUE(utilization_profile(trace, 4, 0.0, 60).empty());
+}
+
 }  // namespace
 }  // namespace dagsched

@@ -1,0 +1,143 @@
+// Counter/gauge/histogram registry semantics: register-on-first-use,
+// accumulate, reset-keeps-registrations, and span timers.
+#include <gtest/gtest.h>
+
+#include "obs/counters.h"
+#include "obs/span_timer.h"
+
+namespace dagsched {
+namespace {
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0.0);
+  counter.add();
+  counter.add(2.5);
+  EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0.0);
+  counter.add(1.0);
+  EXPECT_DOUBLE_EQ(counter.value(), 1.0);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge gauge;
+  gauge.set(4.0);
+  gauge.set(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.5);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, TracksStreamingStats) {
+  Histogram hist;
+  hist.observe(1.0);
+  hist.observe(4.0);
+  hist.observe(0.25);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5.25);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.25);
+  EXPECT_DOUBLE_EQ(hist.max(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 1.75);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsArePowerOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(Histogram::kBucketBias),
+                   1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(Histogram::kBucketBias + 1),
+                   2.0);
+  Histogram hist;
+  hist.observe(1.5);  // bucket covering [1, 2)
+  hist.observe(3.0);  // bucket covering [2, 4)
+  hist.observe(-7.0);  // non-positive values land in bucket 0
+  EXPECT_EQ(hist.buckets()[Histogram::kBucketBias], 1u);
+  EXPECT_EQ(hist.buckets()[Histogram::kBucketBias + 1], 1u);
+  EXPECT_EQ(hist.buckets()[0], 1u);
+}
+
+TEST(MetricRegistry, RegisterOnFirstUseReturnsStablePointer) {
+  MetricRegistry registry;
+  Counter* a = registry.counter("x");
+  Counter* again = registry.counter("x");
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(registry.size(), 1u);
+  // A different instrument family with the same name is distinct.
+  Gauge* g = registry.gauge("x");
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(g));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry registry;
+  Counter* c = registry.counter("decisions");
+  Histogram* h = registry.histogram("dt");
+  c->add(7.0);
+  h->observe(3.0);
+  registry.reset();
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(c->value(), 0.0);       // same pointer, zeroed
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(registry.counter("decisions"), c);
+  c->add(1.0);
+  EXPECT_DOUBLE_EQ(registry.counter_values().front().second, 1.0);
+}
+
+TEST(MetricRegistry, SnapshotsAreNameSorted) {
+  MetricRegistry registry;
+  registry.counter("zeta")->add(1.0);
+  registry.counter("alpha")->add(2.0);
+  registry.counter("mid")->add(3.0);
+  const auto values = registry.counter_values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].first, "alpha");
+  EXPECT_EQ(values[1].first, "mid");
+  EXPECT_EQ(values[2].first, "zeta");
+}
+
+TEST(ObsMacros, NullPointersAreNoOps) {
+  Counter* counter = nullptr;
+  Histogram* hist = nullptr;
+  DS_OBS_INC(counter);
+  DS_OBS_ADD(counter, 5.0);
+  DS_OBS_OBSERVE(hist, 1.0);  // must not crash
+  SUCCEED();
+}
+
+TEST(SpanTimer, RecordsScopedDurations) {
+  SpanRegistry registry;
+  {
+    ScopedSpan span(&registry, "work");
+    // Spin a few iterations so the span is non-zero on coarse clocks.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  }
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "work");
+  EXPECT_EQ(snapshot[0].second.count, 1u);
+  EXPECT_GE(snapshot[0].second.total_ns, 0);
+}
+
+TEST(SpanTimer, NullRegistryIsNoOp) {
+  { ScopedSpan span(static_cast<SpanRegistry*>(nullptr), "nothing"); }
+  { ScopedSpan span(static_cast<SpanStats*>(nullptr)); }
+  SUCCEED();
+}
+
+TEST(SpanTimer, AccumulatesAcrossScopes) {
+  SpanRegistry registry;
+  SpanStats* stats = registry.span("loop");
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span(stats);
+  }
+  EXPECT_EQ(stats->count, 3u);
+  EXPECT_GE(stats->mean_ns(), 0.0);
+  registry.reset();
+  EXPECT_EQ(stats->count, 0u);
+}
+
+}  // namespace
+}  // namespace dagsched

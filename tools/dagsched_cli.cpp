@@ -5,17 +5,22 @@
 //   dagsched run instance.wl --scheduler s --m 8 [--speed 1.0] [--eps 0.5]
 //            [--engine event|slot] [--selector fifo|lifo|random|adversarial|
 //             critical-path] [--gantt] [--svg out.svg]
+//            [--obs report.json] [--events events.jsonl]
+//   dagsched report report.json   # pretty-print a run report
 //   dagsched inspect instance.wl [--dot <job-index> ]
 //   dagsched opt instance.wl --m 8   # bracket OPT; exact if all-sequential
 //
 // Exit code 0 on success, 1 on usage errors.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/deadline_scheduler.h"
 #include "dag/dot.h"
 #include "exp/runner.h"
+#include "obs/report.h"
+#include "obs/sink.h"
 #include "opt/exact.h"
 #include "opt/upper_bound.h"
 #include "sim/event_engine.h"
@@ -51,6 +56,8 @@ int usage() {
          "  dagsched run FILE --scheduler NAME [--m M] [--speed S] [--eps E]"
          "\n           [--engine event|slot] [--selector KIND] [--gantt] "
          "[--svg FILE]\n"
+         "           [--obs REPORT.json] [--events EVENTS.jsonl]\n"
+         "  dagsched report REPORT.json\n"
          "  dagsched inspect FILE [--dot JOB]\n"
          "  dagsched compare FILE [--m M] [--eps E]\n"
          "  dagsched opt FILE [--m M]\n"
@@ -124,7 +131,22 @@ int cmd_run(ArgParser& args) {
   const bool show_profile = args.get_flag("profile");
   const bool show_audit = args.get_flag("audit");
   const std::string svg_path = args.get_string("svg", "");
+  const std::string obs_path = args.get_string("obs", "");
+  const std::string events_path = args.get_string("events", "");
   args.finish();
+
+  // Observability wiring: registries live here, the engines and schedulers
+  // only see the (nullable) sink.  No flags => null sink => seed behavior.
+  MetricRegistry registry;
+  EventLog event_log;
+  SpanRegistry spans;
+  ObsSink sink;
+  if (!obs_path.empty()) {
+    sink.metrics = &registry;
+    sink.spans = &spans;
+  }
+  if (!obs_path.empty() || !events_path.empty()) sink.events = &event_log;
+  const ObsSink* obs = sink.enabled() ? &sink : nullptr;
 
   auto scheduler = make_named_scheduler(scheduler_name, eps);
   auto* deadline_scheduler = dynamic_cast<DeadlineScheduler*>(scheduler.get());
@@ -145,18 +167,22 @@ int cmd_run(ArgParser& args) {
   }
   auto sel = make_selector(selector, 1);
   SimResult result;
+  const bool record_trace =
+      show_gantt || show_profile || !svg_path.empty() || !obs_path.empty();
   if (engine == "slot") {
     SlotEngineOptions options;
     options.num_procs = m;
     options.speed = speed;
-    options.record_trace = show_gantt || show_profile || !svg_path.empty();
+    options.record_trace = record_trace;
+    options.obs = obs;
     SlotEngine slot_engine(jobs, *scheduler, *sel, options);
     result = slot_engine.run();
   } else if (engine == "event") {
     EngineOptions options;
     options.num_procs = m;
     options.speed = speed;
-    options.record_trace = show_gantt || show_profile || !svg_path.empty();
+    options.record_trace = record_trace;
+    options.obs = obs;
     EventEngine event_engine(jobs, *scheduler, *sel, options);
     result = event_engine.run();
   } else {
@@ -218,6 +244,74 @@ int cmd_run(ArgParser& args) {
                 << audit_action_name(event.action) << "\n";
     }
   }
+  if (!events_path.empty()) {
+    std::ofstream out(events_path);
+    if (!out) {
+      std::cerr << "cannot open " << events_path << "\n";
+      return 1;
+    }
+    event_log.write_jsonl(out);
+    std::cout << "wrote " << event_log.size() << " events to " << events_path
+              << "\n";
+  }
+  if (!obs_path.empty()) {
+    RunReportInputs inputs;
+    inputs.scheduler = scheduler->name();
+    inputs.engine = engine;
+    inputs.workload = args.positional()[1];
+    inputs.m = m;
+    inputs.speed = speed;
+    inputs.jobs = &jobs;
+    inputs.result = &result;
+    inputs.metrics = &schedule_metrics;
+    inputs.registry = &registry;
+    inputs.spans = &spans;
+    // Embed events only if they were not written to their own file.
+    if (events_path.empty()) {
+      inputs.events = &event_log;
+    } else {
+      inputs.events_path = events_path;
+    }
+    const JsonValue report = build_run_report(inputs);
+    std::ofstream out(obs_path);
+    if (!out) {
+      std::cerr << "cannot open " << obs_path << "\n";
+      return 1;
+    }
+    report.write_pretty(out);
+    out << "\n";
+    std::cout << "wrote run report to " << obs_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_report(ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  const std::string path = args.positional()[1];
+  args.finish();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonParseResult parsed = json_parse(buffer.str());
+  if (!parsed.ok) {
+    std::cerr << "report: " << path << " is not valid JSON: " << parsed.error
+              << "\n";
+    return 1;
+  }
+  // Reject documents that are not dagsched reports at all; unknown
+  // *sections* inside a report still render best-effort.
+  const JsonValue* schema = parsed.value.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string().rfind("dagsched.", 0) != 0) {
+    std::cerr << "report: " << path << " has no dagsched schema marker\n";
+    return 1;
+  }
+  std::cout << format_run_report(parsed.value);
   return 0;
 }
 
@@ -328,6 +422,7 @@ int main(int argc, char** argv) {
     const std::string& command = args.positional()[0];
     if (command == "generate") return cmd_generate(args);
     if (command == "run") return cmd_run(args);
+    if (command == "report") return cmd_report(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "opt") return cmd_opt(args);
