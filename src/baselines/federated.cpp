@@ -82,6 +82,26 @@ void FederatedScheduler::on_deadline(const EngineContext& ctx, JobId job) {
   on_completion(ctx, job);
 }
 
+void FederatedScheduler::on_capacity_change(const EngineContext& ctx,
+                                            ProcCount old_m, ProcCount new_m) {
+  (void)old_m;
+  while (committed_ > new_m && !running_.empty()) {
+    const JobId job = running_.back();
+    JobInfo& info = info_[job];
+    running_.pop_back();
+    DS_CHECK(committed_ >= info.cluster);
+    committed_ -= info.cluster;
+    info.admitted = false;
+    if (ctx.obs() != nullptr) {
+      ctx.obs()->count("sched.readmit_fails");
+      ctx.obs()->event(ctx.now(), job, ObsEventKind::kReadmitFail,
+                       "capacity-lost",
+                       {{"cluster", static_cast<double>(info.cluster)},
+                        {"m", static_cast<double>(new_m)}});
+    }
+  }
+}
+
 void FederatedScheduler::decide(const EngineContext& ctx, Assignment& out) {
   (void)ctx;
   for (const JobId job : running_) {

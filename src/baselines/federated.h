@@ -38,6 +38,13 @@ class FederatedScheduler final : public SchedulerBase {
   void on_arrival(const EngineContext& ctx, JobId job) override;
   void on_completion(const EngineContext& ctx, JobId job) override;
   void on_deadline(const EngineContext& ctx, JobId job) override;
+  /// Degradation under processor churn: clusters are dedicated capacity, so
+  /// a shrink evicts the most recently admitted jobs (LIFO -- preserving the
+  /// oldest commitments, the federated-admission analogue of not revoking
+  /// already-guaranteed jobs) until the committed total fits.  Evicted jobs
+  /// are rejected permanently, as `readmit-fail`/`capacity-lost` events.
+  void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
+                          ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
 
   std::size_t admitted_count() const { return admitted_count_; }

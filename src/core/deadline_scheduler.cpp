@@ -129,10 +129,13 @@ void DeadlineScheduler::sorted_insert(std::vector<JobId>& queue,
 
 void DeadlineScheduler::admit_to_q(JobId job) {
   JobInfo& info = info_[job];
-  DS_CHECK(!info.started);
-  info.started = true;
-  ++started_count_;
-  started_profit_ += info.peak;
+  // A job evicted by a capacity shrink and later re-admitted is already
+  // started; it joins the paper's set R (and started_profit_) only once.
+  if (!info.started) {
+    info.started = true;
+    ++started_count_;
+    started_profit_ += info.peak;
+  }
   q_index_.insert(job, info.alloc.v, info.alloc.n);
   sorted_insert(q_, job);
 }
@@ -236,6 +239,59 @@ void DeadlineScheduler::drain_p(const EngineContext& ctx) {
     }
     info.alloc = saved;
     ++i;
+  }
+}
+
+void DeadlineScheduler::on_capacity_change(const EngineContext& ctx,
+                                           ProcCount old_m, ProcCount new_m) {
+  if (new_m >= old_m) {
+    // Recovery: the wider windows may now admit jobs waiting in P.
+    drain_p(ctx);
+    return;
+  }
+  // Shrink: replay admission condition (2) over Q in density order against
+  // the reduced capacity b*new_m, keeping the densest feasible prefix --
+  // the same greedy order decide() serves, so the jobs shed are exactly the
+  // ones that could no longer be served anyway.
+  const double cap = options_.params.b * static_cast<double>(new_m);
+  std::vector<JobId> keep;
+  std::vector<JobId> evicted;
+  keep.reserve(q_.size());
+  q_index_.clear();
+  for (const JobId job : q_) {
+    const JobInfo& info = info_[job];
+    bool ok = info.alloc.n <= new_m;
+    if (ok && options_.enforce_admission) {
+      ok = q_index_.admits(info.alloc.v, info.alloc.n, options_.params.c,
+                           cap);
+    }
+    if (ok) {
+      q_index_.insert(job, info.alloc.v, info.alloc.n);
+      keep.push_back(job);
+    } else {
+      evicted.push_back(job);
+    }
+  }
+  q_ = std::move(keep);
+  const ObsSink* obs = ctx.obs();
+  for (const JobId job : evicted) {
+    JobInfo& info = info_[job];
+    const bool fresh = !options_.require_fresh || is_fresh(info, ctx.now());
+    const char* slug = info.alloc.n > new_m ? "too-wide" : "window-full";
+    if (fresh) {
+      sorted_insert(p_, job);  // may be re-admitted when capacity recovers
+    } else {
+      info.dropped = true;
+      slug = "stale";
+    }
+    if (obs != nullptr) {
+      obs->count("sched.readmit_fails");
+      obs->event(ctx.now(), job, ObsEventKind::kReadmitFail, slug,
+                 {{"v", info.alloc.v},
+                  {"n", static_cast<double>(info.alloc.n)},
+                  {"m", static_cast<double>(new_m)},
+                  {"requeued", fresh ? 1.0 : 0.0}});
+    }
   }
 }
 

@@ -94,6 +94,13 @@ class DeadlineScheduler final : public SchedulerBase {
   void on_arrival(const EngineContext& ctx, JobId job) override;
   void on_completion(const EngineContext& ctx, JobId job) override;
   void on_deadline(const EngineContext& ctx, JobId job) override;
+  /// Degradation policy under processor churn.  Shrink: condition (2) is
+  /// replayed over Q in density order against b*new_m; jobs that no longer
+  /// fit are requeued to P (if still admissible later) or dropped, each
+  /// recorded as a `readmit-fail` decision event.  Growth: P is drained,
+  /// since recovered capacity may admit waiting jobs.
+  void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
+                          ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
 
   // ---- Introspection (tests, benches, invariant observers) ----

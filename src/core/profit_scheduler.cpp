@@ -169,6 +169,51 @@ void ProfitScheduler::on_completion(const EngineContext& ctx, JobId job) {
   }
 }
 
+void ProfitScheduler::on_capacity_change(const EngineContext& ctx,
+                                         ProcCount old_m, ProcCount new_m) {
+  cap_ = options_.params.b * static_cast<double>(new_m);
+  if (new_m >= old_m) return;  // growth: future admissions just got looser
+  const ObsSink* obs = ctx.obs();
+  auto unschedule = [&](JobId job, const char* slug) {
+    JobInfo& info = info_[job];
+    for (const std::uint64_t t : info.assigned) {
+      const auto it = slots_.find(t);
+      if (it == slots_.end()) continue;
+      it->second.index.erase(job);
+      std::erase(it->second.jobs, job);
+    }
+    info.scheduled = false;
+    info.assigned.clear();
+    if (obs != nullptr) {
+      obs->count("sched.readmit_fails");
+      obs->event(ctx.now(), job, ObsEventKind::kReadmitFail, slug,
+                 {{"n", static_cast<double>(info.alloc.n)},
+                  {"m", static_cast<double>(new_m)}});
+    }
+  };
+  for (JobId job = 0; job < info_.size(); ++job) {
+    const JobInfo& info = info_[job];
+    if (info.scheduled && !info.completed && info.alloc.n > new_m) {
+      unschedule(job, "too-wide");
+    }
+  }
+  for (auto& [t, slot] : slots_) {
+    while (!slot.jobs.empty() &&
+           approx_gt(slot.index.max_window_load(options_.params.c), cap_)) {
+      // Shed the lowest-density job (ties: the later arrival) -- the inverse
+      // of the density order decide() serves in.
+      JobId victim = slot.jobs.front();
+      for (const JobId j : slot.jobs) {
+        if (info_[j].v < info_[victim].v ||
+            (info_[j].v == info_[victim].v && j > victim)) {
+          victim = j;
+        }
+      }
+      unschedule(victim, "window-over-cap");
+    }
+  }
+}
+
 void ProfitScheduler::decide(const EngineContext& ctx, Assignment& out) {
   // The slot-assignment algorithm is only meaningful on the SlotEngine
   // (decide() once per unit slot).  Fractional decision times mean an

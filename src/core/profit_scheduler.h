@@ -63,6 +63,15 @@ class ProfitScheduler final : public SchedulerBase {
   void reset() override;
   void on_arrival(const EngineContext& ctx, JobId job) override;
   void on_completion(const EngineContext& ctx, JobId job) override;
+  /// Degradation under processor churn.  Shrink: jobs whose fixed n_i
+  /// exceeds the surviving machine count are unscheduled, then each future
+  /// slot sheds its lowest-density jobs until every Lemma-15 window fits
+  /// within the reduced b*m; displaced jobs are permanently unscheduled
+  /// (their slot pinning cannot be re-derived mid-flight) and recorded as
+  /// `readmit-fail` events.  scheduled_count()/scheduled_profit() keep
+  /// counting ever-scheduled jobs.  Growth only loosens future admission.
+  void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
+                          ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
   Time next_wakeup(const EngineContext& ctx) const override;
 

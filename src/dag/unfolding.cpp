@@ -10,13 +10,15 @@ namespace dagsched {
 UnfoldingState::UnfoldingState(const Dag& dag)
     : dag_(&dag),
       status_(dag.num_nodes(), Status::kWaiting),
+      initial_(dag.num_nodes()),
       remaining_(dag.num_nodes()),
       pending_preds_(dag.num_nodes()),
       ready_pos_(dag.num_nodes(), kNpos),
       total_remaining_(dag.total_work()),
       nodes_remaining_(dag.num_nodes()) {
   for (NodeId v = 0; v < dag.num_nodes(); ++v) {
-    remaining_[v] = dag.node_work(v);
+    initial_[v] = dag.node_work(v);
+    remaining_[v] = initial_[v];
     pending_preds_[v] = dag.in_degree(v);
   }
   for (NodeId v : dag.sources()) {
@@ -24,6 +26,40 @@ UnfoldingState::UnfoldingState(const Dag& dag)
     ready_pos_[v] = ready_.size();
     ready_.push_back(v);
   }
+}
+
+UnfoldingState::UnfoldingState(const Dag& dag, std::vector<Work> works)
+    : dag_(&dag),
+      status_(dag.num_nodes(), Status::kWaiting),
+      initial_(std::move(works)),
+      remaining_(dag.num_nodes()),
+      pending_preds_(dag.num_nodes()),
+      ready_pos_(dag.num_nodes(), kNpos),
+      nodes_remaining_(dag.num_nodes()) {
+  DS_CHECK_MSG(initial_.size() == dag.num_nodes(),
+               "works size " << initial_.size() << " != nodes "
+                             << dag.num_nodes());
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    DS_CHECK_MSG(initial_[v] > 0.0,
+                 "node " << v << " has non-positive work " << initial_[v]);
+    remaining_[v] = initial_[v];
+    total_remaining_ += initial_[v];
+    pending_preds_[v] = dag.in_degree(v);
+  }
+  for (NodeId v : dag.sources()) {
+    status_[v] = Status::kReady;
+    ready_pos_[v] = ready_.size();
+    ready_.push_back(v);
+  }
+}
+
+Work UnfoldingState::reset_progress(NodeId node) {
+  DS_CHECK_MSG(status_[node] != Status::kDone,
+               "reset_progress on completed node " << node);
+  const Work lost = initial_[node] - remaining_[node];
+  remaining_[node] = initial_[node];
+  total_remaining_ += lost;
+  return lost;
 }
 
 bool UnfoldingState::advance(NodeId node, Work amount,

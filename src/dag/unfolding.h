@@ -19,6 +19,12 @@ class UnfoldingState {
  public:
   explicit UnfoldingState(const Dag& dag);
 
+  /// Fault-injection variant: per-node *actual* work overrides the DAG's
+  /// declared work (modeling misestimated W_i).  `works` must have one entry
+  /// per node, each strictly positive.  Schedulers keep seeing the declared
+  /// values through JobView; only execution consumes the actual ones.
+  UnfoldingState(const Dag& dag, std::vector<Work> works);
+
   const Dag& dag() const { return *dag_; }
 
   /// Nodes whose predecessors have all completed and which are not yet done.
@@ -36,6 +42,15 @@ class UnfoldingState {
 
   /// Remaining processing time of `node` at unit speed.
   Work remaining_work(NodeId node) const { return remaining_[node]; }
+
+  /// The work `node` started with: the DAG's declared work, or the actual
+  /// (possibly overrun) work when constructed with explicit works.
+  Work initial_work(NodeId node) const { return initial_[node]; }
+
+  /// Discards all progress on an unfinished node (restart-from-zero failure
+  /// semantics): remaining work snaps back to initial_work.  Returns the
+  /// amount of work lost, which the engine accounts as `lost_work`.
+  Work reset_progress(NodeId node);
 
   /// Total remaining work across all unfinished nodes.
   Work total_remaining_work() const { return total_remaining_; }
@@ -65,6 +80,7 @@ class UnfoldingState {
 
   const Dag* dag_;
   std::vector<Status> status_;
+  std::vector<Work> initial_;
   std::vector<Work> remaining_;
   std::vector<NodeId> pending_preds_;  // # of uncompleted predecessors
   std::vector<NodeId> ready_;

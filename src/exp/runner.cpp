@@ -75,6 +75,7 @@ RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
     options.speed = config.speed;
     options.record_trace = config.record_trace;
     options.obs = config.obs;
+    options.faults = config.faults;
     SlotEngine engine(jobs, scheduler, *selector, options);
     result = engine.run();
   } else {
@@ -83,6 +84,7 @@ RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
     options.speed = config.speed;
     options.record_trace = config.record_trace;
     options.obs = config.obs;
+    options.faults = config.faults;
     EventEngine engine(jobs, scheduler, *selector, options);
     result = engine.run();
   }
@@ -94,6 +96,9 @@ RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
   metrics.decisions = result.decisions;
   metrics.busy_proc_time = result.busy_proc_time;
   metrics.end_time = result.end_time;
+  metrics.lost_work = result.lost_work;
+  metrics.failure = result.failure;
+  metrics.failure_message = result.failure_message;
   return metrics;
 }
 

@@ -44,6 +44,8 @@ struct RunConfig {
   bool record_trace = false;
   /// Observability sink forwarded to the engine (null = off).
   const ObsSink* obs = nullptr;
+  /// Fault injector forwarded to the engine (null = no faults).
+  const FaultInjector* faults = nullptr;
 };
 
 struct RunMetrics {
@@ -55,6 +57,11 @@ struct RunMetrics {
   std::size_t decisions = 0;
   double busy_proc_time = 0.0;
   Time end_time = 0.0;
+  /// Work discarded by restart-from-zero fault recovery.
+  Work lost_work = 0.0;
+  /// kNone unless the run terminated abnormally (livelock guard, horizon).
+  SimFailureKind failure = SimFailureKind::kNone;
+  std::string failure_message;
 };
 
 /// One simulation with the given engine configuration.

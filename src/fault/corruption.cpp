@@ -1,0 +1,38 @@
+#include "fault/corruption.h"
+
+#include <algorithm>
+
+#include "util/float_cmp.h"
+#include "util/rng.h"
+
+namespace dagsched {
+
+JobSet corrupt_metadata(const JobSet& jobs, const CorruptionConfig& config) {
+  JobSet out;
+  const Rng base(config.seed ^ 0x9E6D62D06F6F9FE7ULL);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    Rng rng = base.split(i);
+    if (!config.enabled() || !rng.bernoulli(config.prob)) {
+      out.add(job);
+      continue;
+    }
+    const double lo = std::max(0.05, 1.0 - config.severity);
+    const double hi = 1.0 + config.severity;
+    if (job.has_deadline()) {
+      const Time deadline =
+          std::max(kEps, job.relative_deadline() * rng.uniform(lo, hi));
+      const Profit profit =
+          std::max(kEps, job.peak_profit() * rng.uniform(lo, hi));
+      out.add(Job::with_deadline(job.dag_ptr(), job.release(), deadline,
+                                 profit));
+    } else {
+      const Time release = job.release() * rng.uniform(lo, hi);
+      out.add(Job(job.dag_ptr(), release, job.profit()));
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,35 @@
+// Generate-time job-metadata corruption.
+//
+// Models noisy admission-control inputs: a fraction of jobs arrive with
+// perturbed metadata (tighter-or-looser deadline, mis-stated profit, jittered
+// release).  Unlike churn and overruns this happens when the workload is
+// *written*, not while it runs: `dagsched generate --fault-corrupt` applies
+// it once and the corrupted workload is then an ordinary .wl file, so every
+// scheduler and both engines see identical (corrupted) inputs.
+//
+// Deterministic: corruption of job i depends only on (seed, i).
+#pragma once
+
+#include <cstdint>
+
+#include "job/job.h"
+
+namespace dagsched {
+
+struct CorruptionConfig {
+  std::uint64_t seed = 1;
+  /// Probability a given job's metadata is corrupted.
+  double prob = 0.0;
+  /// Relative perturbation magnitude; fields are scaled by a factor drawn
+  /// uniformly from [1 - severity, 1 + severity] (clamped to stay positive).
+  double severity = 0.25;
+
+  bool enabled() const { return prob > 0.0 && severity > 0.0; }
+};
+
+/// Returns a copy of `jobs` with a `prob` fraction corrupted: step-profit
+/// jobs get scaled deadline and peak profit; other jobs get a scaled
+/// release.  The result is finalized (sorted by release).
+JobSet corrupt_metadata(const JobSet& jobs, const CorruptionConfig& config);
+
+}  // namespace dagsched

@@ -1,0 +1,191 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dagsched {
+
+std::string FaultPlanConfig::validate() const {
+  if (mtbf < 0.0 || !std::isfinite(mtbf)) return "mtbf must be finite and >= 0";
+  if (mtbf > 0.0 && (mttr <= 0.0 || !std::isfinite(mttr))) {
+    return "mttr must be finite and > 0 when mtbf is set";
+  }
+  if (horizon < 0.0 || !std::isfinite(horizon)) {
+    return "horizon must be finite and >= 0";
+  }
+  if (mtbf > 0.0 && horizon <= 0.0) {
+    return "churn (mtbf > 0) requires a positive horizon";
+  }
+  if (min_procs < 1) return "min-procs must be >= 1";
+  if (overrun_prob < 0.0 || overrun_prob > 1.0 ||
+      !std::isfinite(overrun_prob)) {
+    return "overrun-prob must be in [0, 1]";
+  }
+  if (overrun_factor < 1.0 || !std::isfinite(overrun_factor)) {
+    return "overrun-factor must be finite and >= 1";
+  }
+  return {};
+}
+
+ProcCount FaultPlan::num_up(Time t) const {
+  ProcCount down = 0;
+  for (const DownInterval& iv : intervals_) {
+    if (iv.begin > t) break;  // sorted by begin
+    if (t < iv.end) ++down;
+  }
+  DS_CHECK(down <= num_procs_);
+  return static_cast<ProcCount>(num_procs_ - down);
+}
+
+double FaultPlan::work_multiplier(JobId job, NodeId node) const {
+  if (!config_.overrun_enabled()) return 1.0;
+  // Tagged stream disjoint from the per-processor churn streams: churn uses
+  // Rng(seed).split(proc), overruns use Rng(seed ^ tag).split(job).split(node).
+  Rng rng = Rng(config_.seed ^ 0xC2B2AE3D27D4EB4FULL)
+                .split(job)
+                .split(node);
+  if (!rng.bernoulli(config_.overrun_prob)) return 1.0;
+  return rng.uniform(1.0, config_.overrun_factor);
+}
+
+FaultPlan build_fault_plan(const FaultPlanConfig& config, ProcCount num_procs) {
+  const std::string problem = config.validate();
+  DS_CHECK_MSG(problem.empty(), "invalid FaultPlanConfig: " << problem);
+  DS_CHECK_MSG(config.min_procs <= num_procs,
+               "min-procs " << config.min_procs << " > m=" << num_procs);
+
+  std::vector<DownInterval> candidates;
+  if (config.churn_enabled()) {
+    const double fail_rate = 1.0 / config.mtbf;
+    const double repair_rate = 1.0 / config.mttr;
+    const Rng base(config.seed);
+    for (ProcCount p = 0; p < num_procs; ++p) {
+      Rng rng = base.split(p);
+      Time t = 0.0;
+      Time prev_end = 0.0;
+      while (true) {
+        t += rng.exponential(fail_rate);
+        if (t >= config.horizon) break;
+        const double repair = rng.exponential(repair_rate);
+        Time begin = t;
+        Time end = t + repair;
+        if (config.integral_times) {
+          begin = std::ceil(begin);
+          end = std::max(begin + 1.0, std::ceil(end));
+        }
+        // Rounding can pull an interval back onto its predecessor; keep the
+        // per-processor sequence disjoint and ordered.
+        begin = std::max(begin, prev_end);
+        if (end <= begin) end = begin + (config.integral_times ? 1.0 : 0.0);
+        if (end > begin && begin < config.horizon) {
+          candidates.push_back({begin, end, p});
+          prev_end = end;
+        }
+        t = std::max(t + repair, end);
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const DownInterval& a, const DownInterval& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.proc < b.proc;
+            });
+
+  // Enforce the min_procs floor: sweep candidates in start order, tracking
+  // the ends of accepted (still-active) down intervals; a failure that would
+  // exceed m - min_procs concurrent downs is dropped (the processor simply
+  // does not fail).  Intervals are closed-open, so an interval ending at the
+  // candidate's begin has already recovered and is popped first.
+  const std::size_t cap = static_cast<std::size_t>(num_procs) -
+                          static_cast<std::size_t>(config.min_procs);
+  std::vector<DownInterval> accepted;
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> active_ends;
+  for (const DownInterval& iv : candidates) {
+    while (!active_ends.empty() && active_ends.top() <= iv.begin) {
+      active_ends.pop();
+    }
+    if (active_ends.size() < cap) {
+      accepted.push_back(iv);
+      active_ends.push(iv.end);
+    }
+  }
+  return FaultPlan(config, num_procs, std::move(accepted));
+}
+
+namespace {
+
+bool parse_double(const std::string& text, double* out) {
+  std::istringstream in(text);
+  in >> *out;
+  return static_cast<bool>(in) && in.eof() && std::isfinite(*out);
+}
+
+}  // namespace
+
+std::optional<FaultPlanConfig> parse_fault_spec(const std::string& spec,
+                                                std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  FaultPlanConfig config;
+  std::istringstream in(spec);
+  std::string pair;
+  while (std::getline(in, pair, ',')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return fail("fault spec entry '" + pair + "' is not key=value");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    double num = 0.0;
+    if (key == "restart") {
+      if (value == "resume") {
+        config.restart = RestartPolicy::kResume;
+      } else if (value == "zero") {
+        config.restart = RestartPolicy::kRestartFromZero;
+      } else {
+        return fail("restart must be 'resume' or 'zero', got '" + value + "'");
+      }
+      continue;
+    }
+    if (!parse_double(value, &num)) {
+      return fail("fault spec value for '" + key + "' is not a number: '" +
+                  value + "'");
+    }
+    if (key == "seed") {
+      if (num < 0.0) return fail("seed must be >= 0");
+      config.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "mtbf") {
+      config.mtbf = num;
+    } else if (key == "mttr") {
+      config.mttr = num;
+    } else if (key == "horizon") {
+      config.horizon = num;
+    } else if (key == "min-procs") {
+      if (num < 1.0) return fail("min-procs must be >= 1");
+      config.min_procs = static_cast<ProcCount>(num);
+    } else if (key == "integral") {
+      config.integral_times = num != 0.0;
+    } else if (key == "overrun-prob") {
+      config.overrun_prob = num;
+    } else if (key == "overrun-factor") {
+      config.overrun_factor = num;
+    } else {
+      return fail("unknown fault spec key '" + key + "'");
+    }
+  }
+  const std::string problem = config.validate();
+  if (!problem.empty()) return fail(problem);
+  return config;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,121 @@
+// Deterministic, seed-driven fault plans.
+//
+// A FaultPlan is generated *before* a run from a FaultPlanConfig and a
+// machine count m; it is pure data (down-intervals per processor plus
+// config), so the same (config, m) always yields the same plan and both
+// engines consume identical fault schedules.  Three fault classes:
+//
+//   1. Processor churn: each processor alternates up/down phases drawn from
+//      an alternating renewal process -- up durations ~ Exp(1/mtbf), repair
+//      durations ~ Exp(1/mttr) -- truncated at `horizon`.  A `min_procs`
+//      floor is enforced by dropping failures that would leave fewer than
+//      min_procs processors up (real clusters similarly refuse to drain
+//      below a quorum).
+//   2. Work overrun: per-node multipliers >= 1 modeling misestimated W_i.
+//      Schedulers keep seeing the declared work (they are
+//      semi-non-clairvoyant and trust the estimate); only execution consumes
+//      the actual, inflated amount.  Multipliers are a pure hash of
+//      (seed, job, node) -- O(1), no per-node storage.
+//   3. Metadata corruption is generate-time, not run-time: see
+//      fault/corruption.h.
+//
+// `integral_times` rounds churn to whole slots so the continuous and
+// discrete engines see the same transition instants (required by the
+// cross-engine determinism test).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dagsched {
+
+/// What happens to a node that was executing on a processor that fails.
+enum class RestartPolicy {
+  kResume,           // progress survives; the node continues elsewhere/later
+  kRestartFromZero,  // progress is lost; remaining work snaps back to initial
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  /// Mean time between failures per processor; 0 disables churn.
+  double mtbf = 0.0;
+  /// Mean time to repair a failed processor.
+  double mttr = 1.0;
+  /// Churn is generated for [0, horizon); 0 disables churn.
+  Time horizon = 0.0;
+  /// Never let the up-processor count drop below this floor.
+  ProcCount min_procs = 1;
+  /// Round transitions to whole slots (cross-engine comparable plans).
+  bool integral_times = false;
+  /// Probability a node's actual work overruns its declared work.
+  double overrun_prob = 0.0;
+  /// Overrun multiplier is drawn uniformly from [1, overrun_factor].
+  double overrun_factor = 1.0;
+  RestartPolicy restart = RestartPolicy::kResume;
+
+  bool churn_enabled() const { return mtbf > 0.0 && horizon > 0.0; }
+  bool overrun_enabled() const {
+    return overrun_prob > 0.0 && overrun_factor > 1.0;
+  }
+
+  /// Returns an error message, or empty if the config is usable.
+  std::string validate() const;
+};
+
+/// A closed-open interval [begin, end) during which `proc` is down.
+struct DownInterval {
+  Time begin = 0.0;
+  Time end = 0.0;
+  ProcCount proc = 0;
+
+  friend bool operator==(const DownInterval&, const DownInterval&) = default;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(FaultPlanConfig config, ProcCount num_procs,
+            std::vector<DownInterval> intervals)
+      : config_(config),
+        num_procs_(num_procs),
+        intervals_(std::move(intervals)) {}
+
+  const FaultPlanConfig& config() const { return config_; }
+  ProcCount num_procs() const { return num_procs_; }
+
+  /// Down intervals sorted by begin time; per processor they are disjoint.
+  const std::vector<DownInterval>& down_intervals() const {
+    return intervals_;
+  }
+
+  /// Number of processors up at time t (intervals are closed-open, so a
+  /// processor recovering at t counts as up at t).
+  ProcCount num_up(Time t) const;
+
+  /// Actual-work multiplier for (job, node): 1.0 unless the overrun draw
+  /// for this node fires.  Pure function of (seed, job, node).
+  double work_multiplier(JobId job, NodeId node) const;
+
+ private:
+  FaultPlanConfig config_;
+  ProcCount num_procs_ = 0;
+  std::vector<DownInterval> intervals_;
+};
+
+/// Generates the plan for `num_procs` processors.  DS_CHECKs that the
+/// config validates and that min_procs <= num_procs.
+FaultPlan build_fault_plan(const FaultPlanConfig& config, ProcCount num_procs);
+
+/// Parses a `--faults` spec: comma-separated key=value pairs, e.g.
+///   "mtbf=50,mttr=5,seed=7,horizon=500,overrun-prob=0.2,overrun-factor=2,
+///    restart=zero,min-procs=1,integral=1".
+/// Unknown keys, malformed numbers, and invalid combinations produce
+/// std::nullopt with a message in `error` (if non-null).
+std::optional<FaultPlanConfig> parse_fault_spec(const std::string& spec,
+                                                std::string* error = nullptr);
+
+}  // namespace dagsched

@@ -1,0 +1,27 @@
+#include "obs/crash_dump.h"
+
+#include <fstream>
+
+namespace dagsched {
+
+CrashDumpGuard::CrashDumpGuard(EventLog* log, std::string path)
+    : log_(log), path_(std::move(path)) {
+  previous_ = set_check_failure_hook(
+      [this](const std::string& message) { dump(message); });
+}
+
+CrashDumpGuard::~CrashDumpGuard() { set_check_failure_hook(previous_); }
+
+void CrashDumpGuard::dump(const std::string& message) {
+  if (log_ == nullptr) return;
+  // Stamp the abort at the time of the last recorded decision: the engine's
+  // clock is unreachable from here, and the final event's time is the best
+  // available estimate of when the run died.
+  const Time when = log_->empty() ? 0.0 : log_->events().back().time;
+  (void)message;  // full text already on stderr; the log stays numeric-only
+  log_->emit(when, kInvalidJob, ObsEventKind::kEngineAbort, "ds-check");
+  std::ofstream out(path_);
+  if (out) log_->write_jsonl(out);
+}
+
+}  // namespace dagsched

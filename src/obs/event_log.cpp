@@ -17,6 +17,12 @@ const char* obs_event_kind_name(ObsEventKind kind) {
     case ObsEventKind::kComplete: return "complete";
     case ObsEventKind::kExpire: return "expire";
     case ObsEventKind::kPreempt: return "preempt";
+    case ObsEventKind::kProcDown: return "proc-down";
+    case ObsEventKind::kProcUp: return "proc-up";
+    case ObsEventKind::kNodeRestart: return "node-restart";
+    case ObsEventKind::kWorkOverrun: return "work-overrun";
+    case ObsEventKind::kReadmitFail: return "readmit-fail";
+    case ObsEventKind::kEngineAbort: return "engine-abort";
   }
   return "?";
 }
@@ -30,6 +36,12 @@ std::optional<ObsEventKind> obs_event_kind_from_name(std::string_view name) {
   if (name == "complete") return ObsEventKind::kComplete;
   if (name == "expire") return ObsEventKind::kExpire;
   if (name == "preempt") return ObsEventKind::kPreempt;
+  if (name == "proc-down") return ObsEventKind::kProcDown;
+  if (name == "proc-up") return ObsEventKind::kProcUp;
+  if (name == "node-restart") return ObsEventKind::kNodeRestart;
+  if (name == "work-overrun") return ObsEventKind::kWorkOverrun;
+  if (name == "readmit-fail") return ObsEventKind::kReadmitFail;
+  if (name == "engine-abort") return ObsEventKind::kEngineAbort;
   return std::nullopt;
 }
 

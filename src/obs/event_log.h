@@ -34,6 +34,14 @@ enum class ObsEventKind {
   kComplete,  // engine: all nodes of the job finished
   kExpire,    // engine: deadline passed without completion
   kPreempt,   // engine: job lost all processors while unfinished
+  // Fault-injection events (src/fault/); job is kInvalidJob for the
+  // processor-level ones.
+  kProcDown,     // injector: a processor failed
+  kProcUp,       // injector: a failed processor recovered
+  kNodeRestart,  // engine: in-flight node lost its progress to a failure
+  kWorkOverrun,  // engine: node's actual work exceeds its declared work
+  kReadmitFail,  // scheduler: job lost admission after a capacity shrink
+  kEngineAbort,  // engine/crash hook: run terminated abnormally
 };
 
 const char* obs_event_kind_name(ObsEventKind kind);

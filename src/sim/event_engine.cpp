@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -40,8 +41,11 @@ void EventEngine::validate_assignment(const Assignment& assignment) const {
     DS_CHECK_MSG(!rt.completed, "allocation to completed job " << alloc.job);
     total += alloc.procs;
   }
-  DS_CHECK_MSG(total <= options_.num_procs,
-               "allocation uses " << total << " > m=" << options_.num_procs
+  // ctx_.m_ is the currently-up processor count (== num_procs unless fault
+  // injection took some down), so rogue allocations onto failed processors
+  // are caught here.
+  DS_CHECK_MSG(total <= ctx_.num_procs(),
+               "allocation uses " << total << " > m=" << ctx_.num_procs()
                                   << " processors");
 }
 
@@ -98,6 +102,33 @@ SimResult EventEngine::run() {
   }
   ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
 
+  // Fault-injection state.  All of it (including counter registration) is
+  // gated on options_.faults so fault-free runs stay byte-identical.
+  const FaultInjector* faults = options_.faults;
+  const bool churn = faults != nullptr && faults->has_churn();
+  Counter* c_proc_downs = nullptr;
+  Counter* c_proc_ups = nullptr;
+  Counter* c_restarts = nullptr;
+  Counter* c_overruns = nullptr;
+  Counter* c_lost_work = nullptr;
+  if (faults != nullptr && obs != nullptr && obs->metrics != nullptr) {
+    MetricRegistry& mr = *obs->metrics;
+    c_proc_downs = mr.counter("fault.proc_downs");
+    c_proc_ups = mr.counter("fault.proc_ups");
+    c_restarts = mr.counter("fault.node_restarts");
+    c_overruns = mr.counter("fault.work_overruns");
+    c_lost_work = mr.counter("fault.lost_work");
+  }
+  std::size_t next_transition = 0;
+  std::vector<char> proc_up(options_.num_procs, 1);
+  ProcCount avail = options_.num_procs;
+  // Physical processor -> node it executed in the interval ending now, for
+  // failure-victim detection; and the up-processor list of the current
+  // interval, for physical trace/proc mapping.
+  std::vector<std::pair<JobId, NodeId>> proc_node(
+      options_.num_procs, {kInvalidJob, 0});
+  std::vector<ProcCount> up_list;
+
   // Min-heap of (absolute deadline, job) for arrived step-profit jobs.
   using DeadlineEntry = std::pair<Time, JobId>;
   std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
@@ -116,9 +147,65 @@ SimResult EventEngine::run() {
   std::vector<JobId> prev_jobs, current_jobs;
 
   const double speed = options_.speed;
+  std::size_t jobs_done = 0;
 
   for (;;) {
     ctx_.now_ = now;
+
+    // (0) Deliver processor transitions due now, before anything else: a
+    // failed processor must not be offered to the scheduler at this instant.
+    // Events are stamped with the transition's own time (identical across
+    // engines); victims of restart-from-zero lose their progress here.
+    if (churn) {
+      const auto& transitions = faults->transitions();
+      bool capacity_changed = false;
+      while (next_transition < transitions.size() &&
+             approx_le(transitions[next_transition].time, now)) {
+        const ProcTransition& tr = transitions[next_transition++];
+        if (tr.up) {
+          if (proc_up[tr.proc]) continue;
+          proc_up[tr.proc] = 1;
+          ++avail;
+          capacity_changed = true;
+          DS_OBS_INC(c_proc_ups);
+          if (obs != nullptr) {
+            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcUp, {},
+                       {{"proc", static_cast<double>(tr.proc)}});
+          }
+        } else {
+          if (!proc_up[tr.proc]) continue;
+          proc_up[tr.proc] = 0;
+          --avail;
+          capacity_changed = true;
+          DS_OBS_INC(c_proc_downs);
+          if (obs != nullptr) {
+            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcDown, {},
+                       {{"proc", static_cast<double>(tr.proc)}});
+          }
+          const auto [vjob, vnode] = proc_node[tr.proc];
+          proc_node[tr.proc] = {kInvalidJob, 0};
+          if (faults->restart_from_zero() && vjob != kInvalidJob &&
+              !runtimes_[vjob].completed &&
+              !runtimes_[vjob].unfolding->is_done(vnode)) {
+            const Work lost = runtimes_[vjob].unfolding->reset_progress(vnode);
+            result.lost_work += lost;
+            DS_OBS_INC(c_restarts);
+            DS_OBS_ADD(c_lost_work, lost);
+            if (obs != nullptr) {
+              obs->event(tr.time, vjob, ObsEventKind::kNodeRestart, {},
+                         {{"node", static_cast<double>(vnode)},
+                          {"lost", lost}});
+            }
+          }
+        }
+      }
+      if (capacity_changed) {
+        const ProcCount old_m = ctx_.m_;
+        DS_CHECK_MSG(avail >= 1, "fault plan left zero processors up");
+        ctx_.m_ = avail;
+        scheduler_.on_capacity_change(ctx_, old_m, avail);
+      }
+    }
 
     // (1) Deliver arrivals due now.
     while (next_arrival < n &&
@@ -126,13 +213,30 @@ SimResult EventEngine::run() {
       const JobId id = static_cast<JobId>(next_arrival++);
       JobRuntime& rt = runtimes_[id];
       rt.arrived = true;
-      rt.unfolding.emplace(jobs_[id].dag());
+      std::vector<Work> actual_works;
+      if (faults != nullptr && faults->scales_work()) {
+        actual_works = faults->scaled_works(id, jobs_[id].dag());
+      }
+      if (actual_works.empty()) {
+        rt.unfolding.emplace(jobs_[id].dag());
+      } else {
+        rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
+      }
       active_.push_back(id);
       if (jobs_[id].has_deadline()) {
         deadlines.emplace(jobs_[id].absolute_deadline(), id);
       }
       DS_OBS_INC(c_arrivals);
       if (obs != nullptr) obs->event(now, id, ObsEventKind::kArrival);
+      if (faults != nullptr &&
+          rt.unfolding->total_remaining_work() > jobs_[id].work()) {
+        DS_OBS_INC(c_overruns);
+        if (obs != nullptr) {
+          obs->event(now, id, ObsEventKind::kWorkOverrun, {},
+                     {{"declared", jobs_[id].work()},
+                      {"actual", rt.unfolding->total_remaining_work()}});
+        }
+      }
       scheduler_.on_arrival(ctx_, id);
     }
 
@@ -157,9 +261,20 @@ SimResult EventEngine::run() {
     }
     DS_OBS_INC(c_decisions);
     ++result.decisions;
-    DS_CHECK_MSG(result.decisions <= options_.max_decisions,
-                 "decision budget exhausted at t=" << now
-                     << " (scheduler livelock?)");
+    if (result.decisions > options_.max_decisions) {
+      // Livelock guard: fail the run structurally instead of aborting the
+      // process; partial outcomes below still reflect completed jobs.
+      std::ostringstream msg;
+      msg << "decision budget " << options_.max_decisions
+          << " exhausted at t=" << now << " (scheduler livelock?)";
+      result.failure = SimFailureKind::kDecisionBudget;
+      result.failure_message = msg.str();
+      if (obs != nullptr) {
+        obs->event(now, kInvalidJob, ObsEventKind::kEngineAbort,
+                   "decision-budget");
+      }
+      break;
+    }
     validate_assignment(assignment);
     if (options_.observer) options_.observer(ctx_, assignment);
 
@@ -170,6 +285,20 @@ SimResult EventEngine::run() {
       selector_.select(jobs_[alloc.job].dag(), *rt.unfolding, alloc.procs,
                        picked);
       for (const NodeId node : picked) running.push_back({alloc.job, node});
+    }
+    if (churn) {
+      // Map logical run indices to physical (up) processors so traces and
+      // victim detection name real machines.
+      up_list.clear();
+      for (ProcCount p = 0; p < options_.num_procs; ++p) {
+        if (proc_up[p]) up_list.push_back(p);
+      }
+      DS_CHECK(running.size() <= up_list.size());
+      std::fill(proc_node.begin(), proc_node.end(),
+                std::make_pair(kInvalidJob, NodeId{0}));
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        proc_node[up_list[i]] = {running[i].job, running[i].node};
+      }
     }
 
     // (4b) Preemption accounting: anything that ran in the previous
@@ -217,6 +346,14 @@ SimResult EventEngine::run() {
     if (!deadlines.empty()) {
       next_event = std::min(next_event, deadlines.top().first);
     }
+    // Pending processor transitions are decision points while any job could
+    // still be affected; once all jobs completed they are irrelevant (and
+    // excluding them preserves quiescence detection).
+    if (churn && jobs_done < n &&
+        next_transition < faults->transitions().size()) {
+      next_event =
+          std::min(next_event, faults->transitions()[next_transition].time);
+    }
 
     if (running.empty()) {
       if (next_event == kTimeInfinity) break;  // quiescent: nothing left
@@ -242,7 +379,7 @@ SimResult EventEngine::run() {
       JobRuntime& rt = runtimes_[rn.job];
       if (c_node_starts != nullptr &&
           rt.unfolding->remaining_work(rn.node) ==
-              jobs_[rn.job].dag().node_work(rn.node)) {
+              rt.unfolding->initial_work(rn.node)) {
         c_node_starts->add(1.0);
       }
       rt.unfolding->advance(rn.node, speed * dt);
@@ -253,13 +390,13 @@ SimResult EventEngine::run() {
       rt.first_start = std::min(rt.first_start, now);
       if (options_.record_trace) {
         result.trace.add(now, now + dt, rn.job, rn.node,
-                         static_cast<ProcCount>(p));
+                         churn ? up_list[p] : static_cast<ProcCount>(p));
       }
     }
     result.busy_proc_time += dt * static_cast<double>(running.size());
     DS_OBS_ADD(c_busy_time, dt * static_cast<double>(running.size()));
     DS_OBS_ADD(c_idle_time,
-               dt * static_cast<double>(options_.num_procs - running.size()));
+               dt * static_cast<double>(ctx_.num_procs() - running.size()));
     now += dt;
     ctx_.now_ = now;
 
@@ -281,6 +418,7 @@ SimResult EventEngine::run() {
       DS_OBS_INC(c_job_completions);
       if (obs != nullptr) obs->event(now, id, ObsEventKind::kComplete);
       scheduler_.on_completion(ctx_, id);
+      ++jobs_done;
     }
   }
 

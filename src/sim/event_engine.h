@@ -16,6 +16,7 @@
 
 #include <functional>
 
+#include "fault/injector.h"
 #include "job/job.h"
 #include "obs/sink.h"
 #include "sim/assignment.h"
@@ -40,6 +41,12 @@ struct EngineOptions {
   /// Observability sink (counters / decision events / span timers); null =
   /// off, and the run is bit-identical to an uninstrumented one.
   const ObsSink* obs = nullptr;
+  /// Fault injector (processor churn / work overruns); null = no faults,
+  /// and the run is bit-identical to a fault-free build.  Processor
+  /// transitions become decision points: failed processors stop executing,
+  /// decide() sees the reduced ctx.num_procs(), and the scheduler's
+  /// on_capacity_change() runs its degradation policy.
+  const FaultInjector* faults = nullptr;
 };
 
 class EventEngine {

@@ -2,6 +2,15 @@
 
 namespace dagsched {
 
+const char* sim_failure_kind_name(SimFailureKind kind) {
+  switch (kind) {
+    case SimFailureKind::kNone: return "none";
+    case SimFailureKind::kDecisionBudget: return "decision-budget";
+    case SimFailureKind::kHorizon: return "horizon";
+  }
+  return "?";
+}
+
 double profit_fraction(const SimResult& result, const JobSet& jobs) {
   const Profit peak = jobs.total_peak_profit();
   return peak > 0.0 ? result.total_profit / peak : 0.0;

@@ -1,6 +1,7 @@
 // Simulation results: per-job outcomes and aggregate metrics.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "job/job.h"
@@ -8,6 +9,18 @@
 #include "util/types.h"
 
 namespace dagsched {
+
+/// Why a run failed to reach quiescence.  Engines no longer abort the
+/// process on these conditions: they finalize whatever outcomes exist,
+/// stamp the failure, and return, so callers (the CLI, sweeps) can report
+/// the error and keep going.
+enum class SimFailureKind {
+  kNone,            // run completed normally
+  kDecisionBudget,  // EngineOptions::max_decisions exhausted (livelock guard)
+  kHorizon,         // SlotEngine's derived horizon overran with jobs pending
+};
+
+const char* sim_failure_kind_name(SimFailureKind kind);
 
 struct JobOutcome {
   bool completed = false;
@@ -37,8 +50,18 @@ struct SimResult {
   double busy_proc_time = 0.0;
   /// Time of the last event processed.
   Time end_time = 0.0;
+  /// Work discarded by restart-from-zero fault recovery (fault injection
+  /// only); work conservation holds as executed work = consumed work +
+  /// lost_work.
+  Work lost_work = 0.0;
+  /// kNone unless the run terminated abnormally (see SimFailureKind).
+  SimFailureKind failure = SimFailureKind::kNone;
+  /// Human-readable diagnosis when failure != kNone.
+  std::string failure_message;
   /// Populated when EngineOptions::record_trace is set.
   Trace trace;
+
+  bool failed() const { return failure != SimFailureKind::kNone; }
 };
 
 /// Fraction of peak profit earned: total_profit / sum of p_i.

@@ -50,6 +50,20 @@ class SchedulerBase {
     (void)job;
   }
 
+  /// The machine count changed (fault injection: processors failed or
+  /// recovered).  ctx.num_procs() already reflects `new_m`.  Schedulers with
+  /// committed capacity (admission sets, reserved clusters, pinned slots)
+  /// must shed or re-fit commitments here and should record each displaced
+  /// job with a `readmit-fail` decision event carrying a reason slug;
+  /// policies that re-read ctx.num_procs() every decide() can keep the
+  /// default no-op.  Only called when faults are injected.
+  virtual void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
+                                  ProcCount new_m) {
+    (void)ctx;
+    (void)old_m;
+    (void)new_m;
+  }
+
   /// Earliest future time at which decide() could return a different answer
   /// absent new external events (kTimeInfinity if never).  The SlotEngine
   /// uses this to skip idle stretches and to detect quiescence when a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -35,8 +36,8 @@ void SlotEngine::validate_assignment(const Assignment& assignment) const {
     DS_CHECK_MSG(!rt.completed, "allocation to completed job " << alloc.job);
     total += alloc.procs;
   }
-  DS_CHECK_MSG(total <= options_.num_procs,
-               "allocation uses " << total << " > m=" << options_.num_procs);
+  DS_CHECK_MSG(total <= ctx_.num_procs(),
+               "allocation uses " << total << " > m=" << ctx_.num_procs());
 }
 
 std::uint64_t SlotEngine::derive_horizon() const {
@@ -107,6 +108,34 @@ SimResult SlotEngine::run() {
   }
   ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
 
+  // Fault-injection state, mirrored from the EventEngine (see there for the
+  // delivery/victim semantics); all gated on options_.faults.
+  const FaultInjector* faults = options_.faults;
+  const bool churn = faults != nullptr && faults->has_churn();
+  Counter* c_proc_downs = nullptr;
+  Counter* c_proc_ups = nullptr;
+  Counter* c_restarts = nullptr;
+  Counter* c_overruns = nullptr;
+  Counter* c_lost_work = nullptr;
+  if (faults != nullptr && obs != nullptr && obs->metrics != nullptr) {
+    MetricRegistry& mr = *obs->metrics;
+    c_proc_downs = mr.counter("fault.proc_downs");
+    c_proc_ups = mr.counter("fault.proc_ups");
+    c_restarts = mr.counter("fault.node_restarts");
+    c_overruns = mr.counter("fault.work_overruns");
+    c_lost_work = mr.counter("fault.lost_work");
+  }
+  std::size_t next_transition = 0;
+  std::vector<char> proc_up(options_.num_procs, 1);
+  ProcCount avail = options_.num_procs;
+  std::vector<std::pair<JobId, NodeId>> proc_node(
+      options_.num_procs, {kInvalidJob, 0});
+  std::vector<ProcCount> up_list;
+  // End time of the last slot that executed anything; a processor failure
+  // only claims a victim if it struck during that slot (idle-skips leave the
+  // proc_node map stale, so the time guard is what invalidates it).
+  Time last_exec_end = -1.0;
+
   const std::uint64_t horizon =
       options_.max_slots > 0 ? options_.max_slots : derive_horizon();
   const double speed = options_.speed;
@@ -127,13 +156,81 @@ SimResult SlotEngine::run() {
 
   for (; jobs_done < n; ++slot) {
     if (slot >= horizon) {
-      DS_LOG_WARN("SlotEngine horizon " << horizon << " reached with "
-                                        << (n - jobs_done)
-                                        << " jobs incomplete");
+      if (options_.max_slots > 0) {
+        // Explicit cap: a caller-requested truncation, not a failure.
+        DS_LOG_WARN("SlotEngine max_slots " << horizon << " reached with "
+                                            << (n - jobs_done)
+                                            << " jobs incomplete");
+      } else {
+        std::ostringstream msg;
+        msg << "derived horizon " << horizon << " overran with "
+            << (n - jobs_done) << " jobs incomplete (scheduler starvation?)";
+        result.failure = SimFailureKind::kHorizon;
+        result.failure_message = msg.str();
+        if (obs != nullptr) {
+          obs->event(static_cast<Time>(slot), kInvalidJob,
+                     ObsEventKind::kEngineAbort, "horizon");
+        }
+      }
       break;
     }
     const Time now = static_cast<Time>(slot);
     ctx_.now_ = now;
+
+    // (0) Deliver processor transitions due by the start of this slot.
+    // Events are stamped with the transition's own time so both engines emit
+    // identical fault timelines.
+    if (churn) {
+      const auto& transitions = faults->transitions();
+      bool capacity_changed = false;
+      while (next_transition < transitions.size() &&
+             approx_le(transitions[next_transition].time, now)) {
+        const ProcTransition& tr = transitions[next_transition++];
+        if (tr.up) {
+          if (proc_up[tr.proc]) continue;
+          proc_up[tr.proc] = 1;
+          ++avail;
+          capacity_changed = true;
+          DS_OBS_INC(c_proc_ups);
+          if (obs != nullptr) {
+            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcUp, {},
+                       {{"proc", static_cast<double>(tr.proc)}});
+          }
+        } else {
+          if (!proc_up[tr.proc]) continue;
+          proc_up[tr.proc] = 0;
+          --avail;
+          capacity_changed = true;
+          DS_OBS_INC(c_proc_downs);
+          if (obs != nullptr) {
+            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcDown, {},
+                       {{"proc", static_cast<double>(tr.proc)}});
+          }
+          const auto [vjob, vnode] = proc_node[tr.proc];
+          proc_node[tr.proc] = {kInvalidJob, 0};
+          if (faults->restart_from_zero() && vjob != kInvalidJob &&
+              approx_le(tr.time, last_exec_end) &&
+              !runtimes_[vjob].completed &&
+              !runtimes_[vjob].unfolding->is_done(vnode)) {
+            const Work lost = runtimes_[vjob].unfolding->reset_progress(vnode);
+            result.lost_work += lost;
+            DS_OBS_INC(c_restarts);
+            DS_OBS_ADD(c_lost_work, lost);
+            if (obs != nullptr) {
+              obs->event(tr.time, vjob, ObsEventKind::kNodeRestart, {},
+                         {{"node", static_cast<double>(vnode)},
+                          {"lost", lost}});
+            }
+          }
+        }
+      }
+      if (capacity_changed) {
+        const ProcCount old_m = ctx_.m_;
+        DS_CHECK_MSG(avail >= 1, "fault plan left zero processors up");
+        ctx_.m_ = avail;
+        scheduler_.on_capacity_change(ctx_, old_m, avail);
+      }
+    }
 
     // (1) Arrivals whose release has passed by the start of this slot.
     while (next_arrival < n &&
@@ -141,10 +238,27 @@ SimResult SlotEngine::run() {
       const JobId id = static_cast<JobId>(next_arrival++);
       JobRuntime& rt = runtimes_[id];
       rt.arrived = true;
-      rt.unfolding.emplace(jobs_[id].dag());
+      std::vector<Work> actual_works;
+      if (faults != nullptr && faults->scales_work()) {
+        actual_works = faults->scaled_works(id, jobs_[id].dag());
+      }
+      if (actual_works.empty()) {
+        rt.unfolding.emplace(jobs_[id].dag());
+      } else {
+        rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
+      }
       active_.push_back(id);
       DS_OBS_INC(c_arrivals);
       if (obs != nullptr) obs->event(now, id, ObsEventKind::kArrival);
+      if (faults != nullptr &&
+          rt.unfolding->total_remaining_work() > jobs_[id].work()) {
+        DS_OBS_INC(c_overruns);
+        if (obs != nullptr) {
+          obs->event(now, id, ObsEventKind::kWorkOverrun, {},
+                     {{"declared", jobs_[id].work()},
+                      {"actual", rt.unfolding->total_remaining_work()}});
+        }
+      }
       scheduler_.on_arrival(ctx_, id);
     }
 
@@ -178,6 +292,14 @@ SimResult SlotEngine::run() {
     completed_now.clear();
     current_nodes.clear();
     current_jobs.clear();
+    if (churn) {
+      up_list.clear();
+      for (ProcCount p = 0; p < options_.num_procs; ++p) {
+        if (proc_up[p]) up_list.push_back(p);
+      }
+      std::fill(proc_node.begin(), proc_node.end(),
+                std::make_pair(kInvalidJob, NodeId{0}));
+    }
     ProcCount proc_cursor = 0;
     for (const JobAlloc& alloc : assignment.allocs) {
       JobRuntime& rt = runtimes_[alloc.job];
@@ -190,7 +312,7 @@ SimResult SlotEngine::run() {
         const Work remaining = rt.unfolding->remaining_work(node);
         const Work amount = std::min(speed, remaining);
         if (c_node_starts != nullptr &&
-            remaining == jobs_[alloc.job].dag().node_work(node)) {
+            remaining == rt.unfolding->initial_work(node)) {
           c_node_starts->add(1.0);
         }
         rt.unfolding->advance(node, amount);
@@ -202,8 +324,11 @@ SimResult SlotEngine::run() {
         const double duration = amount / speed;
         result.busy_proc_time += duration;
         DS_OBS_ADD(c_busy_time, duration);
+        const ProcCount phys =
+            churn ? up_list[proc_cursor] : proc_cursor;
+        if (churn) proc_node[phys] = {alloc.job, node};
         if (options_.record_trace) {
-          result.trace.add(now, now + duration, alloc.job, node, proc_cursor);
+          result.trace.add(now, now + duration, alloc.job, node, phys);
         }
         ++proc_cursor;
         job_finish = std::max(job_finish, now + duration);
@@ -214,11 +339,12 @@ SimResult SlotEngine::run() {
         completed_now.push_back(alloc.job);
       }
     }
-    // Idle processor-time for this executed slot: capacity m minus occupied
+    if (churn && !current_nodes.empty()) last_exec_end = now + 1.0;
+    // Idle processor-time for this executed slot: up capacity minus occupied
     // processors (each selected node holds its processor for the whole
     // slot).  Slots skipped wholesale by the idle-skip below are uncounted.
     DS_OBS_OBSERVE(h_running, static_cast<double>(current_nodes.size()));
-    DS_OBS_ADD(c_idle_time, static_cast<double>(options_.num_procs) -
+    DS_OBS_ADD(c_idle_time, static_cast<double>(ctx_.num_procs()) -
                                 static_cast<double>(current_nodes.size()));
 
     // (4b) Preemption accounting: ran last slot, unfinished, idle now.
@@ -268,6 +394,12 @@ SimResult SlotEngine::run() {
       }
       next_t = std::min(next_t,
                         std::floor(scheduler_.next_wakeup(ctx_)));
+      // A processor transition is a wakeup too: recovered capacity can make
+      // an idle scheduler schedulable again, so never skip past one.
+      if (churn && next_transition < faults->transitions().size()) {
+        next_t = std::min(
+            next_t, std::ceil(faults->transitions()[next_transition].time));
+      }
       if (!(next_t < kTimeInfinity)) break;  // nothing will ever change
       const auto target = static_cast<std::uint64_t>(std::max(0.0, next_t));
       slot = std::max(slot + 1, target) - 1;  // ++slot lands on the target

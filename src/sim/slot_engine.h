@@ -15,6 +15,7 @@
 
 #include <functional>
 
+#include "fault/injector.h"
 #include "job/job.h"
 #include "obs/sink.h"
 #include "sim/assignment.h"
@@ -37,6 +38,9 @@ struct SlotEngineOptions {
   /// Observability sink (counters / decision events / span timers); null =
   /// off, and the run is bit-identical to an uninstrumented one.
   const ObsSink* obs = nullptr;
+  /// Fault injector; null = no faults (see EngineOptions::faults).  Use
+  /// integral transition times for slot-aligned churn.
+  const FaultInjector* faults = nullptr;
 };
 
 class SlotEngine {

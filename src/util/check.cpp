@@ -1,0 +1,45 @@
+#include "util/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace dagsched {
+
+namespace {
+
+CheckFailureHook& failure_hook() {
+  static CheckFailureHook hook;
+  return hook;
+}
+
+}  // namespace
+
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook) {
+  CheckFailureHook previous = std::move(failure_hook());
+  failure_hook() = std::move(hook);
+  return previous;
+}
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream out;
+  out << "DS_CHECK failed: " << expr << "\n  at " << file << ":" << line;
+  if (!msg.empty()) out << "\n  " << msg;
+  const std::string message = out.str();
+  std::cerr << message << std::endl;
+
+  // Run the failure hook at most once; a DS_CHECK tripping inside the hook
+  // must not recurse into it.
+  static bool in_hook = false;
+  if (!in_hook && failure_hook()) {
+    in_hook = true;
+    failure_hook()(message);
+    in_hook = false;
+  }
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace dagsched

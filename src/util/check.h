@@ -4,24 +4,36 @@
 // abort with a message.  It stays enabled in release builds: the simulator's
 // correctness claims (work conservation, precedence safety) are part of the
 // library's contract and benchmarks must not silently run a broken engine.
+//
+// Before aborting, check_failed invokes an optional process-wide failure
+// hook.  The hook is how crash paths stay observable: obs/crash_dump.h uses
+// it to flush the pending decision-event log and append a final
+// `engine-abort` event, so a post-mortem retains the decision history that
+// led to the violation.  The hook must not throw; a DS_CHECK failure inside
+// the hook itself does not recurse (the second failure aborts directly).
 #pragma once
 
-#include <cstdlib>
-#include <iostream>
+#include <functional>
 #include <sstream>
 #include <string>
 
-namespace dagsched::detail {
+namespace dagsched {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
-  std::cerr << "DS_CHECK failed: " << expr << "\n  at " << file << ":" << line;
-  if (!msg.empty()) std::cerr << "\n  " << msg;
-  std::cerr << std::endl;
-  std::abort();
-}
+/// Called with the fully formatted failure message ("DS_CHECK failed: ...")
+/// before the process aborts.
+using CheckFailureHook = std::function<void(const std::string& message)>;
 
-}  // namespace dagsched::detail
+/// Installs `hook` (empty = none) and returns the previously installed hook
+/// so callers can restore it (see obs::CrashDumpGuard).
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook);
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace detail
+}  // namespace dagsched
 
 #define DS_CHECK(cond)                                                      \
   do {                                                                      \

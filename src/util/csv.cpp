@@ -7,6 +7,41 @@
 
 namespace dagsched {
 
+std::vector<CsvCell> split_csv_line(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<CsvCell> cells;
+  std::size_t i = 0;
+  while (true) {
+    CsvCell cell;
+    cell.column = i + 1;
+    if (i < line.size() && line[i] == '"') {
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            cell.text += '"';
+            i += 2;
+          } else {
+            ++i;
+            break;
+          }
+        } else {
+          cell.text += line[i++];
+        }
+      }
+      // Trailing garbage after the closing quote is kept verbatim so the
+      // caller's field validation reports it rather than silently dropping it.
+      while (i < line.size() && line[i] != ',') cell.text += line[i++];
+    } else {
+      while (i < line.size() && line[i] != ',') cell.text += line[i++];
+    }
+    cells.push_back(std::move(cell));
+    if (i >= line.size()) break;
+    ++i;  // skip ','
+  }
+  return cells;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : out_(path), columns_(header.size()) {

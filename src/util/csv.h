@@ -1,15 +1,30 @@
-// Minimal CSV writer for experiment output.
+// Minimal CSV writer plus a column-tracking line splitter for ingestion.
 //
 // Values are quoted only when needed (comma, quote, newline); numeric cells
 // are written with enough precision to round-trip doubles.
 #pragma once
 
+#include <cstddef>
 #include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace dagsched {
+
+/// One cell of a parsed CSV line.  `column` is the 1-based character offset
+/// of the cell's first character in the original line, so parse diagnostics
+/// can point at the offending field (see util/parse_error.h).
+struct CsvCell {
+  std::string text;
+  std::size_t column = 1;
+};
+
+/// Splits one CSV line into cells, honoring double-quoted cells with ""
+/// escapes and stripping a trailing CR (CRLF input).  Surrounding whitespace
+/// of unquoted cells is preserved; callers trim as needed.  An unterminated
+/// quote yields the remainder of the line as the final cell.
+std::vector<CsvCell> split_csv_line(std::string_view line);
 
 class CsvWriter {
  public:

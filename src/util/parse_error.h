@@ -1,0 +1,41 @@
+// Structured parse diagnostics for workload/trace ingestion.
+//
+// Every ingestion failure is reported as a ParseError carrying the source
+// name (file path or "<stream>"), the 1-based line, and the 1-based column
+// of the offending token, formatted GCC-style as "file:line:col: message".
+// The CLI catches ParseError specifically and exits with code 2, so
+// malformed input never surfaces as an uncaught exception or a crash.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dagsched {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string source, std::size_t line, std::size_t column,
+             const std::string& message)
+      : std::runtime_error(format(source, line, column, message)),
+        source_(std::move(source)),
+        line_(line),
+        column_(column) {}
+
+  const std::string& source() const { return source_; }
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  static std::string format(const std::string& source, std::size_t line,
+                            std::size_t column, const std::string& message) {
+    return source + ":" + std::to_string(line) + ":" + std::to_string(column) +
+           ": " + message;
+  }
+
+  std::string source_;
+  std::size_t line_;
+  std::size_t column_;
+};
+
+}  // namespace dagsched

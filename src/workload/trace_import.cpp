@@ -10,44 +10,44 @@
 
 #include "dag/builder.h"
 #include "util/check.h"
+#include "util/csv.h"
 #include "util/float_cmp.h"
+#include "util/parse_error.h"
 
 namespace dagsched {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("trace CSV error at line " + std::to_string(line) +
-                           ": " + what);
+/// Trims surrounding spaces/tabs, adjusting the recorded column so
+/// diagnostics still point at the first retained character.
+CsvCell trimmed(const CsvCell& cell) {
+  const auto first = cell.text.find_first_not_of(" \t");
+  if (first == std::string::npos) return {std::string{}, cell.column};
+  const auto last = cell.text.find_last_not_of(" \t");
+  return {cell.text.substr(first, last - first + 1), cell.column + first};
 }
 
-std::vector<std::string> split_csv(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cell;
-  std::istringstream in(line);
-  while (std::getline(in, cell, ',')) {
-    // Trim spaces and CR.
-    const auto first = cell.find_first_not_of(" \t\r");
-    const auto last = cell.find_last_not_of(" \t\r");
-    cells.push_back(first == std::string::npos
-                        ? std::string{}
-                        : cell.substr(first, last - first + 1));
-  }
-  return cells;
-}
-
-double parse_number(const std::string& cell, std::size_t line,
-                    const char* what) {
+double parse_number(const std::string& source, std::size_t line,
+                    const CsvCell& cell, const char* what) {
+  double value = 0.0;
+  std::size_t used = 0;
   try {
-    std::size_t used = 0;
-    const double value = std::stod(cell, &used);
-    if (used != cell.size()) fail(line, std::string("trailing junk in ") + what);
-    return value;
-  } catch (const std::runtime_error&) {
-    throw;
+    value = std::stod(cell.text, &used);
   } catch (const std::exception&) {
-    fail(line, std::string("bad ") + what + " '" + cell + "'");
+    throw ParseError(source, line, cell.column,
+                     std::string("bad ") + what + " '" + cell.text + "'");
   }
+  if (used != cell.text.size()) {
+    throw ParseError(source, line, cell.column,
+                     std::string("trailing junk in ") + what + " '" +
+                         cell.text + "'");
+  }
+  if (!std::isfinite(value)) {
+    throw ParseError(source, line, cell.column,
+                     std::string(what) + " must be finite, got '" + cell.text +
+                         "'");
+  }
+  return value;
 }
 
 /// A Figure-1-style DAG with total work ~W and span ~L (exact up to node
@@ -71,21 +71,31 @@ std::shared_ptr<const Dag> synthesize_dag(Work work, Work span,
 
 }  // namespace
 
-JobSet import_trace_csv(std::istream& is, const TraceImportOptions& options) {
+JobSet import_trace_csv(std::istream& is, const TraceImportOptions& options,
+                        const std::string& source) {
   DS_CHECK(options.granularity > 0.0);
   std::string line;
   std::size_t lineno = 0;
 
   // Header.
-  if (!std::getline(is, line)) fail(lineno, "empty input");
+  if (!std::getline(is, line)) throw ParseError(source, 1, 1, "empty input");
   ++lineno;
   {
-    const auto header = split_csv(line);
+    const auto header = split_csv_line(line);
     const std::vector<std::string> expected = {"release", "work", "span",
                                                "deadline", "profit"};
-    if (header != expected) {
-      fail(lineno,
-           "bad header (expected 'release,work,span,deadline,profit')");
+    bool ok = header.size() == expected.size();
+    std::size_t bad_column = 1;
+    for (std::size_t i = 0; ok && i < expected.size(); ++i) {
+      if (trimmed(header[i]).text != expected[i]) {
+        ok = false;
+        bad_column = header[i].column;
+      }
+    }
+    if (!ok) {
+      throw ParseError(
+          source, lineno, bad_column,
+          "bad header (expected 'release,work,span,deadline,profit')");
     }
   }
 
@@ -94,18 +104,39 @@ JobSet import_trace_csv(std::istream& is, const TraceImportOptions& options) {
     ++lineno;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (line[0] == '#') continue;
-    const auto cells = split_csv(line);
-    if (cells.size() != 5) fail(lineno, "expected 5 fields");
-    const double release = parse_number(cells[0], lineno, "release");
-    const double work = parse_number(cells[1], lineno, "work");
-    const double span = parse_number(cells[2], lineno, "span");
-    const double deadline = parse_number(cells[3], lineno, "deadline");
-    const double profit = parse_number(cells[4], lineno, "profit");
-    if (release < 0.0) fail(lineno, "negative release");
-    if (!(work > 0.0) || !(span > 0.0)) fail(lineno, "non-positive size");
-    if (span > work + 1e-9) fail(lineno, "span exceeds work");
-    if (!(deadline > 0.0) || !(profit > 0.0)) {
-      fail(lineno, "non-positive deadline/profit");
+    const auto raw_cells = split_csv_line(line);
+    if (raw_cells.size() != 5) {
+      throw ParseError(source, lineno, 1,
+                       "expected 5 fields, got " +
+                           std::to_string(raw_cells.size()));
+    }
+    CsvCell cells[5];
+    for (std::size_t i = 0; i < 5; ++i) cells[i] = trimmed(raw_cells[i]);
+    const double release = parse_number(source, lineno, cells[0], "release");
+    const double work = parse_number(source, lineno, cells[1], "work");
+    const double span = parse_number(source, lineno, cells[2], "span");
+    const double deadline = parse_number(source, lineno, cells[3], "deadline");
+    const double profit = parse_number(source, lineno, cells[4], "profit");
+    if (release < 0.0) {
+      throw ParseError(source, lineno, cells[0].column, "negative release");
+    }
+    if (!(work > 0.0)) {
+      throw ParseError(source, lineno, cells[1].column, "non-positive work");
+    }
+    if (!(span > 0.0)) {
+      throw ParseError(source, lineno, cells[2].column, "non-positive span");
+    }
+    if (span > work + 1e-9) {
+      throw ParseError(source, lineno, cells[2].column,
+                       "span " + cells[2].text + " exceeds work " +
+                           cells[1].text);
+    }
+    if (!(deadline > 0.0)) {
+      throw ParseError(source, lineno, cells[3].column,
+                       "non-positive deadline");
+    }
+    if (!(profit > 0.0)) {
+      throw ParseError(source, lineno, cells[4].column, "non-positive profit");
     }
     jobs.add(Job::with_deadline(
         synthesize_dag(work, span, options.granularity), release, deadline,
@@ -119,7 +150,7 @@ JobSet load_trace_csv(const std::string& path,
                       const TraceImportOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return import_trace_csv(in, options);
+  return import_trace_csv(in, options, path);
 }
 
 void export_trace_csv(std::ostream& os, const JobSet& jobs) {

@@ -26,11 +26,14 @@ struct TraceImportOptions {
   double granularity = 1.0;
 };
 
-/// Parses the CSV; throws std::runtime_error with a line number on
-/// malformed input (bad header, non-numeric fields, span > work,
-/// non-positive values).
+/// Parses the CSV; throws ParseError (util/parse_error.h, a
+/// std::runtime_error) with "source:line:column" positioning on malformed
+/// input (bad header, non-numeric or non-finite fields, span > work,
+/// non-positive values).  CRLF line endings and trailing blank lines are
+/// tolerated.  `source` names the input in diagnostics.
 JobSet import_trace_csv(std::istream& is,
-                        const TraceImportOptions& options = {});
+                        const TraceImportOptions& options = {},
+                        const std::string& source = "<stream>");
 
 JobSet load_trace_csv(const std::string& path,
                       const TraceImportOptions& options = {});

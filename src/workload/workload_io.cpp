@@ -1,5 +1,6 @@
 #include "workload/workload_io.h"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "dag/builder.h"
+#include "util/parse_error.h"
 
 namespace dagsched {
 
@@ -18,10 +20,98 @@ namespace {
 constexpr const char* kMagic = "dagsched-workload";
 constexpr int kVersion = 1;
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("workload parse error at line " +
-                           std::to_string(line) + ": " + what);
-}
+/// Whitespace-token cursor over one line, tracking the 1-based column of
+/// each token so diagnostics can point at the offending field.
+class LineParser {
+ public:
+  LineParser(const std::string& source, const std::string& line,
+             std::size_t lineno)
+      : source_(source), line_(line), lineno_(lineno) {}
+
+  [[noreturn]] void fail(std::size_t column, const std::string& what) const {
+    throw ParseError(source_, lineno_, column, what);
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= line_.size();
+  }
+
+  /// Column (1-based) where the next token would start.
+  std::size_t next_column() {
+    skip_ws();
+    return pos_ + 1;
+  }
+
+  std::string token(const std::string& what) {
+    skip_ws();
+    if (pos_ >= line_.size()) fail(pos_ + 1, "missing " + what);
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && !is_ws(line_[pos_])) ++pos_;
+    return line_.substr(start, pos_ - start);
+  }
+
+  /// Parses a finite double; rejects NaN/inf and trailing junk.
+  double number(const std::string& what) {
+    skip_ws();
+    const std::size_t column = pos_ + 1;
+    const std::string tok = token(what);
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+      value = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      fail(column, "bad " + what + " '" + tok + "'");
+    }
+    if (used != tok.size()) {
+      fail(column, "trailing junk in " + what + " '" + tok + "'");
+    }
+    if (!std::isfinite(value)) {
+      fail(column, what + " must be finite, got '" + tok + "'");
+    }
+    return value;
+  }
+
+  /// Parses a non-negative integer (node ids, counts).
+  std::size_t index(const std::string& what) {
+    skip_ws();
+    const std::size_t column = pos_ + 1;
+    const std::string tok = token(what);
+    if (tok.empty() || tok[0] == '-' || tok[0] == '+') {
+      fail(column, "bad " + what + " '" + tok + "' (expected a non-negative "
+                   "integer)");
+    }
+    for (const char c : tok) {
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        fail(column, "bad " + what + " '" + tok + "' (expected a non-negative "
+                     "integer)");
+      }
+    }
+    std::size_t value = 0;
+    try {
+      value = std::stoull(tok);
+    } catch (const std::exception&) {
+      fail(column, what + " '" + tok + "' out of range");
+    }
+    return value;
+  }
+
+  void expect_end() {
+    if (!at_end()) fail(pos_ + 1, "trailing junk '" + rest() + "'");
+  }
+
+ private:
+  static bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+  void skip_ws() {
+    while (pos_ < line_.size() && is_ws(line_[pos_])) ++pos_;
+  }
+  std::string rest() const { return line_.substr(pos_); }
+
+  const std::string& source_;
+  const std::string& line_;
+  std::size_t lineno_;
+  std::size_t pos_ = 0;
+};
 
 /// Reads the next non-empty, non-comment line; returns false at EOF.
 bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
@@ -87,36 +177,75 @@ void write_profit(std::ostream& os, const ProfitFn& fn) {
   }
 }
 
-ProfitFn read_profit(const std::string& line, std::size_t lineno) {
-  std::istringstream in(line);
-  std::string keyword, kind;
-  in >> keyword >> kind;
-  if (keyword != "profit") fail(lineno, "expected 'profit', got " + keyword);
+ProfitFn read_profit(const std::string& source, const std::string& line,
+                     std::size_t lineno) {
+  LineParser in(source, line, lineno);
+  const std::size_t kw_col = in.next_column();
+  const std::string keyword = in.token("profit keyword");
+  if (keyword != "profit") {
+    in.fail(kw_col, "expected 'profit', got '" + keyword + "'");
+  }
+  const std::size_t kind_col = in.next_column();
+  const std::string kind = in.token("profit kind");
   if (kind == "step") {
-    double p = 0, d = 0;
-    if (!(in >> p >> d)) fail(lineno, "bad step profit");
+    const std::size_t p_col = in.next_column();
+    const double p = in.number("peak profit");
+    const std::size_t d_col = in.next_column();
+    const double d = in.number("deadline");
+    if (!(p > 0.0)) in.fail(p_col, "peak profit must be positive");
+    if (!(d > 0.0)) in.fail(d_col, "deadline must be positive");
+    in.expect_end();
     return ProfitFn::step(p, d);
   }
   if (kind == "plateau_linear") {
-    double p = 0, plateau = 0, zero = 0;
-    if (!(in >> p >> plateau >> zero)) fail(lineno, "bad plateau_linear");
+    const std::size_t p_col = in.next_column();
+    const double p = in.number("peak profit");
+    const std::size_t plateau_col = in.next_column();
+    const double plateau = in.number("plateau end");
+    const std::size_t zero_col = in.next_column();
+    const double zero = in.number("zero point");
+    if (!(p > 0.0)) in.fail(p_col, "peak profit must be positive");
+    if (!(plateau > 0.0)) in.fail(plateau_col, "plateau end must be positive");
+    if (!(zero > plateau)) {
+      in.fail(zero_col, "zero point must exceed the plateau end");
+    }
+    in.expect_end();
     return ProfitFn::plateau_linear(p, plateau, zero);
   }
   if (kind == "plateau_exp") {
-    double p = 0, plateau = 0, rate = 0;
-    if (!(in >> p >> plateau >> rate)) fail(lineno, "bad plateau_exp");
+    const std::size_t p_col = in.next_column();
+    const double p = in.number("peak profit");
+    const std::size_t plateau_col = in.next_column();
+    const double plateau = in.number("plateau end");
+    const std::size_t rate_col = in.next_column();
+    const double rate = in.number("decay rate");
+    if (!(p > 0.0)) in.fail(p_col, "peak profit must be positive");
+    if (!(plateau > 0.0)) in.fail(plateau_col, "plateau end must be positive");
+    if (!(rate > 0.0)) in.fail(rate_col, "decay rate must be positive");
+    in.expect_end();
     return ProfitFn::plateau_exponential(p, plateau, rate);
   }
   if (kind == "piecewise") {
-    std::size_t count = 0;
-    if (!(in >> count) || count == 0) fail(lineno, "bad piecewise count");
+    const std::size_t count_col = in.next_column();
+    const std::size_t count = in.index("piecewise level count");
+    if (count == 0) in.fail(count_col, "piecewise level count must be >= 1");
     std::vector<std::pair<Time, Profit>> levels(count);
+    Time prev_end = 0.0;
     for (auto& [t, p] : levels) {
-      if (!(in >> t >> p)) fail(lineno, "bad piecewise level");
+      const std::size_t t_col = in.next_column();
+      t = in.number("piecewise level end");
+      const std::size_t p_col = in.next_column();
+      p = in.number("piecewise level profit");
+      if (!(t > prev_end)) {
+        in.fail(t_col, "piecewise level ends must be strictly increasing");
+      }
+      if (!(p > 0.0)) in.fail(p_col, "piecewise profit must be positive");
+      prev_end = t;
     }
+    in.expect_end();
     return ProfitFn::piecewise(std::move(levels));
   }
-  fail(lineno, "unknown profit kind " + kind);
+  in.fail(kind_col, "unknown profit kind '" + kind + "'");
 }
 
 }  // namespace
@@ -144,77 +273,143 @@ void write_workload(std::ostream& os, const JobSet& jobs) {
   }
 }
 
-JobSet read_workload(std::istream& is) {
+JobSet read_workload(std::istream& is, const std::string& source) {
   std::string line;
   std::size_t lineno = 0;
-  if (!next_line(is, line, lineno)) fail(lineno, "empty input");
+  if (!next_line(is, line, lineno)) {
+    throw ParseError(source, 1, 1, "empty input");
+  }
   {
-    std::istringstream in(line);
-    std::string magic;
-    int version = 0;
-    if (!(in >> magic >> version) || magic != kMagic) {
-      fail(lineno, "bad header");
+    LineParser in(source, line, lineno);
+    const std::size_t magic_col = in.next_column();
+    const std::string magic = in.token("header magic");
+    if (magic != kMagic) {
+      in.fail(magic_col, "bad header (expected '" + std::string(kMagic) +
+                             " " + std::to_string(kVersion) + "')");
     }
-    if (version != kVersion) {
-      fail(lineno, "unsupported version " + std::to_string(version));
+    const std::size_t version_col = in.next_column();
+    const std::size_t version = in.index("format version");
+    if (version != static_cast<std::size_t>(kVersion)) {
+      in.fail(version_col,
+              "unsupported version " + std::to_string(version) +
+                  " (expected " + std::to_string(kVersion) + ")");
     }
+    in.expect_end();
   }
 
   JobSet jobs;
   while (next_line(is, line, lineno)) {
-    std::istringstream in(line);
-    std::string keyword;
-    in >> keyword;
-    if (keyword != "job") fail(lineno, "expected 'job', got " + keyword);
-    Time release = 0;
-    if (!(in >> release)) fail(lineno, "bad release");
-
-    if (!next_line(is, line, lineno)) fail(lineno, "missing profit");
-    ProfitFn profit = read_profit(line, lineno);
-
-    if (!next_line(is, line, lineno)) fail(lineno, "missing nodes");
-    std::size_t num_nodes = 0;
     {
-      std::istringstream nodes_in(line);
-      std::string nodes_kw;
-      if (!(nodes_in >> nodes_kw >> num_nodes) || nodes_kw != "nodes" ||
-          num_nodes == 0) {
-        fail(lineno, "bad nodes line");
+      LineParser in(source, line, lineno);
+      const std::size_t kw_col = in.next_column();
+      const std::string keyword = in.token("job keyword");
+      if (keyword != "job") {
+        in.fail(kw_col, "expected 'job', got '" + keyword + "'");
+      }
+      const std::size_t release_col = in.next_column();
+      const Time release = in.number("release time");
+      if (release < 0.0) in.fail(release_col, "release time must be >= 0");
+      in.expect_end();
+
+      if (!next_line(is, line, lineno)) {
+        throw ParseError(source, lineno + 1, 1, "missing profit line");
+      }
+      ProfitFn profit = read_profit(source, line, lineno);
+
+      if (!next_line(is, line, lineno)) {
+        throw ParseError(source, lineno + 1, 1, "missing nodes line");
+      }
+      std::size_t num_nodes = 0;
+      {
+        LineParser nodes_in(source, line, lineno);
+        const std::size_t nodes_kw_col = nodes_in.next_column();
+        const std::string nodes_kw = nodes_in.token("nodes keyword");
+        if (nodes_kw != "nodes") {
+          nodes_in.fail(nodes_kw_col, "expected 'nodes', got '" + nodes_kw +
+                                          "'");
+        }
+        const std::size_t count_col = nodes_in.next_column();
+        num_nodes = nodes_in.index("node count");
+        if (num_nodes == 0) nodes_in.fail(count_col, "node count must be >= 1");
+        nodes_in.expect_end();
+      }
+      if (!next_line(is, line, lineno)) {
+        throw ParseError(source, lineno + 1, 1, "missing node works line");
+      }
+      DagBuilder builder;
+      {
+        LineParser works_in(source, line, lineno);
+        for (std::size_t i = 0; i < num_nodes; ++i) {
+          const std::size_t work_col = works_in.next_column();
+          const Work work = works_in.number("node work");
+          if (!(work > 0.0)) {
+            works_in.fail(work_col, "node work must be positive");
+          }
+          builder.add_node(work);
+        }
+        works_in.expect_end();
+      }
+
+      if (!next_line(is, line, lineno)) {
+        throw ParseError(source, lineno + 1, 1, "missing edges line");
+      }
+      std::size_t num_edges = 0;
+      {
+        LineParser edges_in(source, line, lineno);
+        const std::size_t edges_kw_col = edges_in.next_column();
+        const std::string edges_kw = edges_in.token("edges keyword");
+        if (edges_kw != "edges") {
+          edges_in.fail(edges_kw_col, "expected 'edges', got '" + edges_kw +
+                                          "'");
+        }
+        num_edges = edges_in.index("edge count");
+        edges_in.expect_end();
+      }
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        if (!next_line(is, line, lineno)) {
+          throw ParseError(source, lineno + 1, 1, "missing edge line");
+        }
+        LineParser edge_in(source, line, lineno);
+        const std::size_t from_col = edge_in.next_column();
+        const std::size_t from = edge_in.index("edge source");
+        const std::size_t to_col = edge_in.next_column();
+        const std::size_t to = edge_in.index("edge target");
+        if (from >= num_nodes) {
+          edge_in.fail(from_col, "edge source " + std::to_string(from) +
+                                     " out of range (nodes: " +
+                                     std::to_string(num_nodes) + ")");
+        }
+        if (to >= num_nodes) {
+          edge_in.fail(to_col, "edge target " + std::to_string(to) +
+                                   " out of range (nodes: " +
+                                   std::to_string(num_nodes) + ")");
+        }
+        if (from == to) edge_in.fail(from_col, "self-edge");
+        edge_in.expect_end();
+        builder.add_edge(static_cast<NodeId>(from), static_cast<NodeId>(to));
+      }
+
+      if (!next_line(is, line, lineno)) {
+        throw ParseError(source, lineno + 1, 1, "missing 'end'");
+      }
+      LineParser end_in(source, line, lineno);
+      const std::size_t end_col = end_in.next_column();
+      const std::string end_kw = end_in.token("end keyword");
+      if (end_kw != "end") {
+        end_in.fail(end_col, "expected 'end', got '" + end_kw + "'");
+      }
+      end_in.expect_end();
+
+      // DagBuilder::build() validates acyclicity and duplicate edges; wrap
+      // its exception so the caller still gets a positioned diagnostic.
+      try {
+        jobs.add(Job(std::make_shared<const Dag>(std::move(builder).build()),
+                     release, std::move(profit)));
+      } catch (const std::invalid_argument& err) {
+        throw ParseError(source, lineno, 1,
+                         std::string("invalid DAG: ") + err.what());
       }
     }
-    if (!next_line(is, line, lineno)) fail(lineno, "missing node works");
-    DagBuilder builder;
-    {
-      std::istringstream works_in(line);
-      for (std::size_t i = 0; i < num_nodes; ++i) {
-        double work = 0;
-        if (!(works_in >> work)) fail(lineno, "too few node works");
-        builder.add_node(work);
-      }
-    }
-
-    if (!next_line(is, line, lineno)) fail(lineno, "missing edges");
-    std::size_t num_edges = 0;
-    {
-      std::istringstream edges_in(line);
-      std::string edges_kw;
-      if (!(edges_in >> edges_kw >> num_edges) || edges_kw != "edges") {
-        fail(lineno, "bad edges line");
-      }
-    }
-    for (std::size_t e = 0; e < num_edges; ++e) {
-      if (!next_line(is, line, lineno)) fail(lineno, "missing edge");
-      std::istringstream edge_in(line);
-      NodeId from = 0, to = 0;
-      if (!(edge_in >> from >> to)) fail(lineno, "bad edge");
-      builder.add_edge(from, to);
-    }
-
-    if (!next_line(is, line, lineno) || line.rfind("end", 0) != 0) {
-      fail(lineno, "missing 'end'");
-    }
-    jobs.add(Job(std::make_shared<const Dag>(std::move(builder).build()),
-                 release, std::move(profit)));
   }
   jobs.finalize();
   return jobs;
@@ -229,7 +424,7 @@ void save_workload(const std::string& path, const JobSet& jobs) {
 JobSet load_workload(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return read_workload(in);
+  return read_workload(in, path);
 }
 
 }  // namespace dagsched

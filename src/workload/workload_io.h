@@ -14,7 +14,9 @@
 //   end
 //
 // Numbers round-trip exactly (printed with max precision).  read_workload
-// throws std::runtime_error with a line number on malformed input.
+// throws ParseError (util/parse_error.h, a std::runtime_error) with
+// "source:line:column" positioning on malformed input; values are
+// validated (finite, positive work, in-range edge endpoints, acyclic).
 #pragma once
 
 #include <iosfwd>
@@ -25,7 +27,9 @@
 namespace dagsched {
 
 void write_workload(std::ostream& os, const JobSet& jobs);
-JobSet read_workload(std::istream& is);
+/// `source` names the input in diagnostics (file path or "<stream>").
+JobSet read_workload(std::istream& is,
+                     const std::string& source = "<stream>");
 
 /// File convenience wrappers; throw std::runtime_error on I/O failure.
 void save_workload(const std::string& path, const JobSet& jobs);

@@ -112,10 +112,11 @@ TEST(TraceSpeed, ValidatesUnderAugmentation) {
   EXPECT_NE(result.trace.validate(jobs, 4, 1.0), "");
 }
 
-TEST(EngineGuards, MaxDecisionsAborts) {
+TEST(EngineGuards, MaxDecisionsFailsStructured) {
   // A scheduler that thrashes between two jobs at every node completion
-  // still terminates; the guard only fires on true livelock, so here we
-  // simply check a tiny budget aborts a legitimate long run.
+  // still terminates; the guard only fires on true livelock.  Overflowing
+  // a tiny budget must not kill the process: the engine reports a failed
+  // SimOutcome with the partial results intact.
   JobSet jobs;
   jobs.add(Job::with_deadline(
       std::make_shared<const Dag>(make_parallel_block(64, 1.0)), 0.0, 1e6,
@@ -127,7 +128,12 @@ TEST(EngineGuards, MaxDecisionsAborts) {
   options.num_procs = 2;
   options.max_decisions = 3;
   EventEngine engine(jobs, scheduler, *selector, options);
-  EXPECT_DEATH(engine.run(), "decision budget");
+  const SimResult result = engine.run();
+  EXPECT_TRUE(result.failed());
+  EXPECT_EQ(result.failure, SimFailureKind::kDecisionBudget);
+  EXPECT_NE(result.failure_message.find("decision budget"),
+            std::string::npos);
+  EXPECT_GE(result.decisions, 3u);
 }
 
 TEST(SchedulerNames, AreDescriptive) {

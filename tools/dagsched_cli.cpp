@@ -2,23 +2,33 @@
 //
 //   dagsched generate --scenario thm2 --eps 0.5 --load 1.0 --m 8
 //            --horizon 200 --seed 42 --out instance.wl
+//            [--fault-corrupt P] [--fault-corrupt-seed S]
+//            [--fault-corrupt-severity X]
 //   dagsched run instance.wl --scheduler s --m 8 [--speed 1.0] [--eps 0.5]
 //            [--engine event|slot] [--selector fifo|lifo|random|adversarial|
 //             critical-path] [--gantt] [--svg out.svg]
 //            [--obs report.json] [--events events.jsonl]
+//            [--faults mtbf=50,mttr=5,horizon=500,...]
 //   dagsched report report.json   # pretty-print a run report
 //   dagsched inspect instance.wl [--dot <job-index> ]
 //   dagsched opt instance.wl --m 8   # bracket OPT; exact if all-sequential
 //
-// Exit code 0 on success, 1 on usage errors.
+// Exit codes: 0 success, 1 usage or internal error, 2 malformed input
+// (workload/trace/fault-spec parse error), 3 simulation failure (livelock
+// guard or runaway horizon -- the run terminated abnormally but cleanly).
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/deadline_scheduler.h"
 #include "dag/dot.h"
 #include "exp/runner.h"
+#include "fault/corruption.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "obs/crash_dump.h"
 #include "obs/report.h"
 #include "obs/sink.h"
 #include "opt/exact.h"
@@ -28,6 +38,7 @@
 #include "sim/metrics.h"
 #include "sim/slot_engine.h"
 #include "util/arg_parse.h"
+#include "util/parse_error.h"
 #include "util/table.h"
 #include "workload/analyzer.h"
 #include "workload/scenarios.h"
@@ -53,10 +64,15 @@ int usage() {
          "shootout\n"
          "           [--eps E] [--load L] [--m M] [--horizon H] [--seed S] "
          "--out FILE\n"
+         "           [--fault-corrupt P] [--fault-corrupt-seed S]\n"
+         "           [--fault-corrupt-severity X]\n"
          "  dagsched run FILE --scheduler NAME [--m M] [--speed S] [--eps E]"
          "\n           [--engine event|slot] [--selector KIND] [--gantt] "
          "[--svg FILE]\n"
          "           [--obs REPORT.json] [--events EVENTS.jsonl]\n"
+         "           [--faults mtbf=T,mttr=T,horizon=T,seed=S,min-procs=K,"
+         "\n                    integral=0|1,overrun-prob=P,overrun-factor=F,"
+         "restart=resume|zero]\n"
          "  dagsched report REPORT.json\n"
          "  dagsched inspect FILE [--dot JOB]\n"
          "  dagsched compare FILE [--m M] [--eps E]\n"
@@ -86,9 +102,22 @@ int cmd_generate(ArgParser& args) {
   const double horizon = args.get_double("horizon", 200.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const std::string out = args.get_string("out", "");
+  CorruptionConfig corruption;
+  corruption.prob = args.get_double("fault-corrupt", 0.0);
+  corruption.seed =
+      static_cast<std::uint64_t>(args.get_int("fault-corrupt-seed", 1));
+  corruption.severity = args.get_double("fault-corrupt-severity", 0.25);
   args.finish();
   if (out.empty()) {
     std::cerr << "generate: --out is required\n";
+    return 1;
+  }
+  if (corruption.prob < 0.0 || corruption.prob > 1.0) {
+    std::cerr << "generate: --fault-corrupt must be in [0, 1]\n";
+    return 1;
+  }
+  if (corruption.severity < 0.0 || corruption.severity >= 1.0) {
+    std::cerr << "generate: --fault-corrupt-severity must be in [0, 1)\n";
     return 1;
   }
 
@@ -110,10 +139,18 @@ int cmd_generate(ArgParser& args) {
   config.horizon = horizon;
 
   Rng rng(seed);
-  const JobSet jobs = generate_workload(rng, config);
+  JobSet jobs = generate_workload(rng, config);
+  if (corruption.enabled()) {
+    jobs = corrupt_metadata(jobs, corruption);
+  }
   save_workload(out, jobs);
   std::cout << "wrote " << jobs.size() << " jobs to " << out
-            << " (offered load " << jobs.utilization(m, horizon) << ")\n";
+            << " (offered load " << jobs.utilization(m, horizon) << ")";
+  if (corruption.enabled()) {
+    std::cout << " [metadata corruption: prob " << corruption.prob
+              << ", severity " << corruption.severity << "]";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -133,7 +170,26 @@ int cmd_run(ArgParser& args) {
   const std::string svg_path = args.get_string("svg", "");
   const std::string obs_path = args.get_string("obs", "");
   const std::string events_path = args.get_string("events", "");
+  const std::string fault_spec = args.get_string("faults", "");
   args.finish();
+
+  // Fault plan: parsed and materialized before the engines exist, so both
+  // engines would consume the identical schedule.  Spec errors are parse
+  // errors (exit 2), same as malformed workload files.
+  std::optional<FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    std::string error;
+    const auto fault_config = parse_fault_spec(fault_spec, &error);
+    if (!fault_config) {
+      throw ParseError("--faults", 1, 1, error);
+    }
+    if (fault_config->min_procs > m) {
+      throw ParseError("--faults", 1, 1,
+                       "min-procs exceeds the machine size m=" +
+                           std::to_string(m));
+    }
+    injector.emplace(build_fault_plan(*fault_config, m));
+  }
 
   // Observability wiring: registries live here, the engines and schedulers
   // only see the (nullable) sink.  No flags => null sink => seed behavior.
@@ -147,6 +203,15 @@ int cmd_run(ArgParser& args) {
   }
   if (!obs_path.empty() || !events_path.empty()) sink.events = &event_log;
   const ObsSink* obs = sink.enabled() ? &sink : nullptr;
+
+  // With an event log wired, make DS_CHECK failures flush it (plus a final
+  // engine-abort event) instead of losing the decision history.
+  std::optional<CrashDumpGuard> crash_guard;
+  if (sink.events != nullptr) {
+    crash_guard.emplace(&event_log, events_path.empty()
+                                        ? obs_path + ".crash-events.jsonl"
+                                        : events_path);
+  }
 
   auto scheduler = make_named_scheduler(scheduler_name, eps);
   auto* deadline_scheduler = dynamic_cast<DeadlineScheduler*>(scheduler.get());
@@ -175,6 +240,7 @@ int cmd_run(ArgParser& args) {
     options.speed = speed;
     options.record_trace = record_trace;
     options.obs = obs;
+    options.faults = injector ? &*injector : nullptr;
     SlotEngine slot_engine(jobs, *scheduler, *sel, options);
     result = slot_engine.run();
   } else if (engine == "event") {
@@ -183,6 +249,7 @@ int cmd_run(ArgParser& args) {
     options.speed = speed;
     options.record_trace = record_trace;
     options.obs = obs;
+    options.faults = injector ? &*injector : nullptr;
     EventEngine event_engine(jobs, *scheduler, *sel, options);
     result = event_engine.run();
   } else {
@@ -200,6 +267,11 @@ int cmd_run(ArgParser& args) {
             << "decisions:        " << result.decisions << "\n"
             << "node preemptions: " << result.node_preemptions << "\n"
             << "job preemptions:  " << result.job_preemptions << "\n";
+  if (injector) {
+    std::cout << "fault transitions: " << injector->transitions().size()
+              << "\n"
+              << "lost work:        " << result.lost_work << "\n";
+  }
   const ScheduleMetrics schedule_metrics =
       compute_metrics(result, jobs, m);
   if (schedule_metrics.flow_time.count() > 0) {
@@ -281,6 +353,12 @@ int cmd_run(ArgParser& args) {
     report.write_pretty(out);
     out << "\n";
     std::cout << "wrote run report to " << obs_path << "\n";
+  }
+  if (result.failed()) {
+    std::cerr << "run: simulation failed ("
+              << sim_failure_kind_name(result.failure)
+              << "): " << result.failure_message << "\n";
+    return 3;
   }
   return 0;
 }
@@ -427,6 +505,9 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(args);
     if (command == "opt") return cmd_opt(args);
     return usage();
+  } catch (const ParseError& error) {
+    std::cerr << "dagsched: " << error.what() << "\n";
+    return 2;
   } catch (const std::exception& error) {
     std::cerr << "dagsched: " << error.what() << "\n";
     return 1;
