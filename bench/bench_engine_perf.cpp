@@ -8,6 +8,11 @@
 // arguments) to additionally write the measurements as a versioned
 // "dagsched.bench_report/1" document, so perf numbers land in a
 // mechanically trackable file instead of ad-hoc console output.
+//
+// Pass `--quick` for the CI tier: a fixed small-argument subset at reduced
+// min-time, producing the canonical BENCH_engine.json that
+// scripts/bench_regress.py compares across commits.  Explicit benchmark
+// flags after --quick still win (they are appended later).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -163,20 +168,36 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split off --out before google-benchmark parses the command line (it
-  // rejects flags it does not know).
+  // Split off --out / --quick before google-benchmark parses the command
+  // line (it rejects flags it does not know).
   std::string out_path;
+  bool quick = false;
   std::vector<char*> passthrough;
-  passthrough.reserve(static_cast<std::size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
+  passthrough.reserve(static_cast<std::size_t>(argc) + 2);
+  passthrough.push_back(argv[0]);
+  // The quick tier pins a small-argument subset and a short min-time; user
+  // flags are appended after these, so an explicit filter/min-time wins.
+  static char quick_filter[] =
+      "--benchmark_filter=BM_EventEngineEdf/50$|BM_EventEnginePaperS/50$|"
+      "BM_SlotEngineEdf/100$|BM_DensityIndexAdmit/128$|BM_AllocationMath$|"
+      "BM_OptUpperBoundLp/50$|BM_DagGeneration$";
+  static char quick_min_time[] = "--benchmark_min_time=0.05";
+  for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = std::string(arg.substr(6));
+    } else if (arg == "--quick") {
+      quick = true;
+      passthrough.insert(passthrough.begin() + 1, quick_filter);
+      passthrough.insert(passthrough.begin() + 2, quick_min_time);
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (quick) {
+    std::cout << "quick tier: fixed benchmark subset at reduced min-time\n";
   }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

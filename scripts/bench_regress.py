@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two dagsched.bench_report/1 documents and flag perf regressions.
+
+Usage:
+    bench_regress.py BASELINE.json CURRENT.json [--threshold 0.30] [--warn-only]
+
+Compares real_time_ns per measurement name (aggregates such as
+google-benchmark mean/median/stddev rows are skipped).  A measurement whose
+current time exceeds baseline * (1 + threshold) is a regression; new or
+missing measurements are reported but never fail the gate (benchmarks are
+allowed to be added or retired).
+
+Exit codes: 0 ok (or --warn-only), 1 regression past threshold,
+2 malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_measurements(path: str) -> dict[str, float]:
+    """Returns {measurement name: real_time_ns}, skipping aggregate rows."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_regress: cannot read {path}: {err}")
+    schema = doc.get("schema", "")
+    if not schema.startswith("dagsched.bench_report/"):
+        sys.exit(f"bench_regress: {path}: unexpected schema {schema!r}")
+    out: dict[str, float] = {}
+    for row in doc.get("measurements", []):
+        if row.get("aggregate"):
+            continue
+        name = row.get("name")
+        real = row.get("real_time_ns")
+        if isinstance(name, str) and isinstance(real, (int, float)):
+            out[name] = float(real)
+    if not out:
+        sys.exit(f"bench_regress: {path}: no non-aggregate measurements")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = parser.parse_args()
+
+    baseline = load_measurements(args.baseline)
+    current = load_measurements(args.current)
+
+    regressions: list[str] = []
+    print(f"{'measurement':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in current:
+            print(f"{name:<40} {baseline[name]:>12.0f} {'(gone)':>12} {'':>8}")
+            continue
+        if name not in baseline:
+            print(f"{name:<40} {'(new)':>12} {current[name]:>12.0f} {'':>8}")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append(
+                f"{name}: {base:.0f} ns -> {cur:.0f} ns (+{delta:.0%})"
+            )
+        print(f"{name:<40} {base:>12.0f} {cur:>12.0f} {delta:>+7.1%}{marker}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} measurement(s) slower than baseline by "
+            f"more than {args.threshold:.0%}:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        if args.warn_only:
+            print("(--warn-only: not failing the gate)")
+            return 0
+        return 1
+    print(f"\nno regressions past {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

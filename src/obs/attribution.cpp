@@ -1,0 +1,255 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace dagsched {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Span {
+  Time start;
+  Time end;
+};
+
+/// Sorts and merges overlapping/abutting spans in place; returns the total
+/// measure.
+double merge_measure(std::vector<Span>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.start < b.start; });
+  std::size_t out = 0;
+  double measure = 0.0;
+  for (const Span& span : spans) {
+    if (out > 0 && span.start <= spans[out - 1].end + kEps) {
+      spans[out - 1].end = std::max(spans[out - 1].end, span.end);
+    } else {
+      spans[out++] = span;
+    }
+  }
+  spans.resize(out);
+  for (const Span& span : spans) measure += span.end - span.start;
+  return measure;
+}
+
+/// Per-job context distilled from the event log.
+struct JobEventContext {
+  Time admit = kTimeInfinity;
+  Time expire = kTimeInfinity;
+  /// Last restart-from-zero time per node (execution strictly before it
+  /// was lost).
+  std::vector<std::pair<NodeId, Time>> restarts;
+
+  Time last_restart(NodeId node) const {
+    Time latest = -kTimeInfinity;
+    for (const auto& [n, t] : restarts) {
+      if (n == node) latest = std::max(latest, t);
+    }
+    return latest;
+  }
+};
+
+}  // namespace
+
+AttributionResult attribute_latency(const JobSet& jobs,
+                                    const SimResult& result,
+                                    const EventLog* events) {
+  DS_CHECK_MSG(result.outcomes.size() == jobs.size(),
+               "result does not match the job set");
+  const std::size_t n = jobs.size();
+
+  std::vector<JobEventContext> context(n);
+  bool any_admission_events = false;
+  if (events != nullptr) {
+    for (const DecisionEvent& event : events->events()) {
+      if (event.kind == ObsEventKind::kAdmit ||
+          event.kind == ObsEventKind::kSchedule) {
+        any_admission_events = true;
+        if (event.job < n) {
+          context[event.job].admit =
+              std::min(context[event.job].admit, event.time);
+        }
+      } else if (event.kind == ObsEventKind::kExpire && event.job < n) {
+        context[event.job].expire =
+            std::min(context[event.job].expire, event.time);
+      } else if (event.kind == ObsEventKind::kNodeRestart && event.job < n) {
+        context[event.job].restarts.emplace_back(
+            static_cast<NodeId>(event.detail_value("node")), event.time);
+      }
+    }
+  }
+
+  // Bucket the trace by job once instead of scanning it per job.
+  std::vector<std::vector<const TraceInterval*>> by_job(n);
+  for (const TraceInterval& interval : result.trace.intervals()) {
+    if (interval.job < n) by_job[interval.job].push_back(&interval);
+  }
+
+  AttributionResult out;
+  out.jobs.resize(n);
+  std::vector<Span> all, useful;
+  for (std::size_t i = 0; i < n; ++i) {
+    JobAttribution& attribution = out.jobs[i];
+    attribution.job = static_cast<JobId>(i);
+    const JobOutcome& outcome = result.outcomes[i];
+    const Time arrival = jobs[i].release();
+    const Time eol = outcome.completed
+                         ? outcome.completion_time
+                         : std::max(arrival, result.end_time);
+    attribution.arrival = arrival;
+    attribution.end_of_life = eol;
+    attribution.completed = outcome.completed;
+
+    const JobEventContext& job_events = context[i];
+    // Admission: logged time when available.  Schedulers that emit no
+    // admission events at all (the list baselines) have no pending phase —
+    // every job is implicitly admitted at arrival.  With admission events
+    // present, a job that never got one stays pending its whole life.
+    Time admit = job_events.admit;
+    if (events == nullptr || !any_admission_events) admit = arrival;
+    if (admit < arrival) admit = arrival;
+    attribution.admitted = admit < kTimeInfinity;
+    // Expiry: logged time, else the declared deadline when the job missed
+    // it (events == nullptr fallback).
+    Time expire = job_events.expire;
+    if (events == nullptr && jobs[i].has_deadline()) {
+      const Time deadline = jobs[i].absolute_deadline();
+      if (!outcome.completed || outcome.completion_time > deadline + kEps) {
+        expire = deadline;
+      }
+    }
+
+    // Execution spans, split into all vs progress-surviving.
+    all.clear();
+    useful.clear();
+    for (const TraceInterval* interval : by_job[i]) {
+      const Time start = std::max(interval->start, arrival);
+      const Time end = std::min(interval->end, eol);
+      if (!(end > start)) continue;
+      all.push_back({start, end});
+      const Time lost_before = job_events.last_restart(interval->node);
+      if (!(interval->start < lost_before - kEps)) {
+        useful.push_back({start, end});
+      }
+    }
+    const double executing = merge_measure(all);  // `all` is now the union
+    const double surviving = merge_measure(useful);
+    attribution.phases.running = surviving;
+    attribution.phases.restart_lost = executing - surviving;
+
+    // Complement of the execution union within [arrival, eol), classified
+    // segment by segment at sub-boundaries.
+    const Time first_start = outcome.first_start;
+    auto classify_gap = [&](Time lo, Time hi) {
+      if (!(hi > lo)) return;
+      Time cuts[3] = {admit, expire, first_start};
+      std::sort(std::begin(cuts), std::end(cuts));
+      Time at = lo;
+      for (int pass = 0; pass <= 3; ++pass) {
+        const Time next = pass < 3 ? std::min(std::max(cuts[pass], at), hi)
+                                   : hi;
+        if (next > at) {
+          const Time mid = at + (next - at) / 2.0;
+          double& phase = mid >= expire ? attribution.phases.post_deadline
+                          : mid < admit ? attribution.phases.pending
+                          : mid >= first_start
+                              ? attribution.phases.preempted
+                              : attribution.phases.queued;
+          phase += next - at;
+          at = next;
+        }
+      }
+    };
+    Time cursor = arrival;
+    for (const Span& span : all) {
+      classify_gap(cursor, std::min(span.start, eol));
+      cursor = std::max(cursor, span.end);
+    }
+    classify_gap(cursor, eol);
+
+    out.totals.pending += attribution.phases.pending;
+    out.totals.queued += attribution.phases.queued;
+    out.totals.running += attribution.phases.running;
+    out.totals.preempted += attribution.phases.preempted;
+    out.totals.restart_lost += attribution.phases.restart_lost;
+    out.totals.post_deadline += attribution.phases.post_deadline;
+    out.max_identity_error =
+        std::max(out.max_identity_error, attribution.identity_error());
+  }
+  return out;
+}
+
+std::string format_attribution(const AttributionResult& attribution) {
+  std::ostringstream out;
+  TextTable table({"job", "response", "pending", "queued", "running",
+                   "preempted", "restart-lost", "post-deadline", "outcome"});
+  auto row = [](const LatencyPhases& phases) {
+    return std::vector<std::string>{
+        TextTable::num(phases.pending, 5), TextTable::num(phases.queued, 5),
+        TextTable::num(phases.running, 5),
+        TextTable::num(phases.preempted, 5),
+        TextTable::num(phases.restart_lost, 5),
+        TextTable::num(phases.post_deadline, 5)};
+  };
+  double total_response = 0.0;
+  for (const JobAttribution& job : attribution.jobs) {
+    std::vector<std::string> cells{
+        TextTable::num(static_cast<long long>(job.job)),
+        TextTable::num(job.response(), 5)};
+    for (std::string& cell : row(job.phases)) cells.push_back(std::move(cell));
+    cells.push_back(job.completed ? "completed"
+                    : job.admitted ? "incomplete"
+                                   : "never-admitted");
+    table.add_row(std::move(cells));
+    total_response += job.response();
+  }
+  std::vector<std::string> totals{"total", TextTable::num(total_response, 5)};
+  for (std::string& cell : row(attribution.totals)) {
+    totals.push_back(std::move(cell));
+  }
+  totals.push_back("");
+  table.add_row(std::move(totals));
+  table.print(out);
+  out << "identity max |sum(phases) - response| = "
+      << attribution.max_identity_error << "\n";
+  return out.str();
+}
+
+JsonValue attribution_to_json(const AttributionResult& attribution) {
+  auto phases_json = [](const LatencyPhases& phases) {
+    JsonValue out = JsonValue::object();
+    out.set("pending", JsonValue(phases.pending));
+    out.set("queued", JsonValue(phases.queued));
+    out.set("running", JsonValue(phases.running));
+    out.set("preempted", JsonValue(phases.preempted));
+    out.set("restart_lost", JsonValue(phases.restart_lost));
+    out.set("post_deadline", JsonValue(phases.post_deadline));
+    return out;
+  };
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue("dagsched.attribution/1"));
+  JsonValue jobs = JsonValue::array();
+  for (const JobAttribution& job : attribution.jobs) {
+    JsonValue entry = JsonValue::object();
+    entry.set("job", JsonValue(static_cast<double>(job.job)));
+    entry.set("arrival", JsonValue(job.arrival));
+    entry.set("end_of_life", JsonValue(job.end_of_life));
+    entry.set("response", JsonValue(job.response()));
+    entry.set("completed", JsonValue(job.completed));
+    entry.set("admitted", JsonValue(job.admitted));
+    entry.set("phases", phases_json(job.phases));
+    jobs.push_back(std::move(entry));
+  }
+  doc.set("jobs", std::move(jobs));
+  doc.set("totals", phases_json(attribution.totals));
+  doc.set("max_identity_error", JsonValue(attribution.max_identity_error));
+  return doc;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,98 @@
+// Per-job latency attribution: decompose each job's response time into
+// disjoint phases whose sum is exactly the response time.
+//
+// The paper's guarantees are statements about where time goes — condition
+// (2) admits a job only if its density fits the remaining window, and the
+// Theorem-2 profit loss is paid in deferral and eviction time — so the
+// decomposition names those places.  Every instant of a job's life
+// [arrival, end-of-life) lands in exactly one phase:
+//
+//   running       executing on >= 1 processor (union measure over the
+//                 job's trace intervals whose progress survived)
+//   restart_lost  executing, but every node running at that instant later
+//                 lost the progress to a restart-from-zero fault recovery
+//   pending       not yet admitted (the paper's pending queue P)
+//   queued        admitted but not yet first executed
+//   preempted     previously executed, admitted, idle
+//   post_deadline time past the job's deadline expiry while incomplete
+//
+// End-of-life is the completion time for completed jobs and the end of the
+// run for incomplete ones, so Σ phases == completion − arrival holds
+// exactly for every completed job (and == end_time − arrival otherwise);
+// attribute_latency() computes the decomposition and reports the maximum
+// identity error so tests can assert it is numerically zero.
+//
+// Inputs are the run artifacts: the recorded Trace for execution intervals
+// and the decision EventLog for admit / expiry / node-restart times.
+// Without an event log, admission and fault context degrade gracefully
+// (admission is assumed at arrival; expiry falls back to the declared
+// deadline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "job/job.h"
+#include "obs/event_log.h"
+#include "sim/outcome.h"
+#include "util/json.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+struct LatencyPhases {
+  double pending = 0.0;
+  double queued = 0.0;
+  double running = 0.0;
+  double preempted = 0.0;
+  double restart_lost = 0.0;
+  double post_deadline = 0.0;
+
+  double sum() const {
+    return pending + queued + running + preempted + restart_lost +
+           post_deadline;
+  }
+};
+
+struct JobAttribution {
+  JobId job = kInvalidJob;
+  Time arrival = 0.0;
+  /// Completion time for completed jobs; end of run (clamped to arrival)
+  /// otherwise.
+  Time end_of_life = 0.0;
+  bool completed = false;
+  /// Whether an admit/schedule decision was observed (or assumed, for
+  /// schedulers that emit none).
+  bool admitted = false;
+  LatencyPhases phases;
+
+  Time response() const { return end_of_life - arrival; }
+  /// |Σ phases − response|; zero up to floating-point accumulation.
+  double identity_error() const {
+    const double err = phases.sum() - response();
+    return err < 0.0 ? -err : err;
+  }
+};
+
+struct AttributionResult {
+  std::vector<JobAttribution> jobs;
+  /// Phase sums over all jobs.
+  LatencyPhases totals;
+  /// max_j |Σ phases_j − response_j|.
+  double max_identity_error = 0.0;
+};
+
+/// Computes the decomposition.  `result.trace` must have been recorded;
+/// `events` is optional (see file comment for the degraded semantics).
+AttributionResult attribute_latency(const JobSet& jobs,
+                                    const SimResult& result,
+                                    const EventLog* events);
+
+/// Human-readable per-job table plus totals (the `dagsched trace
+/// attribution` output).
+std::string format_attribution(const AttributionResult& attribution);
+
+/// Machine-readable encoding ("dagsched.attribution/1").
+JsonValue attribution_to_json(const AttributionResult& attribution);
+
+}  // namespace dagsched

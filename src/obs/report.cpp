@@ -294,6 +294,73 @@ std::string format_run_report(const JsonValue& report) {
   return out.str();
 }
 
+std::string format_bench_report(const JsonValue& report) {
+  std::ostringstream out;
+  if (const JsonValue* schema = report.find("schema")) {
+    out << "bench report (" << schema->as_string() << ")";
+  } else {
+    out << "bench report";
+  }
+  if (const JsonValue* bench = report.find("bench")) {
+    out << ": " << bench->as_string();
+  }
+  out << "\n";
+  const JsonValue* measurements = report.find("measurements");
+  if (measurements != nullptr && measurements->is_array()) {
+    out << "\n[measurements]\n";
+    for (const JsonValue& entry : measurements->items()) {
+      const JsonValue* name = entry.find("name");
+      const JsonValue* real = entry.find("real_time_ns");
+      const JsonValue* iterations = entry.find("iterations");
+      const JsonValue* aggregate = entry.find("aggregate");
+      out << "  " << (name != nullptr ? name->as_string() : "?") << ": ";
+      if (real != nullptr && real->is_number()) {
+        const double ns = real->as_number();
+        if (ns >= 1e6) {
+          out << fixed(ns / 1e6) << " ms";
+        } else if (ns >= 1e3) {
+          out << fixed(ns / 1e3) << " us";
+        } else {
+          out << fixed(ns) << " ns";
+        }
+      } else {
+        out << "?";
+      }
+      if (iterations != nullptr && iterations->is_number()) {
+        out << " x" << json_number_to_string(iterations->as_number());
+      }
+      if (aggregate != nullptr && aggregate->is_bool() &&
+          aggregate->as_bool()) {
+        out << " (aggregate)";
+      }
+      if (const JsonValue* counters = entry.find("counters")) {
+        for (const auto& [key, value] : counters->members()) {
+          out << "  " << key << '='
+              << (value.is_number() ? json_number_to_string(value.as_number())
+                                    : value.dump());
+        }
+      }
+      out << '\n';
+    }
+  }
+  if (const JsonValue* spans = report.find("spans")) {
+    if (spans->size() > 0) {
+      out << "\n[spans]\n";
+      for (const auto& [name, stats] : spans->members()) {
+        const JsonValue* count = stats.find("count");
+        const JsonValue* total = stats.find("total_ns");
+        out << "  " << name << ": count="
+            << (count != nullptr ? json_number_to_string(count->as_number())
+                                 : "?")
+            << " total="
+            << (total != nullptr ? fixed(total->as_number() / 1e6) : "?")
+            << "ms\n";
+      }
+    }
+  }
+  return out.str();
+}
+
 JsonValue build_bench_report(std::string_view bench_name,
                              const std::vector<BenchMeasurement>& runs,
                              const SpanRegistry* spans) {

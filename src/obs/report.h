@@ -83,6 +83,10 @@ JsonValue build_bench_report(std::string_view bench_name,
                              const std::vector<BenchMeasurement>& runs,
                              const SpanRegistry* spans = nullptr);
 
+/// Human-readable rendering of a bench report (`dagsched report` on a
+/// "dagsched.bench_report/1" document, e.g. BENCH_engine.json).
+std::string format_bench_report(const JsonValue& report);
+
 /// Shared span-section encoding (used by both report flavors).
 JsonValue spans_to_json(const SpanRegistry& spans);
 

@@ -357,6 +357,13 @@ SimResult EventEngine::run() {
 
     if (running.empty()) {
       if (next_event == kTimeInfinity) break;  // quiescent: nothing left
+      // The machine sits fully idle until the next event; account the gap
+      // so the counter agrees with the slot engine on sparse workloads.
+      // Transitions are decision points, so capacity is constant here.
+      if (next_event > now) {
+        DS_OBS_ADD(c_idle_time,
+                   (next_event - now) * static_cast<double>(ctx_.num_procs()));
+      }
       now = std::max(now, next_event);
       continue;
     }

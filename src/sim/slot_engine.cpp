@@ -342,7 +342,7 @@ SimResult SlotEngine::run() {
     if (churn && !current_nodes.empty()) last_exec_end = now + 1.0;
     // Idle processor-time for this executed slot: up capacity minus occupied
     // processors (each selected node holds its processor for the whole
-    // slot).  Slots skipped wholesale by the idle-skip below are uncounted.
+    // slot).  Slots skipped wholesale are accounted by the idle-skip below.
     DS_OBS_OBSERVE(h_running, static_cast<double>(current_nodes.size()));
     DS_OBS_ADD(c_idle_time, static_cast<double>(ctx_.num_procs()) -
                                 static_cast<double>(current_nodes.size()));
@@ -402,6 +402,15 @@ SimResult SlotEngine::run() {
       }
       if (!(next_t < kTimeInfinity)) break;  // nothing will ever change
       const auto target = static_cast<std::uint64_t>(std::max(0.0, next_t));
+      // Slots skipped wholesale are fully idle machine time; account them
+      // so the counter agrees with the event engine on sparse workloads.
+      // No processor transition lies strictly inside the skipped range
+      // (transitions are wakeups), so the current capacity applies.
+      if (target > slot + 1) {
+        DS_OBS_ADD(c_idle_time,
+                   static_cast<double>(target - slot - 1) *
+                       static_cast<double>(ctx_.num_procs()));
+      }
       slot = std::max(slot + 1, target) - 1;  // ++slot lands on the target
     }
   }

@@ -1,9 +1,18 @@
 // Counter/gauge/histogram registry semantics: register-on-first-use,
-// accumulate, reset-keeps-registrations, and span timers.
+// accumulate, reset-keeps-registrations, span timers, and engine-integrated
+// counter agreement (idle time across both engines).
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "baselines/list_scheduler.h"
+#include "dag/generators.h"
+#include "job/job.h"
 #include "obs/counters.h"
+#include "obs/sink.h"
 #include "obs/span_timer.h"
+#include "sim/event_engine.h"
+#include "sim/slot_engine.h"
 
 namespace dagsched {
 namespace {
@@ -125,6 +134,71 @@ TEST(SpanTimer, NullRegistryIsNoOp) {
   { ScopedSpan span(static_cast<SpanRegistry*>(nullptr), "nothing"); }
   { ScopedSpan span(static_cast<SpanStats*>(nullptr)); }
   SUCCEED();
+}
+
+/// Sparse integral workload: short chain jobs separated by long fully-idle
+/// gaps, so the slot engine's idle-skip fast path and the event engine's
+/// quiescent jump are both exercised.  Every job completes, so both engines
+/// halt at the same end time.
+JobSet sparse_workload() {
+  JobSet jobs;
+  for (const double release : {0.0, 10.0, 25.0}) {
+    jobs.add(Job::with_deadline(
+        std::make_shared<const Dag>(make_chain(3, 1.0)), release,
+        release + 8.0, 1.0));
+  }
+  jobs.finalize();
+  return jobs;
+}
+
+double run_idle_counter(const JobSet& jobs, bool slot, ProcCount m,
+                        double* busy, double* end_time) {
+  MetricRegistry registry;
+  ObsSink sink;
+  sink.metrics = &registry;
+  ListScheduler scheduler({ListPolicy::kEdf, false, true});
+  auto selector = make_selector(SelectorKind::kFifo);
+  SimResult result;
+  if (slot) {
+    SlotEngineOptions options;
+    options.num_procs = m;
+    options.obs = &sink;
+    SlotEngine engine(jobs, scheduler, *selector, options);
+    result = engine.run();
+  } else {
+    EngineOptions options;
+    options.num_procs = m;
+    options.obs = &sink;
+    EventEngine engine(jobs, scheduler, *selector, options);
+    result = engine.run();
+  }
+  EXPECT_EQ(result.jobs_completed, jobs.size());
+  *busy = result.busy_proc_time;
+  *end_time = result.end_time;
+  return registry.counter("engine.idle_proc_time")->value();
+}
+
+TEST(EngineCounters, IdleTimeAgreesAcrossEnginesOnSparseWorkloads) {
+  // Fully-idle stretches (nothing released, nothing running) used to be
+  // invisible to the slot engine's idle counter because the idle-skip jump
+  // bypassed per-slot accounting; the event engine's quiescent jump had the
+  // same blind spot.  Both must now account skipped spans, making
+  // busy + idle == m * end_time and the two engines agree exactly.
+  const JobSet jobs = sparse_workload();
+  const ProcCount m = 4;
+
+  double ev_busy = 0.0, ev_end = 0.0, slot_busy = 0.0, slot_end = 0.0;
+  const double ev_idle =
+      run_idle_counter(jobs, /*slot=*/false, m, &ev_busy, &ev_end);
+  const double slot_idle =
+      run_idle_counter(jobs, /*slot=*/true, m, &slot_busy, &slot_end);
+
+  // Sanity: the workload is genuinely sparse -- most machine time is idle.
+  ASSERT_GT(ev_idle, ev_busy);
+
+  EXPECT_NEAR(ev_idle, slot_idle, 1e-9);
+  EXPECT_NEAR(ev_busy + ev_idle, static_cast<double>(m) * ev_end, 1e-9);
+  EXPECT_NEAR(slot_busy + slot_idle, static_cast<double>(m) * slot_end, 1e-9);
 }
 
 TEST(SpanTimer, AccumulatesAcrossScopes) {

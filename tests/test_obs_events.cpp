@@ -17,6 +17,7 @@
 #include "job/job.h"
 #include "obs/event_log.h"
 #include "obs/sink.h"
+#include "obs/trace_export.h"
 #include "sim/event_engine.h"
 #include "sim/slot_engine.h"
 #include "util/rng.h"
@@ -63,10 +64,43 @@ TEST(EventLog, ParseRejectsMalformedLines) {
   std::istringstream bad("{\"t\":0,\"job\":1,\"kind\":\"arrival\"}\nnot json\n");
   std::string error;
   EXPECT_FALSE(EventLog::parse_jsonl(bad, &error).has_value());
-  EXPECT_FALSE(error.empty());
+  // The error must locate the offending line for the user.
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
 
-  std::istringstream unknown_kind("{\"t\":0,\"job\":1,\"kind\":\"teleport\"}\n");
-  EXPECT_FALSE(EventLog::parse_jsonl(unknown_kind).has_value());
+  std::istringstream unknown_kind(
+      "{\"t\":0,\"job\":1,\"kind\":\"arrival\"}\n"
+      "{\"t\":1,\"job\":1,\"kind\":\"teleport\"}\n");
+  error.clear();
+  EXPECT_FALSE(EventLog::parse_jsonl(unknown_kind, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("teleport"), std::string::npos) << error;
+}
+
+TEST(EventLog, FaultEventKindsRoundTripExactly) {
+  // PR-2's fault kinds must survive serialization bit-for-bit: the trace
+  // exporter and `trace diff` both consume re-parsed logs.
+  EventLog log;
+  log.emit(1.0, kInvalidJob, ObsEventKind::kProcDown, "fault",
+           {{"proc", 3.0}});
+  log.emit(2.0, kInvalidJob, ObsEventKind::kProcUp, "recovered",
+           {{"proc", 3.0}});
+  log.emit(2.0, 4, ObsEventKind::kNodeRestart, "proc-lost",
+           {{"node", 9.0}, {"lost", 0.75}});
+  log.emit(3.5, 4, ObsEventKind::kWorkOverrun, "declared-exceeded",
+           {{"node", 9.0}, {"factor", 1.5}});
+  log.emit(4.0, 5, ObsEventKind::kReadmitFail, "capacity-shrunk",
+           {{"v", 2.25}});
+  log.emit(9.0, kInvalidJob, ObsEventKind::kEngineAbort, "livelock-guard");
+
+  std::stringstream stream;
+  log.write_jsonl(stream);
+  std::string error;
+  const auto parsed = EventLog::parse_jsonl(stream, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], log.events()[i]) << "event " << i;
+  }
 }
 
 TEST(EventLog, DetailValueLookup) {
@@ -100,27 +134,6 @@ JobSet integer_workload(std::uint64_t seed, std::size_t count) {
   return jobs;
 }
 
-/// The scheduler-decision subsequence (admit/defer/drop/schedule) with
-/// job + reason; engine lifecycle timing differs between engines, but the
-/// policy decisions may not.
-std::vector<std::tuple<ObsEventKind, JobId, std::string>> decision_sequence(
-    const EventLog& log) {
-  std::vector<std::tuple<ObsEventKind, JobId, std::string>> out;
-  for (const DecisionEvent& event : log.events()) {
-    switch (event.kind) {
-      case ObsEventKind::kAdmit:
-      case ObsEventKind::kDefer:
-      case ObsEventKind::kDrop:
-      case ObsEventKind::kSchedule:
-        out.emplace_back(event.kind, event.job, event.reason);
-        break;
-      default:
-        break;
-    }
-  }
-  return out;
-}
-
 class ObsCrossEngine : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ObsCrossEngine, EnginesEmitSameDecisionSequence) {
@@ -148,21 +161,17 @@ TEST_P(ObsCrossEngine, EnginesEmitSameDecisionSequence) {
   SlotEngine slot_engine(jobs, s2, *sel2, slot_options);
   (void)slot_engine.run();
 
-  const auto ev_seq = decision_sequence(ev_log);
-  const auto slot_seq = decision_sequence(slot_log);
-  // The engines must agree on every decision they both make.  The event
-  // engine additionally drains deadline-expiry events after the last unit
-  // of work (the slot engine stops stepping once nothing is runnable), so
-  // it may log extra trailing drops of jobs that never started -- but
-  // nothing else may differ.
-  const auto& shorter = ev_seq.size() <= slot_seq.size() ? ev_seq : slot_seq;
-  const auto& longer = ev_seq.size() <= slot_seq.size() ? slot_seq : ev_seq;
-  ASSERT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()))
-      << "decision sequences diverge before either engine halts";
-  for (std::size_t i = shorter.size(); i < longer.size(); ++i) {
-    EXPECT_EQ(std::get<0>(longer[i]), ObsEventKind::kDrop)
-        << "post-halt tail may only contain end-of-run drops";
-  }
+  // The engines must agree on every policy decision they both make.  The
+  // event engine additionally drains deadline-expiry events after the last
+  // unit of work (the slot engine stops stepping once nothing is runnable),
+  // so a trailing run of end-of-run drops is forgiven -- diff_event_logs's
+  // decisions_only mode encodes exactly this comparison.
+  EventLogDiffOptions options;
+  options.decisions_only = true;
+  const EventLogDiff diff =
+      diff_event_logs(ev_log.events(), slot_log.events(), options);
+  EXPECT_TRUE(diff.identical())
+      << format_event_log_diff(diff, "event-engine", "slot-engine");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ObsCrossEngine,

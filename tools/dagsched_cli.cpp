@@ -15,7 +15,8 @@
 //
 // Exit codes: 0 success, 1 usage or internal error, 2 malformed input
 // (workload/trace/fault-spec parse error), 3 simulation failure (livelock
-// guard or runaway horizon -- the run terminated abnormally but cleanly).
+// guard or runaway horizon -- the run terminated abnormally but cleanly),
+// 4 `trace diff` found a divergence between the two event logs.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -28,9 +29,11 @@
 #include "fault/corruption.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
+#include "obs/attribution.h"
 #include "obs/crash_dump.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/trace_export.h"
 #include "opt/exact.h"
 #include "opt/upper_bound.h"
 #include "sim/event_engine.h"
@@ -73,7 +76,11 @@ int usage() {
          "           [--faults mtbf=T,mttr=T,horizon=T,seed=S,min-procs=K,"
          "\n                    integral=0|1,overrun-prob=P,overrun-factor=F,"
          "restart=resume|zero]\n"
-         "  dagsched report REPORT.json\n"
+         "  dagsched report REPORT.json   # run or bench report\n"
+         "  dagsched trace export FILE [run flags] [--out TRACE.json]\n"
+         "  dagsched trace attribution FILE [run flags] [--json] "
+         "[--out FILE]\n"
+         "  dagsched trace diff A.jsonl B.jsonl [--decisions]\n"
          "  dagsched inspect FILE [--dot JOB]\n"
          "  dagsched compare FILE [--m M] [--eps E]\n"
          "  dagsched opt FILE [--m M]\n"
@@ -154,6 +161,55 @@ int cmd_generate(ArgParser& args) {
   return 0;
 }
 
+/// Parses and materializes a `--faults` spec (empty spec -> nullopt);
+/// throws a positioned ParseError on a malformed spec, matching workload
+/// parse failures (exit 2).
+std::optional<FaultInjector> make_injector(const std::string& fault_spec,
+                                           ProcCount m) {
+  std::optional<FaultInjector> injector;
+  if (fault_spec.empty()) return injector;
+  std::string error;
+  const auto fault_config = parse_fault_spec(fault_spec, &error);
+  if (!fault_config) {
+    throw ParseError("--faults", 1, 1, error);
+  }
+  if (fault_config->min_procs > m) {
+    throw ParseError("--faults", 1, 1,
+                     "min-procs exceeds the machine size m=" +
+                         std::to_string(m));
+  }
+  injector.emplace(build_fault_plan(*fault_config, m));
+  return injector;
+}
+
+/// Runs the named engine; throws std::invalid_argument on an unknown name.
+SimResult run_engine(const std::string& engine, const JobSet& jobs,
+                     SchedulerBase& scheduler, NodeSelector& selector,
+                     ProcCount m, double speed, bool record_trace,
+                     const ObsSink* obs, const FaultInjector* faults) {
+  if (engine == "slot") {
+    SlotEngineOptions options;
+    options.num_procs = m;
+    options.speed = speed;
+    options.record_trace = record_trace;
+    options.obs = obs;
+    options.faults = faults;
+    SlotEngine slot_engine(jobs, scheduler, selector, options);
+    return slot_engine.run();
+  }
+  if (engine == "event") {
+    EngineOptions options;
+    options.num_procs = m;
+    options.speed = speed;
+    options.record_trace = record_trace;
+    options.obs = obs;
+    options.faults = faults;
+    EventEngine event_engine(jobs, scheduler, selector, options);
+    return event_engine.run();
+  }
+  throw std::invalid_argument("unknown engine '" + engine + "'");
+}
+
 int cmd_run(ArgParser& args) {
   if (args.positional().size() != 2) return usage();
   const JobSet jobs = load_instance(args.positional()[1]);
@@ -176,20 +232,7 @@ int cmd_run(ArgParser& args) {
   // Fault plan: parsed and materialized before the engines exist, so both
   // engines would consume the identical schedule.  Spec errors are parse
   // errors (exit 2), same as malformed workload files.
-  std::optional<FaultInjector> injector;
-  if (!fault_spec.empty()) {
-    std::string error;
-    const auto fault_config = parse_fault_spec(fault_spec, &error);
-    if (!fault_config) {
-      throw ParseError("--faults", 1, 1, error);
-    }
-    if (fault_config->min_procs > m) {
-      throw ParseError("--faults", 1, 1,
-                       "min-procs exceeds the machine size m=" +
-                           std::to_string(m));
-    }
-    injector.emplace(build_fault_plan(*fault_config, m));
-  }
+  std::optional<FaultInjector> injector = make_injector(fault_spec, m);
 
   // Observability wiring: registries live here, the engines and schedulers
   // only see the (nullable) sink.  No flags => null sink => seed behavior.
@@ -231,31 +274,11 @@ int cmd_run(ArgParser& args) {
     deadline_scheduler = dynamic_cast<DeadlineScheduler*>(scheduler.get());
   }
   auto sel = make_selector(selector, 1);
-  SimResult result;
   const bool record_trace =
       show_gantt || show_profile || !svg_path.empty() || !obs_path.empty();
-  if (engine == "slot") {
-    SlotEngineOptions options;
-    options.num_procs = m;
-    options.speed = speed;
-    options.record_trace = record_trace;
-    options.obs = obs;
-    options.faults = injector ? &*injector : nullptr;
-    SlotEngine slot_engine(jobs, *scheduler, *sel, options);
-    result = slot_engine.run();
-  } else if (engine == "event") {
-    EngineOptions options;
-    options.num_procs = m;
-    options.speed = speed;
-    options.record_trace = record_trace;
-    options.obs = obs;
-    options.faults = injector ? &*injector : nullptr;
-    EventEngine event_engine(jobs, *scheduler, *sel, options);
-    result = event_engine.run();
-  } else {
-    std::cerr << "run: unknown engine '" << engine << "'\n";
-    return 1;
-  }
+  const SimResult result =
+      run_engine(engine, jobs, *scheduler, *sel, m, speed, record_trace, obs,
+                 injector ? &*injector : nullptr);
 
   std::cout << "scheduler:        " << scheduler->name() << "\n"
             << "jobs:             " << jobs.size() << "\n"
@@ -381,15 +404,153 @@ int cmd_report(ArgParser& args) {
               << "\n";
     return 1;
   }
-  // Reject documents that are not dagsched reports at all; unknown
-  // *sections* inside a report still render best-effort.
+  // Dispatch on the schema marker.  Unknown *sections* inside a known
+  // report still render best-effort; unknown schemas get a clear error.
   const JsonValue* schema = parsed.value.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       schema->as_string().rfind("dagsched.", 0) != 0) {
     std::cerr << "report: " << path << " has no dagsched schema marker\n";
     return 1;
   }
-  std::cout << format_run_report(parsed.value);
+  const std::string& schema_name = schema->as_string();
+  if (schema_name.rfind("dagsched.run_report/", 0) == 0) {
+    std::cout << format_run_report(parsed.value);
+    return 0;
+  }
+  if (schema_name.rfind("dagsched.bench_report/", 0) == 0) {
+    std::cout << format_bench_report(parsed.value);
+    return 0;
+  }
+  std::cerr << "report: unknown schema '" << schema_name
+            << "' (expected dagsched.run_report/* or "
+               "dagsched.bench_report/*)\n";
+  return 1;
+}
+
+/// `dagsched trace export|attribution|diff`.
+///
+/// export/attribution re-run the workload with tracing and an event log
+/// enabled (accepting the same run flags) and emit the causal-trace
+/// artifacts; diff aligns two event-log JSONL files.  Exit codes follow the
+/// tool convention (0/1/2/3) plus 4 = the two logs diverge.
+int cmd_trace(ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const std::string mode = args.positional()[1];
+
+  if (mode == "diff") {
+    if (args.positional().size() != 4) return usage();
+    const std::string lhs_path = args.positional()[2];
+    const std::string rhs_path = args.positional()[3];
+    const bool decisions_only = args.get_flag("decisions");
+    args.finish();
+
+    std::vector<DecisionEvent> logs[2];
+    const std::string* paths[2] = {&lhs_path, &rhs_path};
+    for (int side = 0; side < 2; ++side) {
+      std::ifstream in(*paths[side]);
+      if (!in) {
+        std::cerr << "cannot open " << *paths[side] << "\n";
+        return 1;
+      }
+      std::string error;
+      auto parsed = EventLog::parse_jsonl(in, &error);
+      if (!parsed) {
+        throw ParseError(*paths[side], 1, 1, error);
+      }
+      logs[side] = std::move(*parsed);
+    }
+    EventLogDiffOptions options;
+    options.decisions_only = decisions_only;
+    const EventLogDiff diff = diff_event_logs(logs[0], logs[1], options);
+    std::cout << format_event_log_diff(diff, lhs_path, rhs_path);
+    return diff.diverged() ? 4 : 0;
+  }
+
+  if (mode != "export" && mode != "attribution") {
+    std::cerr << "trace: unknown mode '" << mode
+              << "' (expected export, attribution, or diff)\n";
+    return usage();
+  }
+  if (args.positional().size() != 3) return usage();
+  const std::string workload_path = args.positional()[2];
+  const JobSet jobs = load_instance(workload_path);
+  const std::string scheduler_name = args.get_string("scheduler", "s");
+  const auto m = static_cast<ProcCount>(args.get_int("m", 8));
+  const double speed = args.get_double("speed", 1.0);
+  const double eps = args.get_double("eps", 0.5);
+  const std::string engine = args.get_string("engine", "event");
+  const SelectorKind selector =
+      parse_selector(args.get_string("selector", "fifo"));
+  const std::string fault_spec = args.get_string("faults", "");
+  const std::string out_path = args.get_string("out", "");
+  const bool as_json = args.get_flag("json");
+  args.finish();
+
+  std::optional<FaultInjector> injector = make_injector(fault_spec, m);
+
+  // Both modes need the execution trace and the decision log; counters and
+  // spans ride along so the export can embed wall-clock span stats.
+  MetricRegistry registry;
+  EventLog event_log;
+  SpanRegistry spans;
+  ObsSink sink;
+  sink.metrics = &registry;
+  sink.events = &event_log;
+  sink.spans = &spans;
+
+  auto scheduler = make_named_scheduler(scheduler_name, eps);
+  auto sel = make_selector(selector, 1);
+  const SimResult result =
+      run_engine(engine, jobs, *scheduler, *sel, m, speed,
+                 /*record_trace=*/true, &sink,
+                 injector ? &*injector : nullptr);
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    out = &out_file;
+  }
+
+  if (mode == "export") {
+    TraceExportInputs inputs;
+    inputs.jobs = &jobs;
+    inputs.result = &result;
+    inputs.events = &event_log;
+    inputs.spans = &spans;
+    inputs.m = m;
+    inputs.label = scheduler->name() + " on " + workload_path + " (" +
+                   engine + " engine, m=" + std::to_string(m) + ")";
+    const JsonValue trace = export_chrome_trace(inputs);
+    trace.write_pretty(*out);
+    *out << "\n";
+    if (!out_path.empty()) {
+      std::cout << "wrote Chrome trace to " << out_path
+                << " (load in Perfetto or chrome://tracing)\n";
+    }
+  } else {
+    const AttributionResult attribution =
+        attribute_latency(jobs, result, &event_log);
+    if (as_json) {
+      attribution_to_json(attribution).write_pretty(*out);
+      *out << "\n";
+    } else {
+      *out << format_attribution(attribution);
+    }
+    if (!out_path.empty()) {
+      std::cout << "wrote latency attribution to " << out_path << "\n";
+    }
+  }
+  if (result.failed()) {
+    std::cerr << "trace: simulation failed ("
+              << sim_failure_kind_name(result.failure)
+              << "): " << result.failure_message << "\n";
+    return 3;
+  }
   return 0;
 }
 
@@ -501,6 +662,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "run") return cmd_run(args);
     if (command == "report") return cmd_report(args);
+    if (command == "trace") return cmd_trace(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "opt") return cmd_opt(args);
