@@ -7,6 +7,7 @@
 // question -- what does knowing (W, L) buy?).
 #include "baselines/equi.h"
 #include "bench_util.h"
+#include "sim/event_engine.h"
 
 int main(int argc, char** argv) {
   const dagsched::bench::CsvSink csv(argc, argv);

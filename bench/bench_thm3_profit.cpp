@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       config.workload = scenario_profit(eps, load, 8, sc.shape);
       config.workload.horizon = 120.0;
       config.run.m = 8;
-      config.run.use_slot_engine = true;
+      config.run.engine = EngineKind::kSlot;
       config.trials = 3;
       config.base_seed = 31;
       config.with_opt = true;

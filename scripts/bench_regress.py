@@ -10,6 +10,11 @@ current time exceeds baseline * (1 + threshold) is a regression; new or
 missing measurements are reported but never fail the gate (benchmarks are
 allowed to be added or retired).
 
+This is a BLOCKING gate in CI (.github/workflows/ci.yml, perf-trajectory
+job): exit 1 fails the job.  CI passes --threshold 0.25 -- wider than the
+~10% drift we care about, to absorb hosted-runner noise; --warn-only exists
+for exploratory local runs only.
+
 Exit codes: 0 ok (or --warn-only), 1 regression past threshold,
 2 malformed input.
 """

@@ -12,7 +12,6 @@
 #include "core/deadline_scheduler.h"
 #include "core/profit_scheduler.h"
 #include "opt/upper_bound.h"
-#include "sim/slot_engine.h"
 #include "util/check.h"
 
 namespace dagsched {
@@ -68,26 +67,14 @@ std::vector<std::string> named_scheduler_list() {
 RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
                         const RunConfig& config) {
   auto selector = make_selector(config.selector, config.selector_seed);
-  SimResult result;
-  if (config.use_slot_engine) {
-    SlotEngineOptions options;
-    options.num_procs = config.m;
-    options.speed = config.speed;
-    options.record_trace = config.record_trace;
-    options.obs = config.obs;
-    options.faults = config.faults;
-    SlotEngine engine(jobs, scheduler, *selector, options);
-    result = engine.run();
-  } else {
-    EngineOptions options;
-    options.num_procs = config.m;
-    options.speed = config.speed;
-    options.record_trace = config.record_trace;
-    options.obs = config.obs;
-    options.faults = config.faults;
-    EventEngine engine(jobs, scheduler, *selector, options);
-    result = engine.run();
-  }
+  SimOptions options;
+  options.num_procs = config.m;
+  options.speed = config.speed;
+  options.record_trace = config.record_trace;
+  options.obs = config.obs;
+  options.faults = config.faults;
+  const SimResult result =
+      run_simulation(config.engine, jobs, scheduler, *selector, options);
   RunMetrics metrics;
   metrics.profit = result.total_profit;
   metrics.fraction = profit_fraction(result, jobs);
@@ -121,10 +108,12 @@ Profit offline_greedy_lower_bound(const JobSet& jobs, ProcCount m,
   auto earned_profit = [m, opt_speed](const JobSet& subset) {
     ListScheduler scheduler({ListPolicy::kEdf, true, true});
     auto selector = make_selector(SelectorKind::kCriticalPath);
-    EngineOptions options;
+    SimOptions options;
     options.num_procs = m;
     options.speed = opt_speed;
-    return simulate(subset, scheduler, *selector, options).total_profit;
+    return run_simulation(EngineKind::kEvent, subset, scheduler, *selector,
+                          options)
+        .total_profit;
   };
 
   std::vector<bool> accepted(jobs.size(), false);

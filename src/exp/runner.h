@@ -8,7 +8,7 @@
 #include <string>
 
 #include "job/job.h"
-#include "sim/event_engine.h"
+#include "sim/kernel/engine_factory.h"
 #include "sim/node_selector.h"
 #include "sim/scheduler.h"
 #include "util/stats.h"
@@ -38,8 +38,9 @@ struct RunConfig {
   double speed = 1.0;
   SelectorKind selector = SelectorKind::kFifo;
   std::uint64_t selector_seed = 0;
-  /// Use the discrete SlotEngine (required by ProfitScheduler).
-  bool use_slot_engine = false;
+  /// Stepping driver to lay over the shared simulation kernel
+  /// (EngineKind::kSlot is required by ProfitScheduler).
+  EngineKind engine = EngineKind::kEvent;
   /// Record a full execution trace (needed for utilization timelines).
   bool record_trace = false;
   /// Observability sink forwarded to the engine (null = off).

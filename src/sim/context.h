@@ -60,6 +60,7 @@ class EngineContext {
 
  private:
   friend class EventEngine;
+  friend class SimKernel;
   friend class SlotEngine;
 
   Time now_ = 0.0;

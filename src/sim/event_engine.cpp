@@ -1,13 +1,11 @@
 #include "sim/event_engine.h"
 
 #include <algorithm>
-#include <queue>
-#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "sim/kernel/kernel.h"
 #include "util/check.h"
-#include "util/float_cmp.h"
 
 namespace dagsched {
 
@@ -22,286 +20,56 @@ EventEngine::EventEngine(const JobSet& jobs, SchedulerBase& scheduler,
   DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
 }
 
-void EventEngine::validate_assignment(const Assignment& assignment) const {
-  ProcCount total = 0;
-  // Duplicate detection via a scratch stamp; n is small enough that a
-  // per-decision clear would also be fine, but stamps avoid the O(n) reset.
-  static thread_local std::vector<std::uint32_t> stamp;
-  static thread_local std::uint32_t epoch = 0;
-  if (stamp.size() < jobs_.size()) stamp.resize(jobs_.size(), 0);
-  ++epoch;
-  for (const JobAlloc& alloc : assignment.allocs) {
-    DS_CHECK_MSG(alloc.job < jobs_.size(), "allocation to unknown job");
-    DS_CHECK_MSG(alloc.procs >= 1, "zero-processor allocation");
-    DS_CHECK_MSG(stamp[alloc.job] != epoch,
-                 "duplicate allocation to job " << alloc.job);
-    stamp[alloc.job] = epoch;
-    const JobRuntime& rt = runtimes_[alloc.job];
-    DS_CHECK_MSG(rt.arrived, "allocation to unarrived job " << alloc.job);
-    DS_CHECK_MSG(!rt.completed, "allocation to completed job " << alloc.job);
-    total += alloc.procs;
-  }
-  // ctx_.m_ is the currently-up processor count (== num_procs unless fault
-  // injection took some down), so rogue allocations onto failed processors
-  // are caught here.
-  DS_CHECK_MSG(total <= ctx_.num_procs(),
-               "allocation uses " << total << " > m=" << ctx_.num_procs()
-                                  << " processors");
-}
-
 SimResult EventEngine::run() {
   const std::size_t n = jobs_.size();
-  SimResult result;
-  result.outcomes.resize(n);
-  if (n == 0) return result;
+  if (n == 0) return SimResult{};
 
-  scheduler_.reset();
-  runtimes_.assign(n, JobRuntime{});
-  active_.clear();
+  KernelOptions kernel_options;
+  kernel_options.num_procs = options_.num_procs;
+  kernel_options.speed = options_.speed;
+  kernel_options.record_trace = options_.record_trace;
+  kernel_options.max_decisions = options_.max_decisions;
+  kernel_options.observer = options_.observer;
+  kernel_options.obs = options_.obs;
+  kernel_options.faults = options_.faults;
+  SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
 
-  ctx_.m_ = options_.num_procs;
-  ctx_.speed_ = options_.speed;
-  ctx_.clairvoyant_allowed_ = scheduler_.clairvoyant();
-  ctx_.jobs_ = &jobs_.jobs();
-  ctx_.runtimes_ = &runtimes_;
-  ctx_.active_ = &active_;
-  ctx_.obs_ = options_.obs;
-
-  // Resolve instruments once; null pointers make every emission a no-op.
+  // The step-duration histogram is the one event-engine-specific instrument
+  // (the slot engine's steps are unit slots by construction).
   const ObsSink* obs = options_.obs;
-  Counter* c_decisions = nullptr;
-  Counter* c_arrivals = nullptr;
-  Counter* c_expiries = nullptr;
-  Counter* c_node_starts = nullptr;
-  Counter* c_node_completions = nullptr;
-  Counter* c_job_completions = nullptr;
-  Counter* c_node_preemptions = nullptr;
-  Counter* c_job_preemptions = nullptr;
-  Counter* c_busy_time = nullptr;
-  Counter* c_idle_time = nullptr;
-  Histogram* h_running = nullptr;
   Histogram* h_step_dt = nullptr;
-  SpanStats* decide_span = nullptr;
   if (obs != nullptr && obs->metrics != nullptr) {
-    MetricRegistry& mr = *obs->metrics;
-    c_decisions = mr.counter("engine.decisions");
-    c_arrivals = mr.counter("engine.arrivals");
-    c_expiries = mr.counter("engine.deadline_expiries");
-    c_node_starts = mr.counter("engine.node_starts");
-    c_node_completions = mr.counter("engine.node_completions");
-    c_job_completions = mr.counter("engine.job_completions");
-    c_node_preemptions = mr.counter("engine.node_preemptions");
-    c_job_preemptions = mr.counter("engine.job_preemptions");
-    c_busy_time = mr.counter("engine.busy_proc_time");
-    c_idle_time = mr.counter("engine.idle_proc_time");
-    h_running = mr.histogram("engine.running_nodes");
-    h_step_dt = mr.histogram("engine.step_dt");
-  }
-  if (obs != nullptr && obs->spans != nullptr) {
-    decide_span = obs->spans->span("engine.decide");
+    h_step_dt = obs->metrics->histogram("engine.step_dt");
   }
   ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
 
-  // Fault-injection state.  All of it (including counter registration) is
-  // gated on options_.faults so fault-free runs stay byte-identical.
-  const FaultInjector* faults = options_.faults;
-  const bool churn = faults != nullptr && faults->has_churn();
-  Counter* c_proc_downs = nullptr;
-  Counter* c_proc_ups = nullptr;
-  Counter* c_restarts = nullptr;
-  Counter* c_overruns = nullptr;
-  Counter* c_lost_work = nullptr;
-  if (faults != nullptr && obs != nullptr && obs->metrics != nullptr) {
-    MetricRegistry& mr = *obs->metrics;
-    c_proc_downs = mr.counter("fault.proc_downs");
-    c_proc_ups = mr.counter("fault.proc_ups");
-    c_restarts = mr.counter("fault.node_restarts");
-    c_overruns = mr.counter("fault.work_overruns");
-    c_lost_work = mr.counter("fault.lost_work");
-  }
-  std::size_t next_transition = 0;
-  std::vector<char> proc_up(options_.num_procs, 1);
-  ProcCount avail = options_.num_procs;
-  // Physical processor -> node it executed in the interval ending now, for
-  // failure-victim detection; and the up-processor list of the current
-  // interval, for physical trace/proc mapping.
-  std::vector<std::pair<JobId, NodeId>> proc_node(
-      options_.num_procs, {kInvalidJob, 0});
-  std::vector<ProcCount> up_list;
-
-  // Min-heap of (absolute deadline, job) for arrived step-profit jobs.
-  using DeadlineEntry = std::pair<Time, JobId>;
-  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
-                      std::greater<>> deadlines;
-
-  std::size_t next_arrival = 0;
+  const double speed = options_.speed;
   Time now = jobs_[0].release();
+  kernel.begin(now);
 
   Assignment assignment;
   std::vector<NodeId> picked;
   std::vector<RunningNode> running;
-  std::vector<JobId> completed_now;
-
-  // Previous interval's execution set, for preemption accounting.
-  std::vector<std::pair<JobId, NodeId>> prev_nodes, current_nodes;
-  std::vector<JobId> prev_jobs, current_jobs;
-
-  const double speed = options_.speed;
-  std::size_t jobs_done = 0;
+  std::vector<std::pair<JobId, NodeId>> current_nodes;
+  std::vector<JobId> current_jobs;
 
   for (;;) {
-    ctx_.now_ = now;
+    // (1) Deliver everything due now -- processor transitions, arrivals,
+    // deadline expiries -- in the kernel's pinned order, then obtain and
+    // validate the allocation in force until the next event.
+    kernel.deliver_due_events(now, DeadlineDuePolicy::kAtOrBeforeNow);
+    if (!kernel.decide(now, assignment)) break;
 
-    // (0) Deliver processor transitions due now, before anything else: a
-    // failed processor must not be offered to the scheduler at this instant.
-    // Events are stamped with the transition's own time (identical across
-    // engines); victims of restart-from-zero lose their progress here.
-    if (churn) {
-      const auto& transitions = faults->transitions();
-      bool capacity_changed = false;
-      while (next_transition < transitions.size() &&
-             approx_le(transitions[next_transition].time, now)) {
-        const ProcTransition& tr = transitions[next_transition++];
-        if (tr.up) {
-          if (proc_up[tr.proc]) continue;
-          proc_up[tr.proc] = 1;
-          ++avail;
-          capacity_changed = true;
-          DS_OBS_INC(c_proc_ups);
-          if (obs != nullptr) {
-            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcUp, {},
-                       {{"proc", static_cast<double>(tr.proc)}});
-          }
-        } else {
-          if (!proc_up[tr.proc]) continue;
-          proc_up[tr.proc] = 0;
-          --avail;
-          capacity_changed = true;
-          DS_OBS_INC(c_proc_downs);
-          if (obs != nullptr) {
-            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcDown, {},
-                       {{"proc", static_cast<double>(tr.proc)}});
-          }
-          const auto [vjob, vnode] = proc_node[tr.proc];
-          proc_node[tr.proc] = {kInvalidJob, 0};
-          if (faults->restart_from_zero() && vjob != kInvalidJob &&
-              !runtimes_[vjob].completed &&
-              !runtimes_[vjob].unfolding->is_done(vnode)) {
-            const Work lost = runtimes_[vjob].unfolding->reset_progress(vnode);
-            result.lost_work += lost;
-            DS_OBS_INC(c_restarts);
-            DS_OBS_ADD(c_lost_work, lost);
-            if (obs != nullptr) {
-              obs->event(tr.time, vjob, ObsEventKind::kNodeRestart, {},
-                         {{"node", static_cast<double>(vnode)},
-                          {"lost", lost}});
-            }
-          }
-        }
-      }
-      if (capacity_changed) {
-        const ProcCount old_m = ctx_.m_;
-        DS_CHECK_MSG(avail >= 1, "fault plan left zero processors up");
-        ctx_.m_ = avail;
-        scheduler_.on_capacity_change(ctx_, old_m, avail);
-      }
-    }
-
-    // (1) Deliver arrivals due now.
-    while (next_arrival < n &&
-           approx_le(jobs_[next_arrival].release(), now)) {
-      const JobId id = static_cast<JobId>(next_arrival++);
-      JobRuntime& rt = runtimes_[id];
-      rt.arrived = true;
-      std::vector<Work> actual_works;
-      if (faults != nullptr && faults->scales_work()) {
-        actual_works = faults->scaled_works(id, jobs_[id].dag());
-      }
-      if (actual_works.empty()) {
-        rt.unfolding.emplace(jobs_[id].dag());
-      } else {
-        rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
-      }
-      active_.push_back(id);
-      if (jobs_[id].has_deadline()) {
-        deadlines.emplace(jobs_[id].absolute_deadline(), id);
-      }
-      DS_OBS_INC(c_arrivals);
-      if (obs != nullptr) obs->event(now, id, ObsEventKind::kArrival);
-      if (faults != nullptr &&
-          rt.unfolding->total_remaining_work() > jobs_[id].work()) {
-        DS_OBS_INC(c_overruns);
-        if (obs != nullptr) {
-          obs->event(now, id, ObsEventKind::kWorkOverrun, {},
-                     {{"declared", jobs_[id].work()},
-                      {"actual", rt.unfolding->total_remaining_work()}});
-        }
-      }
-      scheduler_.on_arrival(ctx_, id);
-    }
-
-    // (2) Deliver deadline expiries due now (lazily skipping completed jobs).
-    while (!deadlines.empty() && approx_le(deadlines.top().first, now)) {
-      const JobId id = deadlines.top().second;
-      deadlines.pop();
-      JobRuntime& rt = runtimes_[id];
-      if (!rt.completed && !rt.deadline_notified) {
-        rt.deadline_notified = true;
-        DS_OBS_INC(c_expiries);
-        if (obs != nullptr) obs->event(now, id, ObsEventKind::kExpire);
-        scheduler_.on_deadline(ctx_, id);
-      }
-    }
-
-    // (3) Ask the scheduler for the allocation in force until the next event.
-    assignment.clear();
-    {
-      ScopedSpan decide_scope(decide_span);
-      scheduler_.decide(ctx_, assignment);
-    }
-    DS_OBS_INC(c_decisions);
-    ++result.decisions;
-    if (result.decisions > options_.max_decisions) {
-      // Livelock guard: fail the run structurally instead of aborting the
-      // process; partial outcomes below still reflect completed jobs.
-      std::ostringstream msg;
-      msg << "decision budget " << options_.max_decisions
-          << " exhausted at t=" << now << " (scheduler livelock?)";
-      result.failure = SimFailureKind::kDecisionBudget;
-      result.failure_message = msg.str();
-      if (obs != nullptr) {
-        obs->event(now, kInvalidJob, ObsEventKind::kEngineAbort,
-                   "decision-budget");
-      }
-      break;
-    }
-    validate_assignment(assignment);
-    if (options_.observer) options_.observer(ctx_, assignment);
-
-    // (4) Materialize the running node set.
+    // (2) Materialize the running node set.
     running.clear();
     for (const JobAlloc& alloc : assignment.allocs) {
-      JobRuntime& rt = runtimes_[alloc.job];
-      selector_.select(jobs_[alloc.job].dag(), *rt.unfolding, alloc.procs,
-                       picked);
+      kernel.select_nodes(alloc, picked);
       for (const NodeId node : picked) running.push_back({alloc.job, node});
     }
-    if (churn) {
-      // Map logical run indices to physical (up) processors so traces and
-      // victim detection name real machines.
-      up_list.clear();
-      for (ProcCount p = 0; p < options_.num_procs; ++p) {
-        if (proc_up[p]) up_list.push_back(p);
-      }
-      DS_CHECK(running.size() <= up_list.size());
-      std::fill(proc_node.begin(), proc_node.end(),
-                std::make_pair(kInvalidJob, NodeId{0}));
-      for (std::size_t i = 0; i < running.size(); ++i) {
-        proc_node[up_list[i]] = {running[i].job, running[i].node};
-      }
-    }
+    kernel.begin_interval();
+    if (kernel.churn()) DS_CHECK(running.size() <= kernel.up_count());
 
-    // (4b) Preemption accounting: anything that ran in the previous
+    // (3) Preemption accounting: anything that ran in the previous
     // interval, is unfinished, and does not run now was preempted.
     current_nodes.clear();
     current_jobs.clear();
@@ -309,142 +77,51 @@ SimResult EventEngine::run() {
       current_nodes.emplace_back(rn.job, rn.node);
       current_jobs.push_back(rn.job);
     }
-    std::sort(current_nodes.begin(), current_nodes.end());
-    std::sort(current_jobs.begin(), current_jobs.end());
-    current_jobs.erase(std::unique(current_jobs.begin(), current_jobs.end()),
-                       current_jobs.end());
-    for (const auto& [job, node] : prev_nodes) {
-      const JobRuntime& rt = runtimes_[job];
-      if (rt.completed || rt.unfolding->is_done(node)) continue;
-      if (!std::binary_search(current_nodes.begin(), current_nodes.end(),
-                              std::make_pair(job, node))) {
-        ++result.node_preemptions;
-        DS_OBS_INC(c_node_preemptions);
-      }
-    }
-    for (const JobId job : prev_jobs) {
-      if (runtimes_[job].completed) continue;
-      if (!std::binary_search(current_jobs.begin(), current_jobs.end(),
-                              job)) {
-        ++result.job_preemptions;
-        DS_OBS_INC(c_job_preemptions);
-        if (obs != nullptr) obs->event(now, job, ObsEventKind::kPreempt);
-      }
-    }
-    prev_nodes = current_nodes;
-    prev_jobs = current_jobs;
+    kernel.account_preemptions(now, current_nodes, current_jobs);
 
-    // (5) Time to the next event.
-    Time next_event = kTimeInfinity;
-    if (next_arrival < n) {
-      next_event = std::min(next_event, jobs_[next_arrival].release());
-    }
-    // Earliest pending deadline of a still-incomplete job.
-    while (!deadlines.empty() && runtimes_[deadlines.top().second].completed) {
-      deadlines.pop();
-    }
-    if (!deadlines.empty()) {
-      next_event = std::min(next_event, deadlines.top().first);
-    }
-    // Pending processor transitions are decision points while any job could
-    // still be affected; once all jobs completed they are irrelevant (and
-    // excluding them preserves quiescence detection).
-    if (churn && jobs_done < n &&
-        next_transition < faults->transitions().size()) {
-      next_event =
-          std::min(next_event, faults->transitions()[next_transition].time);
-    }
+    // (4) Time to the next external event.
+    const Time next_event =
+        std::min(kernel.next_arrival_time(),
+                 std::min(kernel.next_deadline_time(),
+                          kernel.next_transition_time()));
 
     if (running.empty()) {
       if (next_event == kTimeInfinity) break;  // quiescent: nothing left
-      // The machine sits fully idle until the next event; account the gap
-      // so the counter agrees with the slot engine on sparse workloads.
-      // Transitions are decision points, so capacity is constant here.
-      if (next_event > now) {
-        DS_OBS_ADD(c_idle_time,
-                   (next_event - now) * static_cast<double>(ctx_.num_procs()));
-      }
+      // The machine sits fully idle until the next event; transitions are
+      // decision points, so capacity is constant across the gap.
+      if (next_event > now) kernel.account_idle_gap(next_event - now);
       now = std::max(now, next_event);
       continue;
     }
 
     Time node_dt = kTimeInfinity;
     for (const RunningNode& rn : running) {
-      const Work remaining =
-          runtimes_[rn.job].unfolding->remaining_work(rn.node);
-      node_dt = std::min(node_dt, remaining / speed);
+      node_dt =
+          std::min(node_dt, kernel.remaining_work(rn.job, rn.node) / speed);
     }
     const Time dt = std::min(node_dt, next_event - now);
     DS_CHECK_MSG(dt > 0.0, "non-positive step dt=" << dt << " at t=" << now);
 
-    DS_OBS_OBSERVE(h_running, static_cast<double>(running.size()));
+    kernel.observe_running(running.size());
     DS_OBS_OBSERVE(h_step_dt, dt);
 
-    // (6) Advance every running node by speed*dt.
+    // (5) Advance every running node by speed*dt.
     for (std::size_t p = 0; p < running.size(); ++p) {
       const RunningNode& rn = running[p];
-      JobRuntime& rt = runtimes_[rn.job];
-      if (c_node_starts != nullptr &&
-          rt.unfolding->remaining_work(rn.node) ==
-              rt.unfolding->initial_work(rn.node)) {
-        c_node_starts->add(1.0);
-      }
-      rt.unfolding->advance(rn.node, speed * dt);
-      if (c_node_completions != nullptr && rt.unfolding->is_done(rn.node)) {
-        c_node_completions->add(1.0);
-      }
-      rt.executed += speed * dt;
-      rt.first_start = std::min(rt.first_start, now);
-      if (options_.record_trace) {
-        result.trace.add(now, now + dt, rn.job, rn.node,
-                         churn ? up_list[p] : static_cast<ProcCount>(p));
-      }
+      kernel.advance_node(rn.job, rn.node, speed * dt, now, dt,
+                          kernel.phys_proc(p));
     }
-    result.busy_proc_time += dt * static_cast<double>(running.size());
-    DS_OBS_ADD(c_busy_time, dt * static_cast<double>(running.size()));
-    DS_OBS_ADD(c_idle_time,
-               dt * static_cast<double>(ctx_.num_procs() - running.size()));
+    kernel.account_step_time(dt);
     now += dt;
-    ctx_.now_ = now;
+    kernel.set_now(now);
 
-    // (7) Detect job completions (flags first, notifications second, so the
-    // scheduler observes a consistent post-completion state).
-    completed_now.clear();
-    for (const RunningNode& rn : running) {
-      JobRuntime& rt = runtimes_[rn.job];
-      if (!rt.completed && rt.unfolding->complete()) {
-        rt.completed = true;
-        rt.completion_time = now;
-        completed_now.push_back(rn.job);
-      }
-    }
-    for (const JobId id : completed_now) {
-      std::erase(active_, id);
-    }
-    for (const JobId id : completed_now) {
-      DS_OBS_INC(c_job_completions);
-      if (obs != nullptr) obs->event(now, id, ObsEventKind::kComplete);
-      scheduler_.on_completion(ctx_, id);
-      ++jobs_done;
-    }
+    // (6) Detect and notify job completions at the end of the step.
+    for (const RunningNode& rn : running) kernel.mark_if_completed(rn.job, now);
+    kernel.notify_completions(now);
   }
 
-  result.end_time = now;
-  for (std::size_t i = 0; i < n; ++i) {
-    const JobRuntime& rt = runtimes_[i];
-    JobOutcome& out = result.outcomes[i];
-    out.completed = rt.completed;
-    out.completion_time = rt.completion_time;
-    out.executed = rt.executed;
-    out.first_start = rt.first_start;
-    if (rt.completed) {
-      out.profit =
-          jobs_[i].profit().at(rt.completion_time - jobs_[i].release());
-      result.total_profit += out.profit;
-      ++result.jobs_completed;
-    }
-  }
-  return result;
+  kernel.set_end_time(now);
+  return kernel.finish();
 }
 
 SimResult simulate(const JobSet& jobs, SchedulerBase& scheduler,

@@ -49,6 +49,12 @@ struct EngineOptions {
   const FaultInjector* faults = nullptr;
 };
 
+/// Continuous-time stepping driver over the shared SimKernel
+/// (sim/kernel/kernel.h): advances from decision point to decision point
+/// (arrival, node completion, deadline expiry, processor transition).  All
+/// simulation semantics -- event delivery, validation, callbacks, obs
+/// emission, busy/idle accounting -- live in the kernel, shared with
+/// SlotEngine.
 class EventEngine {
  public:
   /// `jobs` must be finalized (sorted by release).  The scheduler and
@@ -66,16 +72,10 @@ class EventEngine {
     NodeId node;
   };
 
-  void validate_assignment(const Assignment& assignment) const;
-
   const JobSet& jobs_;
   SchedulerBase& scheduler_;
   NodeSelector& selector_;
   EngineOptions options_;
-
-  std::vector<JobRuntime> runtimes_;
-  std::vector<JobId> active_;
-  EngineContext ctx_;
 };
 
 /// One-call convenience wrapper.

@@ -1,0 +1,363 @@
+#include "sim/kernel/kernel.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+SimKernel::SimKernel(const JobSet& jobs, SchedulerBase& scheduler,
+                     NodeSelector& selector, KernelOptions options)
+    : jobs_(jobs),
+      scheduler_(scheduler),
+      selector_(selector),
+      options_(std::move(options)) {
+  DS_CHECK_MSG(options_.num_procs >= 1, "need at least one processor");
+  DS_CHECK_MSG(options_.speed > 0.0, "speed must be positive");
+  DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
+}
+
+void SimKernel::begin(Time start_time) {
+  const std::size_t n = jobs_.size();
+  scheduler_.reset();
+  runtimes_.assign(n, JobRuntime{});
+  active_.clear();
+  result_ = SimResult{};
+  result_.outcomes.resize(n);
+
+  ctx_.now_ = start_time;
+  ctx_.m_ = options_.num_procs;
+  ctx_.speed_ = options_.speed;
+  ctx_.clairvoyant_allowed_ = scheduler_.clairvoyant();
+  ctx_.jobs_ = &jobs_.jobs();
+  ctx_.runtimes_ = &runtimes_;
+  ctx_.active_ = &active_;
+  ctx_.obs_ = options_.obs;
+
+  // Resolve instruments once; null pointers make every emission a no-op.
+  obs_ = options_.obs;
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    MetricRegistry& mr = *obs_->metrics;
+    c_decisions_ = mr.counter("engine.decisions");
+    c_arrivals_ = mr.counter("engine.arrivals");
+    c_expiries_ = mr.counter("engine.deadline_expiries");
+    c_node_starts_ = mr.counter("engine.node_starts");
+    c_node_completions_ = mr.counter("engine.node_completions");
+    c_job_completions_ = mr.counter("engine.job_completions");
+    c_node_preemptions_ = mr.counter("engine.node_preemptions");
+    c_job_preemptions_ = mr.counter("engine.job_preemptions");
+    c_busy_time_ = mr.counter("engine.busy_proc_time");
+    c_idle_time_ = mr.counter("engine.idle_proc_time");
+    h_running_ = mr.histogram("engine.running_nodes");
+  }
+  if (obs_ != nullptr && obs_->spans != nullptr) {
+    decide_span_ = obs_->spans->span("engine.decide");
+  }
+
+  // Fault state: all of it (including counter registration) is gated on
+  // options_.faults so fault-free runs stay byte-identical.
+  const FaultInjector* faults = options_.faults;
+  churn_ = faults != nullptr && faults->has_churn();
+  if (faults != nullptr && obs_ != nullptr && obs_->metrics != nullptr) {
+    MetricRegistry& mr = *obs_->metrics;
+    c_proc_downs_ = mr.counter("fault.proc_downs");
+    c_proc_ups_ = mr.counter("fault.proc_ups");
+    c_restarts_ = mr.counter("fault.node_restarts");
+    c_overruns_ = mr.counter("fault.work_overruns");
+    c_lost_work_ = mr.counter("fault.lost_work");
+  }
+  next_transition_ = 0;
+  proc_up_.assign(options_.num_procs, 1);
+  avail_ = options_.num_procs;
+  proc_node_.assign(options_.num_procs, {kInvalidJob, 0});
+  up_list_.clear();
+  last_exec_end_ = -1.0;
+
+  next_arrival_ = 0;
+  deadlines_ = {};
+  completed_now_.clear();
+  jobs_done_ = 0;
+  prev_nodes_.clear();
+  prev_jobs_.clear();
+  alloc_stamp_.assign(n, 0);
+  alloc_epoch_ = 0;
+  capacity_time_ = 0.0;
+  start_time_ = start_time;
+}
+
+void SimKernel::fail(SimFailureKind kind, std::string message, Time now,
+                     const char* slug) {
+  result_.failure = kind;
+  result_.failure_message = std::move(message);
+  if (obs_ != nullptr) {
+    obs_->event(now, kInvalidJob, ObsEventKind::kEngineAbort, slug);
+  }
+}
+
+void SimKernel::deliver_transitions(Time now) {
+  // Events are stamped with the transition's own time so both engines emit
+  // identical fault timelines; victims of restart-from-zero lose their
+  // progress here.  A failed processor claims a victim only if it struck
+  // while that processor was executing (last_exec_end_ guards against stale
+  // victim-map entries across idle stretches).
+  const FaultInjector* faults = options_.faults;
+  const auto& transitions = faults->transitions();
+  bool capacity_changed = false;
+  while (next_transition_ < transitions.size() &&
+         approx_le(transitions[next_transition_].time, now)) {
+    const ProcTransition& tr = transitions[next_transition_++];
+    if (tr.up) {
+      if (proc_up_[tr.proc]) continue;
+      proc_up_[tr.proc] = 1;
+      ++avail_;
+      capacity_changed = true;
+      DS_OBS_INC(c_proc_ups_);
+      if (obs_ != nullptr) {
+        obs_->event(tr.time, kInvalidJob, ObsEventKind::kProcUp, {},
+                    {{"proc", static_cast<double>(tr.proc)}});
+      }
+    } else {
+      if (!proc_up_[tr.proc]) continue;
+      proc_up_[tr.proc] = 0;
+      --avail_;
+      capacity_changed = true;
+      DS_OBS_INC(c_proc_downs_);
+      if (obs_ != nullptr) {
+        obs_->event(tr.time, kInvalidJob, ObsEventKind::kProcDown, {},
+                    {{"proc", static_cast<double>(tr.proc)}});
+      }
+      const auto [vjob, vnode] = proc_node_[tr.proc];
+      proc_node_[tr.proc] = {kInvalidJob, 0};
+      if (faults->restart_from_zero() && vjob != kInvalidJob &&
+          approx_le(tr.time, last_exec_end_) && !runtimes_[vjob].completed &&
+          !runtimes_[vjob].unfolding->is_done(vnode)) {
+        const Work lost = runtimes_[vjob].unfolding->reset_progress(vnode);
+        result_.lost_work += lost;
+        DS_OBS_INC(c_restarts_);
+        DS_OBS_ADD(c_lost_work_, lost);
+        if (obs_ != nullptr) {
+          obs_->event(tr.time, vjob, ObsEventKind::kNodeRestart, {},
+                      {{"node", static_cast<double>(vnode)}, {"lost", lost}});
+        }
+      }
+    }
+  }
+  if (capacity_changed) {
+    const ProcCount old_m = ctx_.m_;
+    DS_CHECK_MSG(avail_ >= 1, "fault plan left zero processors up");
+    ctx_.m_ = avail_;
+    scheduler_.on_capacity_change(ctx_, old_m, avail_);
+  }
+}
+
+void SimKernel::deliver_arrivals(Time now) {
+  const std::size_t n = jobs_.size();
+  const FaultInjector* faults = options_.faults;
+  while (next_arrival_ < n && approx_le(jobs_[next_arrival_].release(), now)) {
+    const JobId id = static_cast<JobId>(next_arrival_++);
+    JobRuntime& rt = runtimes_[id];
+    rt.arrived = true;
+    std::vector<Work> actual_works;
+    if (faults != nullptr && faults->scales_work()) {
+      actual_works = faults->scaled_works(id, jobs_[id].dag());
+    }
+    if (actual_works.empty()) {
+      rt.unfolding.emplace(jobs_[id].dag());
+    } else {
+      rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
+    }
+    active_.push_back(id);
+    if (jobs_[id].has_deadline()) {
+      deadlines_.emplace(jobs_[id].absolute_deadline(), id);
+    }
+    DS_OBS_INC(c_arrivals_);
+    if (obs_ != nullptr) obs_->event(now, id, ObsEventKind::kArrival);
+    if (faults != nullptr &&
+        rt.unfolding->total_remaining_work() > jobs_[id].work()) {
+      DS_OBS_INC(c_overruns_);
+      if (obs_ != nullptr) {
+        obs_->event(now, id, ObsEventKind::kWorkOverrun, {},
+                    {{"declared", jobs_[id].work()},
+                     {"actual", rt.unfolding->total_remaining_work()}});
+      }
+    }
+    scheduler_.on_arrival(ctx_, id);
+  }
+}
+
+void SimKernel::deliver_expiries(Time now, DeadlineDuePolicy policy) {
+  while (!deadlines_.empty()) {
+    const auto [deadline, id] = deadlines_.top();
+    const bool due = policy == DeadlineDuePolicy::kBeforeNextSlot
+                         ? approx_gt(now + 1.0, deadline)
+                         : approx_le(deadline, now);
+    if (!due) break;
+    deadlines_.pop();
+    JobRuntime& rt = runtimes_[id];
+    if (rt.completed || rt.deadline_notified) continue;
+    rt.deadline_notified = true;
+    DS_OBS_INC(c_expiries_);
+    if (obs_ != nullptr) obs_->event(now, id, ObsEventKind::kExpire);
+    scheduler_.on_deadline(ctx_, id);
+  }
+}
+
+std::string SimKernel::validate(const Assignment& assignment) {
+  // Hot path: message strings are built only in the error branches (stream
+  // construction per decision would dominate cheap slot-engine decides).
+  ProcCount total = 0;
+  ++alloc_epoch_;
+  for (const JobAlloc& alloc : assignment.allocs) {
+    if (alloc.job >= jobs_.size()) {
+      return "allocation to unknown job " + std::to_string(alloc.job);
+    }
+    if (alloc.procs < 1) {
+      return "zero-processor allocation to job " + std::to_string(alloc.job);
+    }
+    if (alloc_stamp_[alloc.job] == alloc_epoch_) {
+      return "duplicate allocation to job " + std::to_string(alloc.job);
+    }
+    alloc_stamp_[alloc.job] = alloc_epoch_;
+    const JobRuntime& rt = runtimes_[alloc.job];
+    if (!rt.arrived) {
+      return "allocation to unarrived job " + std::to_string(alloc.job);
+    }
+    if (rt.completed) {
+      return "allocation to completed job " + std::to_string(alloc.job);
+    }
+    total += alloc.procs;
+  }
+  // ctx_.m_ is the currently-up processor count (== num_procs unless fault
+  // injection took some down), so rogue allocations onto failed processors
+  // are caught here.
+  if (total > ctx_.m_) {
+    return "allocation uses " + std::to_string(total) +
+           " > m=" + std::to_string(ctx_.m_) + " processors";
+  }
+  return {};
+}
+
+bool SimKernel::decide(Time now, Assignment& out) {
+  out.clear();
+  {
+    ScopedSpan decide_scope(decide_span_);
+    scheduler_.decide(ctx_, out);
+  }
+  DS_OBS_INC(c_decisions_);
+  ++result_.decisions;
+  if (options_.max_decisions > 0 &&
+      result_.decisions > options_.max_decisions) {
+    // Livelock guard: fail the run structurally instead of aborting the
+    // process; outcomes finalized later still reflect completed jobs.
+    std::ostringstream msg;
+    msg << "decision budget " << options_.max_decisions << " exhausted at t="
+        << now << " (scheduler livelock?)";
+    fail(SimFailureKind::kDecisionBudget, msg.str(), now, "decision-budget");
+    return false;
+  }
+  if (std::string error = validate(out); !error.empty()) {
+    // A malformed allocation is a scheduler bug, not a machine state: refuse
+    // to apply it and terminate the run structurally so sweeps and the CLI
+    // can report it without losing completed outcomes.
+    fail(SimFailureKind::kBadAllocation, std::move(error), now,
+         "bad-allocation");
+    return false;
+  }
+  if (options_.observer) options_.observer(ctx_, out);
+  return true;
+}
+
+void SimKernel::begin_interval() {
+  if (!churn_) return;
+  up_list_.clear();
+  for (ProcCount p = 0; p < options_.num_procs; ++p) {
+    if (proc_up_[p]) up_list_.push_back(p);
+  }
+  std::fill(proc_node_.begin(), proc_node_.end(),
+            std::make_pair(kInvalidJob, NodeId{0}));
+}
+
+void SimKernel::notify_completions_slow(Time notify_time) {
+  // Flags first (set in mark_if_completed), notifications second, so the
+  // scheduler observes a consistent post-completion state.
+  ctx_.now_ = notify_time;
+  for (const JobId id : completed_now_) std::erase(active_, id);
+  for (const JobId id : completed_now_) {
+    DS_OBS_INC(c_job_completions_);
+    if (obs_ != nullptr) obs_->event(notify_time, id, ObsEventKind::kComplete);
+    scheduler_.on_completion(ctx_, id);
+    ++jobs_done_;
+  }
+  completed_now_.clear();
+}
+
+void SimKernel::account_preemptions(
+    Time now, std::vector<std::pair<JobId, NodeId>>& nodes,
+    std::vector<JobId>& jobs) {
+  std::sort(nodes.begin(), nodes.end());
+  std::sort(jobs.begin(), jobs.end());
+  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+  for (const auto& [job, node] : prev_nodes_) {
+    const JobRuntime& rt = runtimes_[job];
+    if (rt.completed || rt.unfolding->is_done(node)) continue;
+    if (!std::binary_search(nodes.begin(), nodes.end(),
+                            std::make_pair(job, node))) {
+      ++result_.node_preemptions;
+      DS_OBS_INC(c_node_preemptions_);
+    }
+  }
+  for (const JobId job : prev_jobs_) {
+    if (runtimes_[job].completed) continue;
+    if (!std::binary_search(jobs.begin(), jobs.end(), job)) {
+      ++result_.job_preemptions;
+      DS_OBS_INC(c_job_preemptions_);
+      if (obs_ != nullptr) obs_->event(now, job, ObsEventKind::kPreempt);
+    }
+  }
+  std::swap(prev_nodes_, nodes);
+  std::swap(prev_jobs_, jobs);
+}
+
+SimResult SimKernel::finish() {
+  // Idle processor-time is the accounted capacity not spent executing; this
+  // is exact even when a node finishes mid-slot and strands its processor
+  // for the rest of the slot.
+  const double idle =
+      std::max(0.0, capacity_time_ - result_.busy_proc_time);
+  DS_OBS_ADD(c_idle_time_, idle);
+  // The one place the machine-time conservation invariant is asserted: on a
+  // fault-free run that did not terminate abnormally, every instant between
+  // the accounting start and the last event is accounted exactly once, so
+  // busy + idle == m x (end - start).  Under churn the capacity integral is
+  // exact but no longer m x elapsed, so the closed form does not apply.
+  if (!result_.failed() && !churn_) {
+    const double expected = static_cast<double>(options_.num_procs) *
+                            (result_.end_time - start_time_);
+    const double tolerance = 1e-6 * std::max(1.0, expected);
+    DS_CHECK_MSG(
+        std::abs((result_.busy_proc_time + idle) - expected) <= tolerance,
+        "machine-time accounting drifted: busy "
+            << result_.busy_proc_time << " + idle " << idle << " != m*(end-"
+            << "start) = " << expected);
+  }
+
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobRuntime& rt = runtimes_[i];
+    JobOutcome& out = result_.outcomes[i];
+    out.completed = rt.completed;
+    out.completion_time = rt.completion_time;
+    out.executed = rt.executed;
+    out.first_start = rt.first_start;
+    if (rt.completed) {
+      out.profit =
+          jobs_[i].profit().at(rt.completion_time - jobs_[i].release());
+      result_.total_profit += out.profit;
+      ++result_.jobs_completed;
+    }
+  }
+  return std::move(result_);
+}
+
+}  // namespace dagsched

@@ -1,0 +1,358 @@
+// SimKernel: the single source of truth for simulation semantics.
+//
+// Both engines (the discrete SlotEngine and the continuous EventEngine) are
+// thin *stepping drivers* over this kernel.  An engine decides only how time
+// advances -- fixed unit slots with an idle jump, or event-to-event -- while
+// the kernel owns everything whose meaning must be identical across engines:
+//
+//   * the unified transition queue: fault-plan processor transitions, job
+//     arrivals, and deadline expiries, delivered at each decision point in
+//     one pinned order (completions of the previous step, then processor
+//     transitions, then arrivals, then expiries; ties within each class are
+//     ordered by (time, id));
+//   * allocation validation and application: malformed allocations
+//     (overcommit, duplicates, unarrived/completed jobs, zero processors)
+//     terminate the run with a structured SimFailureKind::kBadAllocation
+//     instead of corrupting state or aborting the process;
+//   * scheduler callback dispatch (on_arrival / on_completion / on_deadline /
+//     on_capacity_change) and the decide() span + decision budget;
+//   * fault application: the processor up-set, the failure-victim map, and
+//     restart=resume|zero lost-work accounting;
+//   * observability emission (counters, decision events, spans) for all the
+//     shared lifecycle events;
+//   * busy/idle processor-time bookkeeping, with the
+//     busy + idle == m x (end - start) invariant asserted once, in finish().
+//
+// The kernel is flat-array/index-based throughout (no per-step allocation
+// after begin()) so the engines' hot loops keep their measured performance;
+// see bench/bench_engine_perf.cpp and the committed BENCH_engine.json.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/injector.h"
+#include "job/job.h"
+#include "obs/sink.h"
+#include "sim/assignment.h"
+#include "sim/context.h"
+#include "sim/node_selector.h"
+#include "sim/outcome.h"
+#include "sim/scheduler.h"
+#include "util/float_cmp.h"
+
+namespace dagsched {
+
+struct KernelOptions {
+  ProcCount num_procs = 1;
+  /// Work units processed per processor-time-unit (resource augmentation).
+  double speed = 1.0;
+  /// Record a full execution trace into SimResult::trace.
+  bool record_trace = false;
+  /// Hard cap on decision points; 0 = unlimited (the SlotEngine bounds runs
+  /// by its horizon instead).
+  std::size_t max_decisions = 0;
+  /// Invoked after each decision has been validated (property-test hook).
+  std::function<void(const EngineContext&, const Assignment&)> observer;
+  /// Observability sink; null = off, byte-identical to an uninstrumented run.
+  const ObsSink* obs = nullptr;
+  /// Fault injector; null = no faults, byte-identical to a fault-free build.
+  const FaultInjector* faults = nullptr;
+};
+
+/// How an engine maps deadline instants onto its decision points.  The
+/// event engine expires a deadline at the first decision point at or past
+/// it; the slot engine expires it at the start of the first slot that can
+/// no longer complete the job by its deadline (a job finishing in slot t
+/// completes at t+1, so d expires once t+1 > d).
+enum class DeadlineDuePolicy {
+  kAtOrBeforeNow,   // due when d <= now            (EventEngine)
+  kBeforeNextSlot,  // due when now + 1 > d         (SlotEngine)
+};
+
+class SimKernel {
+ public:
+  /// `jobs` must be finalized (sorted by release).  The scheduler and
+  /// selector are borrowed and must outlive the kernel.
+  SimKernel(const JobSet& jobs, SchedulerBase& scheduler,
+            NodeSelector& selector, KernelOptions options);
+
+  // -- Lifecycle ------------------------------------------------------------
+
+  /// Resets all per-run state (scheduler, runtimes, instruments, fault
+  /// queue) and records `start_time`, the instant from which machine time is
+  /// accounted.
+  void begin(Time start_time);
+
+  /// Finalizes per-job outcomes, emits the idle-time counter, asserts the
+  /// busy + idle == m x (end - start) accounting invariant (fault-free,
+  /// non-failed runs), and returns the result.
+  SimResult finish();
+
+  // -- Shared state ---------------------------------------------------------
+
+  const EngineContext& ctx() const { return ctx_; }
+  void set_now(Time now) { ctx_.now_ = now; }
+  void set_end_time(Time t) { result_.end_time = t; }
+  double speed() const { return options_.speed; }
+  std::size_t num_jobs() const { return jobs_.size(); }
+  std::size_t jobs_done() const { return jobs_done_; }
+  bool all_done() const { return jobs_done_ == jobs_.size(); }
+  std::size_t decisions() const { return result_.decisions; }
+  bool failed() const { return result_.failed(); }
+  bool churn() const { return churn_; }
+
+  /// Stamp a structural failure on the result (and emit an engine-abort
+  /// event carrying `slug`); the engine must stop stepping afterwards.
+  void fail(SimFailureKind kind, std::string message, Time now,
+            const char* slug);
+
+  // -- Unified transition queue ---------------------------------------------
+
+  /// Delivers, in the pinned order, everything due at `now`: fault-plan
+  /// processor transitions (recoveries before failures at one instant, then
+  /// by processor id), job arrivals (by release, then job id), and deadline
+  /// expiries (by deadline, then job id).  Completions are the one event
+  /// class delivered elsewhere -- at the end of the step that produced them,
+  /// i.e. *before* any of the above at an equal timestamp.  Inline due
+  /// checks keep the nothing-due common case free of out-of-line calls.
+  void deliver_due_events(Time now, DeadlineDuePolicy policy) {
+    ctx_.now_ = now;
+    if (churn_ && transition_due(now)) deliver_transitions(now);
+    if (next_arrival_ < jobs_.size() &&
+        approx_le(jobs_[next_arrival_].release(), now)) {
+      deliver_arrivals(now);
+    }
+    if (expiry_due(now, policy)) deliver_expiries(now, policy);
+  }
+
+  /// Release time of the next undelivered arrival (kTimeInfinity if none).
+  Time next_arrival_time() const {
+    return next_arrival_ < jobs_.size() ? jobs_[next_arrival_].release()
+                                        : kTimeInfinity;
+  }
+
+  /// Earliest pending deadline of a still-incomplete job (kTimeInfinity if
+  /// none); lazily discards entries for completed jobs.
+  Time next_deadline_time() {
+    while (!deadlines_.empty() &&
+           runtimes_[deadlines_.top().second].completed) {
+      deadlines_.pop();
+    }
+    return deadlines_.empty() ? kTimeInfinity : deadlines_.top().first;
+  }
+
+  /// Time of the next undelivered processor transition; kTimeInfinity when
+  /// churn is off or every job has completed (pending transitions can no
+  /// longer affect any job, which preserves quiescence detection).
+  Time next_transition_time() const {
+    if (!churn_ || all_done() ||
+        next_transition_ >= options_.faults->transitions().size()) {
+      return kTimeInfinity;
+    }
+    return options_.faults->transitions()[next_transition_].time;
+  }
+
+  // -- Decision -------------------------------------------------------------
+
+  /// Runs decide() under the span timer, enforces the decision budget, and
+  /// validates the allocation.  Returns false -- with the failure stamped on
+  /// the result -- when the budget is exhausted or the allocation is
+  /// malformed; the engine must break out of its stepping loop.
+  bool decide(Time now, Assignment& out);
+
+  // -- Execution ------------------------------------------------------------
+
+  /// Ready-node selection for one granted allocation (machine-owned policy).
+  void select_nodes(const JobAlloc& alloc, std::vector<NodeId>& picked) {
+    selector_.select(jobs_[alloc.job].dag(), *runtimes_[alloc.job].unfolding,
+                     alloc.procs, picked);
+  }
+
+  /// Prepares the physical-processor view for the coming interval: under
+  /// churn, refreshes the up-processor list and clears the failure-victim
+  /// map.  Call once per decision, before advance_node().
+  void begin_interval();
+
+  /// Physical processor backing logical run index `i` of this interval.
+  /// Precondition: i < up-capacity (allocation validation guarantees it).
+  ProcCount phys_proc(std::size_t i) const {
+    return churn_ ? up_list_[i] : static_cast<ProcCount>(i);
+  }
+
+  /// Currently-up processor count of this interval (== num_procs without
+  /// churn); valid after begin_interval().
+  std::size_t up_count() const {
+    return churn_ ? up_list_.size()
+                  : static_cast<std::size_t>(options_.num_procs);
+  }
+
+  Work remaining_work(JobId job, NodeId node) const {
+    return runtimes_[job].unfolding->remaining_work(node);
+  }
+
+  /// Advances `node` of `job` by `amount` work over [start, start+duration)
+  /// on physical processor `phys`: node start/completion counters, busy
+  /// processor-time, the execution trace, and the failure-victim map.
+  /// Inline: this is the innermost per-node operation of both hot loops.
+  void advance_node(JobId job, NodeId node, Work amount, Time start,
+                    Time duration, ProcCount phys) {
+    JobRuntime& rt = runtimes_[job];
+    if (c_node_starts_ != nullptr &&
+        rt.unfolding->remaining_work(node) ==
+            rt.unfolding->initial_work(node)) {
+      c_node_starts_->add(1.0);
+    }
+    rt.unfolding->advance(node, amount);
+    if (c_node_completions_ != nullptr && rt.unfolding->is_done(node)) {
+      c_node_completions_->add(1.0);
+    }
+    rt.executed += amount;
+    rt.first_start = std::min(rt.first_start, start);
+    result_.busy_proc_time += duration;
+    DS_OBS_ADD(c_busy_time_, duration);
+    if (churn_) {
+      proc_node_[phys] = {job, node};
+      // A non-finishing node occupies its processor to the interval's end,
+      // so this is exactly the window in which a failure can claim it.
+      last_exec_end_ = std::max(last_exec_end_, start + duration);
+    }
+    if (options_.record_trace) {
+      result_.trace.add(start, start + duration, job, node, phys);
+    }
+  }
+
+  /// Accounts `dt` of wall-clock machine time at the current capacity
+  /// (executed slots and event-engine steps).
+  void account_step_time(double dt) {
+    capacity_time_ += dt * static_cast<double>(ctx_.m_);
+  }
+  /// Accounts a fully-idle span of `dt` (idle skips / quiescent jumps).
+  void account_idle_gap(double dt) { account_step_time(dt); }
+
+  /// Histogram of concurrently running nodes per decision interval.
+  void observe_running(std::size_t count) {
+    DS_OBS_OBSERVE(h_running_, static_cast<double>(count));
+  }
+
+  // -- Completion epoch -----------------------------------------------------
+
+  /// Marks `job` completed at `completion_time` if its unfolding just
+  /// finished; notification is deferred to notify_completions().
+  void mark_if_completed(JobId job, Time completion_time) {
+    JobRuntime& rt = runtimes_[job];
+    if (!rt.completed && rt.unfolding->complete()) {
+      rt.completed = true;
+      rt.completion_time = completion_time;
+      completed_now_.push_back(job);
+    }
+  }
+  bool has_pending_completions() const { return !completed_now_.empty(); }
+  /// Delivers queued completions: removes the jobs from the active set,
+  /// emits counters/events at `notify_time`, and dispatches on_completion.
+  void notify_completions(Time notify_time) {
+    if (completed_now_.empty()) return;
+    notify_completions_slow(notify_time);
+  }
+
+  // -- Preemption accounting ------------------------------------------------
+
+  /// Compares this interval's execution set against the previous one and
+  /// accounts node/job preemptions (ran before, unfinished, idle now).
+  /// Sorts/dedups the inputs in place and keeps them as the new previous
+  /// interval (contents are swapped out; reuse the vectors freely).
+  void account_preemptions(Time now,
+                           std::vector<std::pair<JobId, NodeId>>& nodes,
+                           std::vector<JobId>& jobs);
+
+ private:
+  bool transition_due(Time now) const {
+    const auto& transitions = options_.faults->transitions();
+    return next_transition_ < transitions.size() &&
+           approx_le(transitions[next_transition_].time, now);
+  }
+  bool expiry_due(Time now, DeadlineDuePolicy policy) const {
+    if (deadlines_.empty()) return false;
+    const Time deadline = deadlines_.top().first;
+    return policy == DeadlineDuePolicy::kBeforeNextSlot
+               ? approx_gt(now + 1.0, deadline)
+               : approx_le(deadline, now);
+  }
+  void deliver_transitions(Time now);
+  void deliver_arrivals(Time now);
+  void deliver_expiries(Time now, DeadlineDuePolicy policy);
+  void notify_completions_slow(Time notify_time);
+  /// Empty string when valid; otherwise a diagnosis of the first violation.
+  std::string validate(const Assignment& assignment);
+
+  const JobSet& jobs_;
+  SchedulerBase& scheduler_;
+  NodeSelector& selector_;
+  KernelOptions options_;
+
+  std::vector<JobRuntime> runtimes_;
+  std::vector<JobId> active_;
+  EngineContext ctx_;
+  SimResult result_;
+
+  // Resolved instruments (null = no-op emission).
+  const ObsSink* obs_ = nullptr;
+  Counter* c_decisions_ = nullptr;
+  Counter* c_arrivals_ = nullptr;
+  Counter* c_expiries_ = nullptr;
+  Counter* c_node_starts_ = nullptr;
+  Counter* c_node_completions_ = nullptr;
+  Counter* c_job_completions_ = nullptr;
+  Counter* c_node_preemptions_ = nullptr;
+  Counter* c_job_preemptions_ = nullptr;
+  Counter* c_busy_time_ = nullptr;
+  Counter* c_idle_time_ = nullptr;
+  Counter* c_proc_downs_ = nullptr;
+  Counter* c_proc_ups_ = nullptr;
+  Counter* c_restarts_ = nullptr;
+  Counter* c_overruns_ = nullptr;
+  Counter* c_lost_work_ = nullptr;
+  Histogram* h_running_ = nullptr;
+  SpanStats* decide_span_ = nullptr;
+
+  // Fault state.
+  bool churn_ = false;
+  std::size_t next_transition_ = 0;
+  std::vector<char> proc_up_;
+  ProcCount avail_ = 0;
+  std::vector<std::pair<JobId, NodeId>> proc_node_;
+  std::vector<ProcCount> up_list_;
+  /// End of the last interval that executed anything; a failure claims a
+  /// victim only if it struck during execution (guards against stale victim
+  /// entries across idle stretches).
+  Time last_exec_end_ = -1.0;
+
+  // Arrival / deadline / completion queues.
+  std::size_t next_arrival_ = 0;
+  using DeadlineEntry = std::pair<Time, JobId>;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<>>
+      deadlines_;
+  std::vector<JobId> completed_now_;
+  std::size_t jobs_done_ = 0;
+
+  // Previous interval's execution set, for preemption accounting.
+  std::vector<std::pair<JobId, NodeId>> prev_nodes_;
+  std::vector<JobId> prev_jobs_;
+
+  // Duplicate-allocation detection scratch (epoch stamps avoid O(n) clears).
+  std::vector<std::uint32_t> alloc_stamp_;
+  std::uint32_t alloc_epoch_ = 0;
+
+  // Machine-time accounting: integral of up-capacity over every accounted
+  // interval.  Idle time is derived as capacity - busy, which is exact even
+  // when a node finishes mid-slot and strands its processor.
+  double capacity_time_ = 0.0;
+  Time start_time_ = 0.0;
+};
+
+}  // namespace dagsched

@@ -7,6 +7,7 @@ const char* sim_failure_kind_name(SimFailureKind kind) {
     case SimFailureKind::kNone: return "none";
     case SimFailureKind::kDecisionBudget: return "decision-budget";
     case SimFailureKind::kHorizon: return "horizon";
+    case SimFailureKind::kBadAllocation: return "bad-allocation";
   }
   return "?";
 }

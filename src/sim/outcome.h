@@ -18,6 +18,8 @@ enum class SimFailureKind {
   kNone,            // run completed normally
   kDecisionBudget,  // EngineOptions::max_decisions exhausted (livelock guard)
   kHorizon,         // SlotEngine's derived horizon overran with jobs pending
+  kBadAllocation,   // scheduler emitted a malformed allocation (overcommit,
+                    // duplicate / unarrived / completed job, or zero procs)
 };
 
 const char* sim_failure_kind_name(SimFailureKind kind);

@@ -6,8 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/kernel/kernel.h"
 #include "util/check.h"
-#include "util/float_cmp.h"
 #include "util/logging.h"
 
 namespace dagsched {
@@ -21,23 +21,6 @@ SlotEngine::SlotEngine(const JobSet& jobs, SchedulerBase& scheduler,
   DS_CHECK_MSG(options_.num_procs >= 1, "need at least one processor");
   DS_CHECK_MSG(options_.speed > 0.0, "speed must be positive");
   DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
-}
-
-void SlotEngine::validate_assignment(const Assignment& assignment) const {
-  ProcCount total = 0;
-  std::vector<bool> seen(jobs_.size(), false);
-  for (const JobAlloc& alloc : assignment.allocs) {
-    DS_CHECK_MSG(alloc.job < jobs_.size(), "allocation to unknown job");
-    DS_CHECK_MSG(alloc.procs >= 1, "zero-processor allocation");
-    DS_CHECK_MSG(!seen[alloc.job], "duplicate allocation to job " << alloc.job);
-    seen[alloc.job] = true;
-    const JobRuntime& rt = runtimes_[alloc.job];
-    DS_CHECK_MSG(rt.arrived, "allocation to unarrived job " << alloc.job);
-    DS_CHECK_MSG(!rt.completed, "allocation to completed job " << alloc.job);
-    total += alloc.procs;
-  }
-  DS_CHECK_MSG(total <= ctx_.num_procs(),
-               "allocation uses " << total << " > m=" << ctx_.num_procs());
 }
 
 std::uint64_t SlotEngine::derive_horizon() const {
@@ -59,377 +42,112 @@ std::uint64_t SlotEngine::derive_horizon() const {
 
 SimResult SlotEngine::run() {
   const std::size_t n = jobs_.size();
-  SimResult result;
-  result.outcomes.resize(n);
-  if (n == 0) return result;
+  if (n == 0) return SimResult{};
 
-  scheduler_.reset();
-  runtimes_.assign(n, JobRuntime{});
-  active_.clear();
+  KernelOptions kernel_options;
+  kernel_options.num_procs = options_.num_procs;
+  kernel_options.speed = options_.speed;
+  kernel_options.record_trace = options_.record_trace;
+  kernel_options.observer = options_.observer;
+  kernel_options.obs = options_.obs;
+  kernel_options.faults = options_.faults;
+  SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
 
-  ctx_.m_ = options_.num_procs;
-  ctx_.speed_ = options_.speed;
-  ctx_.clairvoyant_allowed_ = scheduler_.clairvoyant();
-  ctx_.jobs_ = &jobs_.jobs();
-  ctx_.runtimes_ = &runtimes_;
-  ctx_.active_ = &active_;
-  ctx_.obs_ = options_.obs;
-
-  // Resolve instruments once; null pointers make every emission a no-op.
   const ObsSink* obs = options_.obs;
-  Counter* c_decisions = nullptr;
-  Counter* c_arrivals = nullptr;
-  Counter* c_expiries = nullptr;
-  Counter* c_node_starts = nullptr;
-  Counter* c_node_completions = nullptr;
-  Counter* c_job_completions = nullptr;
-  Counter* c_node_preemptions = nullptr;
-  Counter* c_job_preemptions = nullptr;
-  Counter* c_busy_time = nullptr;
-  Counter* c_idle_time = nullptr;
-  Histogram* h_running = nullptr;
-  SpanStats* decide_span = nullptr;
-  if (obs != nullptr && obs->metrics != nullptr) {
-    MetricRegistry& mr = *obs->metrics;
-    c_decisions = mr.counter("engine.decisions");
-    c_arrivals = mr.counter("engine.arrivals");
-    c_expiries = mr.counter("engine.deadline_expiries");
-    c_node_starts = mr.counter("engine.node_starts");
-    c_node_completions = mr.counter("engine.node_completions");
-    c_job_completions = mr.counter("engine.job_completions");
-    c_node_preemptions = mr.counter("engine.node_preemptions");
-    c_job_preemptions = mr.counter("engine.job_preemptions");
-    c_busy_time = mr.counter("engine.busy_proc_time");
-    c_idle_time = mr.counter("engine.idle_proc_time");
-    h_running = mr.histogram("engine.running_nodes");
-  }
-  if (obs != nullptr && obs->spans != nullptr) {
-    decide_span = obs->spans->span("engine.decide");
-  }
   ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
-
-  // Fault-injection state, mirrored from the EventEngine (see there for the
-  // delivery/victim semantics); all gated on options_.faults.
-  const FaultInjector* faults = options_.faults;
-  const bool churn = faults != nullptr && faults->has_churn();
-  Counter* c_proc_downs = nullptr;
-  Counter* c_proc_ups = nullptr;
-  Counter* c_restarts = nullptr;
-  Counter* c_overruns = nullptr;
-  Counter* c_lost_work = nullptr;
-  if (faults != nullptr && obs != nullptr && obs->metrics != nullptr) {
-    MetricRegistry& mr = *obs->metrics;
-    c_proc_downs = mr.counter("fault.proc_downs");
-    c_proc_ups = mr.counter("fault.proc_ups");
-    c_restarts = mr.counter("fault.node_restarts");
-    c_overruns = mr.counter("fault.work_overruns");
-    c_lost_work = mr.counter("fault.lost_work");
-  }
-  std::size_t next_transition = 0;
-  std::vector<char> proc_up(options_.num_procs, 1);
-  ProcCount avail = options_.num_procs;
-  std::vector<std::pair<JobId, NodeId>> proc_node(
-      options_.num_procs, {kInvalidJob, 0});
-  std::vector<ProcCount> up_list;
-  // End time of the last slot that executed anything; a processor failure
-  // only claims a victim if it struck during that slot (idle-skips leave the
-  // proc_node map stale, so the time guard is what invalidates it).
-  Time last_exec_end = -1.0;
 
   const std::uint64_t horizon =
       options_.max_slots > 0 ? options_.max_slots : derive_horizon();
   const double speed = options_.speed;
 
-  std::size_t next_arrival = 0;
-  std::size_t jobs_done = 0;
-
   Assignment assignment;
   std::vector<NodeId> picked;
-  std::vector<JobId> completed_now;
-
-  // Previous slot's execution set, for preemption accounting.
-  std::vector<std::pair<JobId, NodeId>> prev_nodes, current_nodes;
-  std::vector<JobId> prev_jobs, current_jobs;
+  std::vector<std::pair<JobId, NodeId>> current_nodes;
+  std::vector<JobId> current_jobs;
 
   std::uint64_t slot =
       static_cast<std::uint64_t>(std::max(0.0, std::floor(jobs_[0].release())));
+  kernel.begin(static_cast<Time>(slot));
 
-  for (; jobs_done < n; ++slot) {
+  for (; !kernel.all_done(); ++slot) {
     if (slot >= horizon) {
       if (options_.max_slots > 0) {
         // Explicit cap: a caller-requested truncation, not a failure.
         DS_LOG_WARN("SlotEngine max_slots " << horizon << " reached with "
-                                            << (n - jobs_done)
+                                            << (n - kernel.jobs_done())
                                             << " jobs incomplete");
       } else {
         std::ostringstream msg;
         msg << "derived horizon " << horizon << " overran with "
-            << (n - jobs_done) << " jobs incomplete (scheduler starvation?)";
-        result.failure = SimFailureKind::kHorizon;
-        result.failure_message = msg.str();
-        if (obs != nullptr) {
-          obs->event(static_cast<Time>(slot), kInvalidJob,
-                     ObsEventKind::kEngineAbort, "horizon");
-        }
+            << (n - kernel.jobs_done())
+            << " jobs incomplete (scheduler starvation?)";
+        kernel.fail(SimFailureKind::kHorizon, msg.str(),
+                    static_cast<Time>(slot), "horizon");
       }
       break;
     }
     const Time now = static_cast<Time>(slot);
-    ctx_.now_ = now;
 
-    // (0) Deliver processor transitions due by the start of this slot.
-    // Events are stamped with the transition's own time so both engines emit
-    // identical fault timelines.
-    if (churn) {
-      const auto& transitions = faults->transitions();
-      bool capacity_changed = false;
-      while (next_transition < transitions.size() &&
-             approx_le(transitions[next_transition].time, now)) {
-        const ProcTransition& tr = transitions[next_transition++];
-        if (tr.up) {
-          if (proc_up[tr.proc]) continue;
-          proc_up[tr.proc] = 1;
-          ++avail;
-          capacity_changed = true;
-          DS_OBS_INC(c_proc_ups);
-          if (obs != nullptr) {
-            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcUp, {},
-                       {{"proc", static_cast<double>(tr.proc)}});
-          }
-        } else {
-          if (!proc_up[tr.proc]) continue;
-          proc_up[tr.proc] = 0;
-          --avail;
-          capacity_changed = true;
-          DS_OBS_INC(c_proc_downs);
-          if (obs != nullptr) {
-            obs->event(tr.time, kInvalidJob, ObsEventKind::kProcDown, {},
-                       {{"proc", static_cast<double>(tr.proc)}});
-          }
-          const auto [vjob, vnode] = proc_node[tr.proc];
-          proc_node[tr.proc] = {kInvalidJob, 0};
-          if (faults->restart_from_zero() && vjob != kInvalidJob &&
-              approx_le(tr.time, last_exec_end) &&
-              !runtimes_[vjob].completed &&
-              !runtimes_[vjob].unfolding->is_done(vnode)) {
-            const Work lost = runtimes_[vjob].unfolding->reset_progress(vnode);
-            result.lost_work += lost;
-            DS_OBS_INC(c_restarts);
-            DS_OBS_ADD(c_lost_work, lost);
-            if (obs != nullptr) {
-              obs->event(tr.time, vjob, ObsEventKind::kNodeRestart, {},
-                         {{"node", static_cast<double>(vnode)},
-                          {"lost", lost}});
-            }
-          }
-        }
-      }
-      if (capacity_changed) {
-        const ProcCount old_m = ctx_.m_;
-        DS_CHECK_MSG(avail >= 1, "fault plan left zero processors up");
-        ctx_.m_ = avail;
-        scheduler_.on_capacity_change(ctx_, old_m, avail);
-      }
-    }
+    // (1) Deliver everything due by the start of this slot -- processor
+    // transitions, arrivals, deadline expiries -- in the kernel's pinned
+    // order, then obtain and validate this slot's allocation.
+    kernel.deliver_due_events(now, DeadlineDuePolicy::kBeforeNextSlot);
+    if (!kernel.decide(now, assignment)) break;
 
-    // (1) Arrivals whose release has passed by the start of this slot.
-    while (next_arrival < n &&
-           approx_le(jobs_[next_arrival].release(), now)) {
-      const JobId id = static_cast<JobId>(next_arrival++);
-      JobRuntime& rt = runtimes_[id];
-      rt.arrived = true;
-      std::vector<Work> actual_works;
-      if (faults != nullptr && faults->scales_work()) {
-        actual_works = faults->scaled_works(id, jobs_[id].dag());
-      }
-      if (actual_works.empty()) {
-        rt.unfolding.emplace(jobs_[id].dag());
-      } else {
-        rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
-      }
-      active_.push_back(id);
-      DS_OBS_INC(c_arrivals);
-      if (obs != nullptr) obs->event(now, id, ObsEventKind::kArrival);
-      if (faults != nullptr &&
-          rt.unfolding->total_remaining_work() > jobs_[id].work()) {
-        DS_OBS_INC(c_overruns);
-        if (obs != nullptr) {
-          obs->event(now, id, ObsEventKind::kWorkOverrun, {},
-                     {{"declared", jobs_[id].work()},
-                      {"actual", rt.unfolding->total_remaining_work()}});
-        }
-      }
-      scheduler_.on_arrival(ctx_, id);
-    }
-
-    // (2) Deadline expiries: a job finishing in this slot completes at
-    // slot+1, so once slot+1 > d the deadline has passed.
-    for (const JobId id : active_) {
-      JobRuntime& rt = runtimes_[id];
-      if (rt.deadline_notified || rt.completed) continue;
-      const Job& job = jobs_[id];
-      if (job.has_deadline() &&
-          approx_gt(now + 1.0, job.absolute_deadline())) {
-        rt.deadline_notified = true;
-        DS_OBS_INC(c_expiries);
-        if (obs != nullptr) obs->event(now, id, ObsEventKind::kExpire);
-        scheduler_.on_deadline(ctx_, id);
-      }
-    }
-
-    // (3) Decide and validate.
-    assignment.clear();
-    {
-      ScopedSpan decide_scope(decide_span);
-      scheduler_.decide(ctx_, assignment);
-    }
-    DS_OBS_INC(c_decisions);
-    ++result.decisions;
-    validate_assignment(assignment);
-    if (options_.observer) options_.observer(ctx_, assignment);
-
-    // (4) Execute the slot.
-    completed_now.clear();
+    // (2) Execute the slot: each granted job runs min(procs, #ready) ready
+    // nodes, each consuming min(speed, remaining) work.  Nodes that finish
+    // mid-slot leave their processor idle for the rest of the slot.
+    kernel.begin_interval();
     current_nodes.clear();
     current_jobs.clear();
-    if (churn) {
-      up_list.clear();
-      for (ProcCount p = 0; p < options_.num_procs; ++p) {
-        if (proc_up[p]) up_list.push_back(p);
-      }
-      std::fill(proc_node.begin(), proc_node.end(),
-                std::make_pair(kInvalidJob, NodeId{0}));
-    }
-    ProcCount proc_cursor = 0;
+    std::size_t proc_cursor = 0;
     for (const JobAlloc& alloc : assignment.allocs) {
-      JobRuntime& rt = runtimes_[alloc.job];
-      selector_.select(jobs_[alloc.job].dag(), *rt.unfolding, alloc.procs,
-                       picked);
+      kernel.select_nodes(alloc, picked);
       if (!picked.empty()) current_jobs.push_back(alloc.job);
       Time job_finish = 0.0;
       for (const NodeId node : picked) {
         current_nodes.emplace_back(alloc.job, node);
-        const Work remaining = rt.unfolding->remaining_work(node);
+        const Work remaining = kernel.remaining_work(alloc.job, node);
         const Work amount = std::min(speed, remaining);
-        if (c_node_starts != nullptr &&
-            remaining == rt.unfolding->initial_work(node)) {
-          c_node_starts->add(1.0);
-        }
-        rt.unfolding->advance(node, amount);
-        if (c_node_completions != nullptr && rt.unfolding->is_done(node)) {
-          c_node_completions->add(1.0);
-        }
-        rt.executed += amount;
-        rt.first_start = std::min(rt.first_start, now);
-        const double duration = amount / speed;
-        result.busy_proc_time += duration;
-        DS_OBS_ADD(c_busy_time, duration);
-        const ProcCount phys =
-            churn ? up_list[proc_cursor] : proc_cursor;
-        if (churn) proc_node[phys] = {alloc.job, node};
-        if (options_.record_trace) {
-          result.trace.add(now, now + duration, alloc.job, node, phys);
-        }
+        const Time duration = amount / speed;
+        kernel.advance_node(alloc.job, node, amount, now, duration,
+                            kernel.phys_proc(proc_cursor));
         ++proc_cursor;
         job_finish = std::max(job_finish, now + duration);
       }
-      if (!rt.completed && rt.unfolding->complete()) {
-        rt.completed = true;
-        rt.completion_time = job_finish;
-        completed_now.push_back(alloc.job);
-      }
+      kernel.mark_if_completed(alloc.job, job_finish);
     }
-    if (churn && !current_nodes.empty()) last_exec_end = now + 1.0;
-    // Idle processor-time for this executed slot: up capacity minus occupied
-    // processors (each selected node holds its processor for the whole
-    // slot).  Slots skipped wholesale are accounted by the idle-skip below.
-    DS_OBS_OBSERVE(h_running, static_cast<double>(current_nodes.size()));
-    DS_OBS_ADD(c_idle_time, static_cast<double>(ctx_.num_procs()) -
-                                static_cast<double>(current_nodes.size()));
+    kernel.observe_running(current_nodes.size());
+    kernel.account_step_time(1.0);
 
-    // (4b) Preemption accounting: ran last slot, unfinished, idle now.
-    std::sort(current_nodes.begin(), current_nodes.end());
-    std::sort(current_jobs.begin(), current_jobs.end());
-    for (const auto& [job, node] : prev_nodes) {
-      const JobRuntime& rt = runtimes_[job];
-      if (rt.completed || rt.unfolding->is_done(node)) continue;
-      if (!std::binary_search(current_nodes.begin(), current_nodes.end(),
-                              std::make_pair(job, node))) {
-        ++result.node_preemptions;
-        DS_OBS_INC(c_node_preemptions);
-      }
-    }
-    for (const JobId job : prev_jobs) {
-      if (runtimes_[job].completed) continue;
-      if (!std::binary_search(current_jobs.begin(), current_jobs.end(),
-                              job)) {
-        ++result.job_preemptions;
-        DS_OBS_INC(c_job_preemptions);
-        if (obs != nullptr) obs->event(now, job, ObsEventKind::kPreempt);
-      }
-    }
-    prev_nodes = current_nodes;
-    prev_jobs = current_jobs;
+    // (3) Preemption accounting (ran last slot, unfinished, idle now), then
+    // completion notifications at the end of the slot.
+    kernel.account_preemptions(now, current_nodes, current_jobs);
+    const bool completed_any = kernel.has_pending_completions();
+    kernel.notify_completions(now + 1.0);
+    kernel.set_end_time(now + 1.0);
 
-    // (5) Completion notifications at the end of the slot.
-    if (!completed_now.empty()) {
-      ctx_.now_ = now + 1.0;
-      for (const JobId id : completed_now) std::erase(active_, id);
-      for (const JobId id : completed_now) {
-        DS_OBS_INC(c_job_completions);
-        if (obs != nullptr) obs->event(now + 1.0, id, ObsEventKind::kComplete);
-        scheduler_.on_completion(ctx_, id);
-        ++jobs_done;
-      }
-    }
-    result.end_time = now + 1.0;
-
-    // (6) Idle skip / quiescence: if nothing ran and nothing completed, jump
+    // (4) Idle skip / quiescence: if nothing ran and nothing completed, jump
     // to the next slot at which anything can change.  A job arriving at
-    // release r first becomes schedulable in slot ceil(r).
-    if (assignment.allocs.empty() && completed_now.empty()) {
-      Time next_t = kTimeInfinity;
-      if (next_arrival < n) {
-        next_t = std::min(next_t, std::ceil(jobs_[next_arrival].release()));
-      }
-      next_t = std::min(next_t,
-                        std::floor(scheduler_.next_wakeup(ctx_)));
-      // A processor transition is a wakeup too: recovered capacity can make
-      // an idle scheduler schedulable again, so never skip past one.
-      if (churn && next_transition < faults->transitions().size()) {
-        next_t = std::min(
-            next_t, std::ceil(faults->transitions()[next_transition].time));
-      }
+    // release r first becomes schedulable in slot ceil(r); a processor
+    // transition is a wakeup too (recovered capacity can make an idle
+    // scheduler schedulable again), so never skip past one.
+    if (assignment.allocs.empty() && !completed_any) {
+      Time next_t = std::ceil(kernel.next_arrival_time());
+      next_t = std::min(next_t, std::floor(scheduler_.next_wakeup(kernel.ctx())));
+      next_t = std::min(next_t, std::ceil(kernel.next_transition_time()));
       if (!(next_t < kTimeInfinity)) break;  // nothing will ever change
       const auto target = static_cast<std::uint64_t>(std::max(0.0, next_t));
-      // Slots skipped wholesale are fully idle machine time; account them
-      // so the counter agrees with the event engine on sparse workloads.
-      // No processor transition lies strictly inside the skipped range
-      // (transitions are wakeups), so the current capacity applies.
+      // Slots skipped wholesale are fully idle machine time; no processor
+      // transition lies strictly inside the skipped range (transitions are
+      // wakeups), so the current capacity applies.
       if (target > slot + 1) {
-        DS_OBS_ADD(c_idle_time,
-                   static_cast<double>(target - slot - 1) *
-                       static_cast<double>(ctx_.num_procs()));
+        kernel.account_idle_gap(static_cast<double>(target - slot - 1));
       }
       slot = std::max(slot + 1, target) - 1;  // ++slot lands on the target
     }
   }
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const JobRuntime& rt = runtimes_[i];
-    JobOutcome& out = result.outcomes[i];
-    out.completed = rt.completed;
-    out.completion_time = rt.completion_time;
-    out.executed = rt.executed;
-    out.first_start = rt.first_start;
-    if (rt.completed) {
-      out.profit =
-          jobs_[i].profit().at(rt.completion_time - jobs_[i].release());
-      result.total_profit += out.profit;
-      ++result.jobs_completed;
-    }
-  }
-  return result;
+  return kernel.finish();
 }
 
 }  // namespace dagsched

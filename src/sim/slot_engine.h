@@ -43,6 +43,11 @@ struct SlotEngineOptions {
   const FaultInjector* faults = nullptr;
 };
 
+/// Discrete-slot stepping driver over the shared SimKernel
+/// (sim/kernel/kernel.h): advances in fixed unit slots, jumping over fully
+/// idle stretches via the scheduler's next_wakeup().  All simulation
+/// semantics -- event delivery, validation, callbacks, obs emission,
+/// busy/idle accounting -- live in the kernel, shared with EventEngine.
 class SlotEngine {
  public:
   SlotEngine(const JobSet& jobs, SchedulerBase& scheduler,
@@ -51,17 +56,12 @@ class SlotEngine {
   SimResult run();
 
  private:
-  void validate_assignment(const Assignment& assignment) const;
   std::uint64_t derive_horizon() const;
 
   const JobSet& jobs_;
   SchedulerBase& scheduler_;
   NodeSelector& selector_;
   SlotEngineOptions options_;
-
-  std::vector<JobRuntime> runtimes_;
-  std::vector<JobId> active_;
-  EngineContext ctx_;
 };
 
 }  // namespace dagsched

@@ -24,7 +24,7 @@ TEST_P(Determinism, IdenticalRunsProduceIdenticalResults) {
 
   RunConfig run;
   run.m = 8;
-  run.use_slot_engine = (name == "profit");
+  run.engine = (name == "profit") ? EngineKind::kSlot : EngineKind::kEvent;
   auto s1 = make_named_scheduler(name, 0.5);
   auto s2 = make_named_scheduler(name, 0.5);
   const RunMetrics a = run_workload(jobs1, *s1, run);

@@ -1,5 +1,8 @@
-// Engine defense: illegal allocations abort loudly (DS_CHECK), never
-// corrupt a run -- these are the contract checks EXTENDING.md promises.
+// Engine defense: illegal allocations are rejected with a structured
+// SimFailureKind::kBadAllocation (the kernel finalizes outcomes and returns
+// cleanly -- no process abort), while contract violations that indicate
+// mis-wired *code* (clairvoyance peeks, wrong engine, unfinalized job sets)
+// still abort loudly.  These are the contract checks EXTENDING.md promises.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -7,6 +10,7 @@
 #include "core/profit_scheduler.h"
 #include "dag/generators.h"
 #include "sim/event_engine.h"
+#include "sim/kernel/engine_factory.h"
 
 namespace dagsched {
 namespace {
@@ -64,21 +68,32 @@ class RogueScheduler final : public SchedulerBase {
   Mode mode_;
 };
 
-class EngineGuardDeath
+class EngineGuardRejection
     : public ::testing::TestWithParam<RogueScheduler::Mode> {};
 
-TEST_P(EngineGuardDeath, IllegalAllocationAborts) {
+TEST_P(EngineGuardRejection, IllegalAllocationRejectedStructurally) {
+  // The malformed allocation must surface as kBadAllocation on *both*
+  // stepping drivers (the validation lives once, in the kernel), with
+  // outcomes finalized so the caller can still report partial results.
   const JobSet jobs = two_jobs();
-  RogueScheduler scheduler(GetParam());
-  auto selector = make_selector(SelectorKind::kFifo);
-  EngineOptions options;
-  options.num_procs = 2;
-  EventEngine engine(jobs, scheduler, *selector, options);
-  EXPECT_DEATH(engine.run(), "DS_CHECK");
+  for (const EngineKind kind : {EngineKind::kEvent, EngineKind::kSlot}) {
+    RogueScheduler scheduler(GetParam());
+    auto selector = make_selector(SelectorKind::kFifo);
+    SimOptions options;
+    options.num_procs = 2;
+    const SimResult result =
+        run_simulation(kind, jobs, scheduler, *selector, options);
+    EXPECT_TRUE(result.failed()) << engine_kind_name(kind);
+    EXPECT_EQ(result.failure, SimFailureKind::kBadAllocation)
+        << engine_kind_name(kind);
+    EXPECT_FALSE(result.failure_message.empty()) << engine_kind_name(kind);
+    EXPECT_EQ(result.outcomes.size(), jobs.size()) << engine_kind_name(kind);
+    EXPECT_EQ(result.jobs_completed, 0u) << engine_kind_name(kind);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Modes, EngineGuardDeath,
+    Modes, EngineGuardRejection,
     ::testing::Values(RogueScheduler::Mode::kOverAllocate,
                       RogueScheduler::Mode::kDuplicate,
                       RogueScheduler::Mode::kZeroProcs,

@@ -1,6 +1,7 @@
 // Experiment harness: run_workload, OPT bracketing, trial aggregation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "baselines/list_scheduler.h"
@@ -140,9 +141,45 @@ TEST(Runner, SlotEngineRouting) {
   ListScheduler scheduler({ListPolicy::kEdf, false, true});
   RunConfig config;
   config.m = 8;
-  config.use_slot_engine = true;
+  config.engine = EngineKind::kSlot;
   const RunMetrics metrics = run_workload(jobs, scheduler, config);
   EXPECT_GE(metrics.profit, 0.0);
+}
+
+TEST(Runner, BothEnginesProduceEqualMetricsOnIntegralWorkload) {
+  // One canned config through the kernel-backed factory: on an integral
+  // workload (unit node works, integer releases and deadlines, speed 1)
+  // the two stepping drivers must agree on every aggregate the runner
+  // reports (they execute the same shared kernel).
+  JobSet jobs;
+  Rng rng(11);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto width = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    auto dag = std::make_shared<const Dag>(make_parallel_block(width, 1.0));
+    const auto release = static_cast<Time>(rng.uniform_int(0, 20));
+    const auto slack = static_cast<Time>(rng.uniform_int(4, 30));
+    jobs.add(Job::with_deadline(dag, release, release + slack,
+                                std::floor(rng.uniform(1.0, 5.0))));
+  }
+  jobs.finalize();
+  ASSERT_FALSE(jobs.empty());
+
+  RunConfig config;
+  config.m = 4;
+  RunMetrics by_engine[2];
+  const EngineKind kinds[2] = {EngineKind::kEvent, EngineKind::kSlot};
+  for (int i = 0; i < 2; ++i) {
+    ListScheduler scheduler({ListPolicy::kEdf, false, true});
+    config.engine = kinds[i];
+    by_engine[i] = run_workload(jobs, scheduler, config);
+  }
+  EXPECT_NEAR(by_engine[0].profit, by_engine[1].profit, 1e-6);
+  EXPECT_NEAR(by_engine[0].fraction, by_engine[1].fraction, 1e-9);
+  EXPECT_EQ(by_engine[0].completed, by_engine[1].completed);
+  EXPECT_EQ(by_engine[0].num_jobs, by_engine[1].num_jobs);
+  EXPECT_NEAR(by_engine[0].busy_proc_time, by_engine[1].busy_proc_time, 1e-6);
+  EXPECT_EQ(by_engine[0].failure, SimFailureKind::kNone);
+  EXPECT_EQ(by_engine[1].failure, SimFailureKind::kNone);
 }
 
 }  // namespace

@@ -36,10 +36,8 @@
 #include "obs/trace_export.h"
 #include "opt/exact.h"
 #include "opt/upper_bound.h"
-#include "sim/event_engine.h"
 #include "sim/gantt.h"
 #include "sim/metrics.h"
-#include "sim/slot_engine.h"
 #include "util/arg_parse.h"
 #include "util/parse_error.h"
 #include "util/table.h"
@@ -182,32 +180,21 @@ std::optional<FaultInjector> make_injector(const std::string& fault_spec,
   return injector;
 }
 
-/// Runs the named engine; throws std::invalid_argument on an unknown name.
+/// Runs the named engine via the kernel-backed factory; throws
+/// std::invalid_argument on an unknown name.
 SimResult run_engine(const std::string& engine, const JobSet& jobs,
                      SchedulerBase& scheduler, NodeSelector& selector,
                      ProcCount m, double speed, bool record_trace,
                      const ObsSink* obs, const FaultInjector* faults) {
-  if (engine == "slot") {
-    SlotEngineOptions options;
-    options.num_procs = m;
-    options.speed = speed;
-    options.record_trace = record_trace;
-    options.obs = obs;
-    options.faults = faults;
-    SlotEngine slot_engine(jobs, scheduler, selector, options);
-    return slot_engine.run();
-  }
-  if (engine == "event") {
-    EngineOptions options;
-    options.num_procs = m;
-    options.speed = speed;
-    options.record_trace = record_trace;
-    options.obs = obs;
-    options.faults = faults;
-    EventEngine event_engine(jobs, scheduler, selector, options);
-    return event_engine.run();
-  }
-  throw std::invalid_argument("unknown engine '" + engine + "'");
+  const std::optional<EngineKind> kind = parse_engine_kind(engine);
+  if (!kind) throw std::invalid_argument("unknown engine '" + engine + "'");
+  SimOptions options;
+  options.num_procs = m;
+  options.speed = speed;
+  options.record_trace = record_trace;
+  options.obs = obs;
+  options.faults = faults;
+  return run_simulation(*kind, jobs, scheduler, selector, options);
 }
 
 int cmd_run(ArgParser& args) {
@@ -604,18 +591,11 @@ int cmd_compare(ArgParser& args) {
   for (const std::string& name : named_scheduler_list()) {
     auto scheduler = make_named_scheduler(name, eps);
     auto sel = make_selector(SelectorKind::kFifo);
-    SimResult result;
-    if (name == "profit") {
-      SlotEngineOptions options;
-      options.num_procs = m;
-      SlotEngine engine(jobs, *scheduler, *sel, options);
-      result = engine.run();
-    } else {
-      EngineOptions options;
-      options.num_procs = m;
-      EventEngine engine(jobs, *scheduler, *sel, options);
-      result = engine.run();
-    }
+    SimOptions options;
+    options.num_procs = m;
+    const SimResult result = run_simulation(
+        name == "profit" ? EngineKind::kSlot : EngineKind::kEvent, jobs,
+        *scheduler, *sel, options);
     table.add_row(
         {name,
          TextTable::num(static_cast<long long>(result.jobs_completed)) +
