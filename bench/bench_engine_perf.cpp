@@ -27,6 +27,7 @@
 #include "baselines/list_scheduler.h"
 #include "core/deadline_scheduler.h"
 #include "core/density_index.h"
+#include "core/job_queue.h"
 #include "dag/generators.h"
 #include "obs/report.h"
 #include "opt/upper_bound.h"
@@ -45,6 +46,14 @@ JobSet make_jobs(std::size_t count, double load = 0.8) {
   JobSet jobs = generate_workload(rng, config);
   return jobs;
 }
+
+/// The bench_scale workload: heavy traffic (arrivals at 4x capacity), the
+/// regime where queue sizes actually grow -- under the default load the
+/// scheduler queues stay near-empty and a scale benchmark would measure the
+/// engines, not the data structures.  At load 4.0 the Arg is still the
+/// horizon scale of make_jobs; the generated job count (~8x Arg) is exported
+/// as the `jobs` counter.
+JobSet make_scale_jobs(std::size_t count) { return make_jobs(count, 4.0); }
 
 void BM_EventEngineEdf(benchmark::State& state) {
   const JobSet jobs = make_jobs(static_cast<std::size_t>(state.range(0)));
@@ -78,6 +87,84 @@ void BM_EventEnginePaperS(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
 }
 BENCHMARK(BM_EventEnginePaperS)->Arg(50)->Arg(200)->Arg(800);
+
+// ---- bench_scale family: 10^4..10^5-job heavy-traffic workloads ----------
+//
+// These pin the hot-path complexity work (indexed scheduler queues,
+// incremental drain, O(1) kernel bookkeeping): on the seed's linear-scan
+// structures the 100000-arg runs are quadratic (tens of seconds); on the
+// indexed structures they stay within a few seconds.  All three engines'
+// scale points are committed to BENCH_engine.json via --quick and gated by
+// scripts/bench_regress.py.
+
+void BM_EventEnginePaperSScale(benchmark::State& state) {
+  const JobSet jobs = make_scale_jobs(static_cast<std::size_t>(state.range(0)));
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    DeadlineScheduler scheduler({.params = Params::from_epsilon(0.5)});
+    auto sel = make_selector(SelectorKind::kFifo);
+    EngineOptions options;
+    options.num_procs = 16;
+    const SimResult result = simulate(jobs, scheduler, *sel, options);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_EventEnginePaperSScale)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventEngineEdfScale(benchmark::State& state) {
+  const JobSet jobs = make_scale_jobs(static_cast<std::size_t>(state.range(0)));
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    ListScheduler scheduler({ListPolicy::kEdf, false, true});
+    auto sel = make_selector(SelectorKind::kFifo);
+    EngineOptions options;
+    options.num_procs = 16;
+    const SimResult result = simulate(jobs, scheduler, *sel, options);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_EventEngineEdfScale)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SlotEngineEdfScale(benchmark::State& state) {
+  const JobSet jobs = make_scale_jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ListScheduler scheduler({ListPolicy::kEdf, false, true});
+    auto sel = make_selector(SelectorKind::kFifo);
+    SlotEngineOptions options;
+    options.num_procs = 16;
+    SlotEngine engine(jobs, scheduler, *sel, options);
+    benchmark::DoNotOptimize(engine.run().total_profit);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_SlotEngineEdfScale)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DensityQueueOps(benchmark::State& state) {
+  // One insert + one erase against a queue holding `size` resident members
+  // -- the DeadlineScheduler Q/P hot operations, O(log n).
+  Rng rng(13);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  DensityOrderedQueue queue;
+  std::vector<Density> densities(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    densities[i] = rng.uniform(0.01, 10.0);
+    queue.insert(static_cast<JobId>(i), densities[i]);
+  }
+  const Density churn_v = rng.uniform(0.01, 10.0);
+  const auto churn_job = static_cast<JobId>(size);
+  for (auto _ : state) {
+    queue.insert(churn_job, churn_v);
+    benchmark::DoNotOptimize(queue.size());
+    queue.erase(churn_job, churn_v);
+  }
+}
+BENCHMARK(BM_DensityQueueOps)->Arg(128)->Arg(10000)->Arg(100000);
 
 void BM_SlotEngineEdf(benchmark::State& state) {
   Rng rng(7);
@@ -180,7 +267,9 @@ int main(int argc, char** argv) {
   static char quick_filter[] =
       "--benchmark_filter=BM_EventEngineEdf/50$|BM_EventEnginePaperS/50$|"
       "BM_SlotEngineEdf/100$|BM_DensityIndexAdmit/128$|BM_AllocationMath$|"
-      "BM_OptUpperBoundLp/50$|BM_DagGeneration$";
+      "BM_OptUpperBoundLp/50$|BM_DagGeneration$|"
+      "BM_EventEnginePaperSScale/10000$|BM_EventEngineEdfScale/10000$|"
+      "BM_SlotEngineEdfScale/10000$|BM_DensityQueueOps/100000$";
   static char quick_min_time[] = "--benchmark_min_time=0.05";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];

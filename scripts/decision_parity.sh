@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Decision-log parity harness for scheduler/queue refactors.
+#
+# Any change to scheduler queue data structures must keep decision semantics
+# byte-identical (docs/PERFORMANCE.md, "Decision-log parity").  This script
+# makes that rule mechanically checkable:
+#
+#   1. emit mode: run every named scheduler x {no faults, churn-resume,
+#      churn-zero} (x both engines where the scheduler supports them) over
+#      generated workloads and save the event logs:
+#        scripts/decision_parity.sh emit BUILD_DIR OUT_DIR
+#   2. diff mode: compare two such log directories decisions-only with
+#      `dagsched trace diff --decisions` (exit 4 on divergence):
+#        scripts/decision_parity.sh diff BUILD_DIR PRE_DIR POST_DIR
+#
+# Typical use: emit with the pre-change binary, apply the change, rebuild,
+# emit again, then diff.  Exits non-zero on the first divergence.
+set -euo pipefail
+
+mode="${1:?usage: decision_parity.sh emit BUILD_DIR OUT_DIR | diff BUILD_DIR PRE_DIR POST_DIR}"
+build="${2:?missing BUILD_DIR}"
+cli="$build/tools/dagsched"
+[ -x "$cli" ] || { echo "no dagsched CLI at $cli" >&2; exit 2; }
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Workloads: a deadline-heavy thm2 instance (exercises Q/P admission and
+# drains) and a profit-function instance for the Section-5 scheduler.
+gen_workloads() {
+  "$cli" generate --scenario thm2 --load 0.9 --m 16 --horizon 400 --seed 7 \
+    --out "$workdir/thm2.wl" >/dev/null
+  "$cli" generate --scenario tight --load 1.4 --m 8 --horizon 300 --seed 11 \
+    --out "$workdir/tight.wl" >/dev/null
+  "$cli" generate --scenario profit --load 0.8 --m 16 --horizon 200 --seed 3 \
+    --out "$workdir/profit.wl" >/dev/null
+}
+
+# scheduler:engine pairs; the profit scheduler is slot-engine-only.
+combos() {
+  local s
+  for s in s s-wc s-noadm edf llf hdf fcfs federated equi equi-profit; do
+    echo "$s event thm2"
+    echo "$s slot thm2"
+    echo "$s event tight"
+  done
+  echo "profit slot profit"
+}
+
+fault_args() {
+  case "$1" in
+    none) echo "" ;;
+    churn-resume)
+      echo "--faults mtbf=60,mttr=20,horizon=300,seed=5,min-procs=4,restart=resume" ;;
+    churn-zero)
+      echo "--faults mtbf=45,mttr=15,horizon=300,seed=9,min-procs=4,restart=zero" ;;
+  esac
+}
+
+emit() {
+  local out="$1"
+  mkdir -p "$out"
+  gen_workloads
+  local line sched engine wl fmode fargs tag
+  while read -r line; do
+    read -r sched engine wl <<<"$line"
+    for fmode in none churn-resume churn-zero; do
+      fargs="$(fault_args "$fmode")"
+      tag="${sched}_${engine}_${wl}_${fmode}"
+      # shellcheck disable=SC2086
+      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+        --m 16 $fargs --events "$out/$tag.jsonl" >/dev/null
+    done
+  done < <(combos)
+  echo "emitted $(ls "$out" | wc -l) event logs to $out"
+}
+
+diff_dirs() {
+  local pre="$1" post="$2" fail=0 f base
+  for f in "$pre"/*.jsonl; do
+    base="$(basename "$f")"
+    if [ ! -f "$post/$base" ]; then
+      echo "MISSING in post: $base"; fail=1; continue
+    fi
+    if ! "$cli" trace diff "$f" "$post/$base" --decisions >/dev/null; then
+      echo "DIVERGED: $base"
+      "$cli" trace diff "$f" "$post/$base" --decisions || true
+      fail=1
+    fi
+  done
+  [ "$fail" -eq 0 ] && echo "decision-log parity: all $(ls "$pre" | wc -l) combos identical"
+  return "$fail"
+}
+
+case "$mode" in
+  emit) emit "${3:?missing OUT_DIR}" ;;
+  diff) diff_dirs "${3:?missing PRE_DIR}" "${4:?missing POST_DIR}" ;;
+  *) echo "unknown mode $mode" >&2; exit 2 ;;
+esac

@@ -55,7 +55,60 @@ double ListScheduler::key(const EngineContext& ctx, JobId job) const {
   return 0.0;
 }
 
+void ListScheduler::reset() { order_index_.clear(); }
+
+void ListScheduler::on_arrival(const EngineContext& ctx, JobId job) {
+  if (indexed()) order_index_.emplace(key(ctx, job), job);
+}
+
+void ListScheduler::on_completion(const EngineContext& ctx, JobId job) {
+  // Static keys recompute to the same value, so this finds the entry the
+  // arrival inserted (if the expiry path has not removed it already).
+  if (indexed()) order_index_.erase({key(ctx, job), job});
+}
+
 void ListScheduler::decide(const EngineContext& ctx, Assignment& out) {
+  if (indexed()) {
+    decide_indexed(ctx, out);
+  } else {
+    decide_sorted(ctx, out);
+  }
+}
+
+// Static-key path: walk the maintained (key, id) order, shedding expired
+// jobs permanently as they are first seen.  Grants are identical to
+// decide_sorted -- the index holds exactly the active jobs minus
+// already-shed ones, in the order the sort would produce -- but a decision
+// costs O(grants + newly expired), and each job is skip-counted once
+// instead of on every decision (see docs/OBSERVABILITY.md).
+void ListScheduler::decide_indexed(const EngineContext& ctx, Assignment& out) {
+  static thread_local std::vector<std::pair<double, JobId>> expired;
+  expired.clear();
+  ProcCount free = ctx.num_procs();
+  for (const auto& entry : order_index_) {
+    const JobView view = ctx.view(entry.second);
+    if (options_.drop_expired && view.deadline_unreachable(ctx.now())) {
+      if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.expired");
+      expired.push_back(entry);
+      continue;
+    }
+    if (free == 0) break;
+    const auto ready = view.ready_count();
+    if (ready == 0) {
+      if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.not_ready");
+      continue;
+    }
+    const ProcCount grant =
+        static_cast<ProcCount>(std::min<std::size_t>(ready, free));
+    out.add(entry.second, grant);
+    free -= grant;
+  }
+  for (const auto& entry : expired) order_index_.erase(entry);
+}
+
+// Dynamic-key path (kLlf): keys change with now(), so every decision
+// re-gathers and sorts the active set.
+void ListScheduler::decide_sorted(const EngineContext& ctx, Assignment& out) {
   // Gather runnable jobs (drop expired ones if configured).
   static thread_local std::vector<std::pair<double, JobId>> order;
   order.clear();

@@ -16,9 +16,18 @@
 // All flavors drop expired deadline jobs (running them cannot earn profit).
 // Unlike the paper's S they are work-conserving and admission-free, which
 // is exactly what the E7 baseline shoot-out quantifies.
+//
+// The static-key policies (kEdf, kHdf, kFcfs -- keys fixed at arrival) keep
+// an incremental key-ordered index maintained by arrival/completion
+// callbacks, so decide() is O(grants + newly-expired) instead of the seed's
+// gather-and-sort over every active job (quadratic once expired jobs pile
+// up in the active set).  kLlf's key is time-dependent and keeps the
+// per-decision sort.
 #pragma once
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -45,12 +54,23 @@ class ListScheduler final : public SchedulerBase {
 
   std::string name() const override;
   bool clairvoyant() const override { return options_.clairvoyant_laxity; }
+  void reset() override;
+  void on_arrival(const EngineContext& ctx, JobId job) override;
+  void on_completion(const EngineContext& ctx, JobId job) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
 
  private:
   double key(const EngineContext& ctx, JobId job) const;
+  bool indexed() const { return options_.policy != ListPolicy::kLlf; }
+  void decide_indexed(const EngineContext& ctx, Assignment& out);
+  void decide_sorted(const EngineContext& ctx, Assignment& out);
 
   ListSchedulerOptions options_;
+  /// (key, id) ascending -- the same order decide_sorted's sort produces.
+  /// Static-key policies only; jobs dropped as expired are removed for
+  /// good (deadline_unreachable is monotone in time, so a skipped job can
+  /// never become runnable again).
+  std::set<std::pair<double, JobId>> order_index_;
 };
 
 }  // namespace dagsched

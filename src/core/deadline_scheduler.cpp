@@ -98,6 +98,10 @@ void DeadlineScheduler::reset() {
   q_index_.clear();
   started_count_ = 0;
   started_profit_ = 0.0;
+  p_expiry_ = {};
+  p_fresh_.clear();
+  p_dirty_.clear();
+  p_dirty_all_ = false;
 }
 
 Density DeadlineScheduler::density_for(const EngineContext& ctx,
@@ -115,18 +119,6 @@ Density DeadlineScheduler::density_for(const EngineContext& ctx,
   return info.alloc.v;
 }
 
-void DeadlineScheduler::sorted_insert(std::vector<JobId>& queue,
-                                      JobId job) const {
-  const auto pos = std::lower_bound(
-      queue.begin(), queue.end(), job, [this](JobId lhs, JobId rhs) {
-        const Density lv = info_[lhs].alloc.v;
-        const Density rv = info_[rhs].alloc.v;
-        if (lv != rv) return lv > rv;  // descending density
-        return lhs < rhs;              // ties: ascending id (deterministic)
-      });
-  queue.insert(pos, job);
-}
-
 void DeadlineScheduler::admit_to_q(JobId job) {
   JobInfo& info = info_[job];
   // A job evicted by a capacity shrink and later re-admitted is already
@@ -137,7 +129,32 @@ void DeadlineScheduler::admit_to_q(JobId job) {
     started_profit_ += info.peak;
   }
   q_index_.insert(job, info.alloc.v, info.alloc.n);
-  sorted_insert(q_, job);
+  q_.insert(job, info.alloc.v);
+  info.in_q = true;
+}
+
+void DeadlineScheduler::enqueue_p(JobId job) {
+  JobInfo& info = info_[job];
+  p_.insert(job, info.alloc.v);
+  info.in_p = true;
+  // Expiry heap entries are lazy: a job that leaves P keeps its entry, and
+  // re-entry pushes a fresh one; pops skip jobs no longer in P.
+  p_expiry_.emplace(info.abs_plateau_deadline, job);
+  p_fresh_.push_back(job);
+}
+
+void DeadlineScheduler::remove_from_p(JobId job, Density v) {
+  p_.erase(job, v);
+  info_[job].in_p = false;
+}
+
+void DeadlineScheduler::mark_q_removal(Density v) {
+  // Removing density u from Q can loosen condition (2) exactly for waiting
+  // densities in the open octave (u/c, u*c).  Pad the interval by a 1e-9
+  // relative margin: admits() compares densities exactly, so the superset
+  // absorbs any rounding in the division while staying O(octave)-sized.
+  const double c = options_.params.c;
+  p_dirty_.emplace_back((v / c) * (1.0 - 1e-9), (v * c) * (1.0 + 1e-9));
 }
 
 bool DeadlineScheduler::is_fresh(const JobInfo& info, Time now) const {
@@ -163,7 +180,7 @@ void DeadlineScheduler::on_arrival(const EngineContext& ctx, JobId job) {
                                            options_.params, ctx.speed());
   if (info.alloc.n == 0) {
     // Infeasible for any processor count: park in P; it will expire there.
-    sorted_insert(p_, job);
+    enqueue_p(job);
     record(ctx, job, AuditEvent::Action::kQueuedNotGood);
     return;
   }
@@ -181,7 +198,7 @@ void DeadlineScheduler::on_arrival(const EngineContext& ctx, JobId job) {
     admit_to_q(job);
     record(ctx, job, AuditEvent::Action::kAdmitted);
   } else {
-    sorted_insert(p_, job);
+    enqueue_p(job);
     record(ctx, job,
            info.alloc.good ? AuditEvent::Action::kQueuedWindowFull
                            : AuditEvent::Action::kQueuedNotGood);
@@ -191,16 +208,52 @@ void DeadlineScheduler::on_arrival(const EngineContext& ctx, JobId job) {
 void DeadlineScheduler::drain_p(const EngineContext& ctx) {
   const double cap =
       options_.params.b * static_cast<double>(ctx.num_procs());
-  std::size_t i = 0;
-  while (i < p_.size()) {
-    const JobId job = p_[i];
+  // Candidate collection.  The seed rescanned all of P on every drain; here
+  // we visit only the jobs whose outcome can have changed (see the member
+  // comment in the header).  The per-candidate body below is the seed's
+  // loop body verbatim, and candidates are processed in (density desc, id
+  // asc) order against the same evolving q_index_, so drops, promotions and
+  // their recorded order are byte-identical to a full rescan.
+  auto& cand = drain_scratch_;
+  cand.clear();
+  const bool full_scan = p_dirty_all_ || options_.recompute_on_admission;
+  if (full_scan) {
+    // recompute_on_admission re-derives allocations from the shrinking
+    // remaining window, so every P job's outcome is time-dependent; scan
+    // all of P as the seed did.  Capacity growth also rescans (windows
+    // loosened globally).
+    cand.assign(p_.begin(), p_.end());
+  } else {
+    while (!p_expiry_.empty() &&
+           approx_gt(ctx.now(), p_expiry_.top().first)) {
+      const JobId job = p_expiry_.top().second;
+      p_expiry_.pop();
+      if (info_[job].in_p) cand.emplace_back(info_[job].alloc.v, job);
+    }
+    for (const JobId job : p_fresh_) {
+      if (info_[job].in_p) cand.emplace_back(info_[job].alloc.v, job);
+    }
+    for (const auto& [lo, hi] : p_dirty_) {
+      p_.for_each_in_density_range(lo, hi, [&cand](Density v, JobId job) {
+        cand.emplace_back(v, job);
+      });
+    }
+    std::sort(cand.begin(), cand.end(), DensityDescIdAsc{});
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  }
+  p_fresh_.clear();
+  p_dirty_.clear();
+  p_dirty_all_ = false;
+
+  for (const auto& [key_v, job] : cand) {
     JobInfo& info = info_[job];
+    if (!info.in_p) continue;  // left P earlier in this very drain
     // Drop jobs whose plateau deadline has passed (they can earn nothing S
     // would count) and infeasible jobs.
     if (info.alloc.n == 0 ||
         approx_gt(ctx.now(), info.abs_plateau_deadline)) {
       info.dropped = true;
-      p_.erase(p_.begin() + static_cast<std::ptrdiff_t>(i));
+      remove_from_p(job, key_v);
       record(ctx, job, AuditEvent::Action::kDroppedStale);
       continue;
     }
@@ -232,20 +285,21 @@ void DeadlineScheduler::drain_p(const EngineContext& ctx) {
                                    options_.params.c, cap);
     }
     if (admissible) {
-      p_.erase(p_.begin() + static_cast<std::ptrdiff_t>(i));
+      remove_from_p(job, key_v);
       admit_to_q(job);
       record(ctx, job, AuditEvent::Action::kPromoted);
       continue;
     }
     info.alloc = saved;
-    ++i;
   }
 }
 
 void DeadlineScheduler::on_capacity_change(const EngineContext& ctx,
                                            ProcCount old_m, ProcCount new_m) {
   if (new_m >= old_m) {
-    // Recovery: the wider windows may now admit jobs waiting in P.
+    // Recovery: the wider windows may now admit jobs waiting in P -- every
+    // admission window loosened, so the next drain rescans all of P.
+    p_dirty_all_ = true;
     drain_p(ctx);
     return;
   }
@@ -254,11 +308,11 @@ void DeadlineScheduler::on_capacity_change(const EngineContext& ctx,
   // the same greedy order decide() serves, so the jobs shed are exactly the
   // ones that could no longer be served anyway.
   const double cap = options_.params.b * static_cast<double>(new_m);
-  std::vector<JobId> keep;
-  std::vector<JobId> evicted;
-  keep.reserve(q_.size());
+  std::vector<std::pair<Density, JobId>> snapshot(q_.begin(), q_.end());
+  std::vector<std::pair<Density, JobId>> evicted;
   q_index_.clear();
-  for (const JobId job : q_) {
+  q_.clear();
+  for (const auto& [v, job] : snapshot) {
     const JobInfo& info = info_[job];
     bool ok = info.alloc.n <= new_m;
     if (ok && options_.enforce_admission) {
@@ -267,19 +321,20 @@ void DeadlineScheduler::on_capacity_change(const EngineContext& ctx,
     }
     if (ok) {
       q_index_.insert(job, info.alloc.v, info.alloc.n);
-      keep.push_back(job);
+      q_.insert(job, v);
     } else {
-      evicted.push_back(job);
+      info_[job].in_q = false;
+      evicted.emplace_back(v, job);
     }
   }
-  q_ = std::move(keep);
   const ObsSink* obs = ctx.obs();
-  for (const JobId job : evicted) {
+  for (const auto& [v, job] : evicted) {
     JobInfo& info = info_[job];
+    mark_q_removal(v);  // eviction loosens windows for the jobs left behind
     const bool fresh = !options_.require_fresh || is_fresh(info, ctx.now());
     const char* slug = info.alloc.n > new_m ? "too-wide" : "window-full";
     if (fresh) {
-      sorted_insert(p_, job);  // may be re-admitted when capacity recovers
+      enqueue_p(job);  // may be re-admitted when capacity recovers
     } else {
       info.dropped = true;
       slug = "stale";
@@ -296,17 +351,29 @@ void DeadlineScheduler::on_capacity_change(const EngineContext& ctx,
 }
 
 void DeadlineScheduler::on_completion(const EngineContext& ctx, JobId job) {
-  if (std::erase(q_, job) > 0) q_index_.erase(job);
-  std::erase(p_, job);
+  JobInfo& info = info_[job];
+  if (info.in_q) {
+    q_.erase(job, info.alloc.v);
+    info.in_q = false;
+    q_index_.erase(job);
+    mark_q_removal(info.alloc.v);
+  }
+  if (info.in_p) remove_from_p(job, info.alloc.v);
   drain_p(ctx);
 }
 
 void DeadlineScheduler::on_deadline(const EngineContext& ctx, JobId job) {
   JobInfo& info = info_[job];
   info.dropped = true;
-  const bool was_in_q = std::erase(q_, job) > 0;
-  if (was_in_q) q_index_.erase(job);
-  const bool was_in_p = std::erase(p_, job) > 0;
+  const bool was_in_q = info.in_q;
+  if (was_in_q) {
+    q_.erase(job, info.alloc.v);
+    info.in_q = false;
+    q_index_.erase(job);
+    mark_q_removal(info.alloc.v);
+  }
+  const bool was_in_p = info.in_p;
+  if (was_in_p) remove_from_p(job, info.alloc.v);
   if (was_in_q) record(ctx, job, AuditEvent::Action::kExpiredInQ);
   if (was_in_p) record(ctx, job, AuditEvent::Action::kDroppedStale);
   if (options_.admit_on_deadline && was_in_q) drain_p(ctx);
@@ -314,7 +381,7 @@ void DeadlineScheduler::on_deadline(const EngineContext& ctx, JobId job) {
 
 void DeadlineScheduler::decide(const EngineContext& ctx, Assignment& out) {
   ProcCount free = ctx.num_procs();
-  for (const JobId job : q_) {
+  for (const auto& [v, job] : q_) {
     if (free == 0) break;
     const JobInfo& info = info_[job];
     // Defensive: completed/expired jobs are removed eagerly in the event
@@ -335,11 +402,11 @@ void DeadlineScheduler::decide(const EngineContext& ctx, Assignment& out) {
 }
 
 bool DeadlineScheduler::in_queue_q(JobId job) const {
-  return std::find(q_.begin(), q_.end(), job) != q_.end();
+  return job < info_.size() && info_[job].in_q;
 }
 
 bool DeadlineScheduler::in_queue_p(JobId job) const {
-  return std::find(p_.begin(), p_.end(), job) != p_.end();
+  return job < info_.size() && info_[job].in_p;
 }
 
 bool DeadlineScheduler::was_started(JobId job) const {

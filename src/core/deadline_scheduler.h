@@ -23,11 +23,14 @@
 // extensions; defaults reproduce the paper exactly).
 #pragma once
 
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/density_index.h"
+#include "core/job_queue.h"
 #include "core/params.h"
 #include "sim/scheduler.h"
 
@@ -130,23 +133,47 @@ class DeadlineScheduler final : public SchedulerBase {
     bool arrived = false;
     bool started = false;  // ever admitted to Q
     bool dropped = false;
+    bool in_q = false;  // currently a member of Q
+    bool in_p = false;  // currently a member of P
   };
 
   Density density_for(const EngineContext& ctx, const JobInfo& info,
                       Work work, Work span) const;
   void admit_to_q(JobId job);
-  void sorted_insert(std::vector<JobId>& queue, JobId job) const;
+  void enqueue_p(JobId job);
+  void remove_from_p(JobId job, Density v);
+  /// A member with density u left Q: admission windows overlapping
+  /// (u/c, u*c) may have loosened, so P jobs in that octave must be
+  /// re-examined at the next drain.
+  void mark_q_removal(Density v);
   void drain_p(const EngineContext& ctx);
   bool is_fresh(const JobInfo& info, Time now) const;
 
   DeadlineSchedulerOptions options_;
   std::vector<JobInfo> info_;
-  std::vector<JobId> q_;  // started jobs, density descending
-  std::vector<JobId> p_;  // waiting jobs, density descending
+  DensityOrderedQueue q_;  // started jobs, (density desc, id asc)
+  DensityOrderedQueue p_;  // waiting jobs, (density desc, id asc)
   DensityWindowIndex q_index_;
   std::vector<AuditEvent> audit_;
   std::size_t started_count_ = 0;
   Profit started_profit_ = 0.0;
+
+  // ---- Incremental drain state (see drain_p) ----
+  // A P job's admission outcome can change between drains only if (a) its
+  // plateau deadline passed (expiry heap, lazy deletion), (b) it entered P
+  // since the last drain (p_fresh_), (c) a Q removal loosened a window it
+  // checks (p_dirty_ density octaves), or (d) capacity grew / options force
+  // a full rescan (p_dirty_all_).  drain_p visits exactly the union of
+  // those candidates in queue order, so the drop/promote sequence -- and
+  // hence the decision log -- is identical to the seed's full rescan.
+  std::priority_queue<std::pair<Time, JobId>,
+                      std::vector<std::pair<Time, JobId>>,
+                      std::greater<std::pair<Time, JobId>>>
+      p_expiry_;
+  std::vector<JobId> p_fresh_;
+  std::vector<std::pair<Density, Density>> p_dirty_;
+  bool p_dirty_all_ = false;
+  std::vector<std::pair<Density, JobId>> drain_scratch_;
 
   /// Appends to the audit trail (if recording) and mirrors the transition
   /// to the run's ObsSink as a decision event + policy counter (if wired).

@@ -1,0 +1,71 @@
+// DensityOrderedQueue: the indexed queue behind the scheduler hot path.
+//
+// Both queues of the Section-3 scheduler (started set Q, waiting set P) are
+// served in (density descending, job id ascending) order.  The seed kept
+// them as sorted vectors, paying O(|queue|) per sorted_insert / erase -- fine
+// at n~100 jobs, quadratic on the 10^4..10^5-job workloads the ROADMAP
+// targets.  This container keeps the same total order in a balanced tree:
+// O(log n) insert/erase, in-order iteration, and density-range scans (used
+// by the incremental drain to find the members whose admission outcome may
+// have changed -- see DeadlineScheduler::drain_p).
+//
+// The key is the pair (density, id); the density under which a job was
+// inserted must be passed to erase().  Membership is NOT tracked here --
+// callers keep an O(1) membership flag on their per-job state (JobInfo) so
+// the structure never scans.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <utility>
+
+#include "util/types.h"
+
+namespace dagsched {
+
+/// Strict weak order: density descending, ties broken by ascending job id
+/// (the deterministic service order the paper's scheduler uses everywhere).
+struct DensityDescIdAsc {
+  bool operator()(const std::pair<Density, JobId>& a,
+                  const std::pair<Density, JobId>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+
+class DensityOrderedQueue {
+ public:
+  using Key = std::pair<Density, JobId>;
+  using const_iterator = std::set<Key, DensityDescIdAsc>::const_iterator;
+
+  void clear() { set_.clear(); }
+  bool empty() const { return set_.empty(); }
+  std::size_t size() const { return set_.size(); }
+
+  /// O(log n).  Returns false if (v, job) was already present.
+  bool insert(JobId job, Density v) { return set_.emplace(v, job).second; }
+
+  /// O(log n).  `v` must be the density the job was inserted under.
+  bool erase(JobId job, Density v) { return set_.erase(Key{v, job}) > 0; }
+
+  /// Iteration in (density desc, id asc) order.
+  const_iterator begin() const { return set_.begin(); }
+  const_iterator end() const { return set_.end(); }
+
+  /// Calls `f(density, job)` for every member with density in [lo, hi],
+  /// in queue order.  O(log n + matches).
+  template <typename F>
+  void for_each_in_density_range(Density lo, Density hi, F&& f) const {
+    // Order is density-descending, so the range starts at the first key
+    // with density <= hi (smallest id wins within equal density).
+    for (auto it = set_.lower_bound(Key{hi, 0});
+         it != set_.end() && it->first >= lo; ++it) {
+      f(it->first, it->second);
+    }
+  }
+
+ private:
+  std::set<Key, DensityDescIdAsc> set_;
+};
+
+}  // namespace dagsched

@@ -26,9 +26,18 @@ std::string ProfitScheduler::name() const {
 void ProfitScheduler::reset() {
   slots_.clear();
   info_.clear();
+  work_order_.clear();
   cap_ = 0.0;
   scheduled_count_ = 0;
   scheduled_profit_ = 0.0;
+}
+
+void ProfitScheduler::insert_slot_job(SlotInfo& slot, JobId job) {
+  const auto pos = std::lower_bound(
+      slot.jobs.begin(), slot.jobs.end(), job, [this](JobId lhs, JobId rhs) {
+        return DensityDescIdAsc{}({info_[lhs].v, lhs}, {info_[rhs].v, rhs});
+      });
+  slot.jobs.insert(pos, job);
 }
 
 bool ProfitScheduler::slot_admits(std::uint64_t t, Density v,
@@ -131,8 +140,9 @@ void ProfitScheduler::on_arrival(const EngineContext& ctx, JobId job) {
       for (const std::uint64_t t : assignable) {
         SlotInfo& slot = slots_[t];
         slot.index.insert(job, v, n);
-        slot.jobs.push_back(job);
+        insert_slot_job(slot, job);
       }
+      work_order_.emplace(v, job);
       if (ctx.obs() != nullptr) {
         ctx.obs()->count("sched.admissions");
         ctx.obs()->event(ctx.now(), job, ObsEventKind::kSchedule,
@@ -158,6 +168,7 @@ void ProfitScheduler::on_arrival(const EngineContext& ctx, JobId job) {
 void ProfitScheduler::on_completion(const EngineContext& ctx, JobId job) {
   JobInfo& info = info_[job];
   info.completed = true;
+  if (info.scheduled) work_order_.erase({info.v, job});
   if (!options_.release_slots_on_completion || !info.scheduled) return;
   const auto current = static_cast<std::uint64_t>(std::floor(ctx.now() - kEps));
   for (const std::uint64_t t : info.assigned) {
@@ -184,6 +195,7 @@ void ProfitScheduler::on_capacity_change(const EngineContext& ctx,
     }
     info.scheduled = false;
     info.assigned.clear();
+    work_order_.erase({info.v, job});
     if (obs != nullptr) {
       obs->count("sched.readmit_fails");
       obs->event(ctx.now(), job, ObsEventKind::kReadmitFail, slug,
@@ -201,15 +213,9 @@ void ProfitScheduler::on_capacity_change(const EngineContext& ctx,
     while (!slot.jobs.empty() &&
            approx_gt(slot.index.max_window_load(options_.params.c), cap_)) {
       // Shed the lowest-density job (ties: the later arrival) -- the inverse
-      // of the density order decide() serves in.
-      JobId victim = slot.jobs.front();
-      for (const JobId j : slot.jobs) {
-        if (info_[j].v < info_[victim].v ||
-            (info_[j].v == info_[victim].v && j > victim)) {
-          victim = j;
-        }
-      }
-      unschedule(victim, "window-over-cap");
+      // of the density order decide() serves in, i.e. the back of the
+      // (density desc, id asc)-sorted slot list.
+      unschedule(slot.jobs.back(), "window-over-cap");
     }
   }
 }
@@ -231,15 +237,9 @@ void ProfitScheduler::decide(const EngineContext& ctx, Assignment& out) {
   ProcCount free = ctx.num_procs();
   std::vector<JobId> granted;
   if (it != slots_.end()) {
-    // Highest-density-first among jobs assigned to this slot.
-    std::vector<JobId> order = it->second.jobs;
-    std::sort(order.begin(), order.end(), [this](JobId lhs, JobId rhs) {
-      const Density lv = info_[lhs].v;
-      const Density rv = info_[rhs].v;
-      if (lv != rv) return lv > rv;
-      return lhs < rhs;
-    });
-    for (const JobId job : order) {
+    // Highest-density-first among jobs assigned to this slot: the slot list
+    // is maintained in that order, so no per-decision sort.
+    for (const JobId job : it->second.jobs) {
       if (free == 0) break;
       const JobInfo& info = info_[job];
       if (info.completed) continue;  // slots not yet released
@@ -253,24 +253,15 @@ void ProfitScheduler::decide(const EngineContext& ctx, Assignment& out) {
 
   if (options_.work_conserving && free > 0) {
     // Opportunistic fill: scheduled, unfinished jobs not served this slot,
-    // by density.  They keep their fixed n_i footprint.
-    std::vector<JobId> extras;
-    for (JobId job = 0; job < info_.size(); ++job) {
-      const JobInfo& info = info_[job];
-      if (!info.scheduled || info.completed) continue;
+    // by density.  They keep their fixed n_i footprint.  work_order_ holds
+    // exactly the scheduled && !completed jobs in (density desc, id asc)
+    // order, so the seed's scan-everything-and-sort is a plain walk.
+    for (const auto& [v, job] : work_order_) {
+      (void)v;
+      if (free == 0) break;
       if (std::find(granted.begin(), granted.end(), job) != granted.end()) {
         continue;
       }
-      extras.push_back(job);
-    }
-    std::sort(extras.begin(), extras.end(), [this](JobId lhs, JobId rhs) {
-      const Density lv = info_[lhs].v;
-      const Density rv = info_[rhs].v;
-      if (lv != rv) return lv > rv;
-      return lhs < rhs;
-    });
-    for (const JobId job : extras) {
-      if (free == 0) break;
       const JobInfo& info = info_[job];
       if (info.alloc.n <= free) {
         out.add(job, info.alloc.n);

@@ -26,11 +26,14 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/density_index.h"
+#include "core/job_queue.h"
 #include "core/params.h"
 #include "sim/scheduler.h"
 
@@ -95,6 +98,9 @@ class ProfitScheduler final : public SchedulerBase {
  private:
   struct SlotInfo {
     DensityWindowIndex index;
+    /// Kept sorted (density desc, id asc) at insert, so decide() serves the
+    /// slot without re-sorting and capacity sheds pick the victim from the
+    /// back.  Densities are fixed at scheduling time, so order never decays.
     std::vector<JobId> jobs;
   };
 
@@ -111,8 +117,15 @@ class ProfitScheduler final : public SchedulerBase {
   /// True if `job` (density v, requirement n) could be added to slot `t`.
   bool slot_admits(std::uint64_t t, Density v, ProcCount n) const;
 
+  /// Insert into slot.jobs keeping the (density desc, id asc) order.
+  void insert_slot_job(SlotInfo& slot, JobId job);
+
   ProfitSchedulerOptions options_;
   std::map<std::uint64_t, SlotInfo> slots_;
+  /// Scheduled, unfinished jobs in (density desc, id asc) order -- the
+  /// work-conserving fill order, maintained incrementally instead of
+  /// re-scanning and sorting every job per decision.
+  std::set<std::pair<Density, JobId>, DensityDescIdAsc> work_order_;
   std::vector<JobInfo> info_;
   double cap_ = 0.0;  // b*m, fixed at first arrival
   std::size_t scheduled_count_ = 0;

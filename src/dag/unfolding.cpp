@@ -7,72 +7,79 @@
 
 namespace dagsched {
 
+void UnfoldingState::init_structure(const Dag& dag) {
+  // Everything except the work columns: pending-pred counts, the (empty)
+  // ready list, ready positions, statuses.  Sources become ready in id
+  // order.
+  NodeId* pending = idx_buf_.data() + pending_off();
+  NodeId* ready_pos = idx_buf_.data() + ready_pos_off();
+  for (NodeId v = 0; v < n_; ++v) {
+    pending[v] = dag.in_degree(v);
+    ready_pos[v] = kNpos;
+    set_status(v, Status::kWaiting);
+  }
+  NodeId* ready = idx_buf_.data() + ready_off();
+  for (NodeId v : dag.sources()) {
+    set_status(v, Status::kReady);
+    ready_pos[v] = static_cast<NodeId>(ready_size_);
+    ready[ready_size_++] = v;
+  }
+}
+
 UnfoldingState::UnfoldingState(const Dag& dag)
     : dag_(&dag),
-      status_(dag.num_nodes(), Status::kWaiting),
-      initial_(dag.num_nodes()),
-      remaining_(dag.num_nodes()),
-      pending_preds_(dag.num_nodes()),
-      ready_pos_(dag.num_nodes(), kNpos),
+      n_(dag.num_nodes()),
+      work_buf_(2 * dag.num_nodes()),
+      idx_buf_(4 * dag.num_nodes()),
       total_remaining_(dag.total_work()),
       nodes_remaining_(dag.num_nodes()) {
-  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
-    initial_[v] = dag.node_work(v);
-    remaining_[v] = initial_[v];
-    pending_preds_[v] = dag.in_degree(v);
+  for (NodeId v = 0; v < n_; ++v) {
+    work_buf_[v] = dag.node_work(v);
+    work_buf_[n_ + v] = work_buf_[v];
   }
-  for (NodeId v : dag.sources()) {
-    status_[v] = Status::kReady;
-    ready_pos_[v] = ready_.size();
-    ready_.push_back(v);
-  }
+  init_structure(dag);
 }
 
 UnfoldingState::UnfoldingState(const Dag& dag, std::vector<Work> works)
     : dag_(&dag),
-      status_(dag.num_nodes(), Status::kWaiting),
-      initial_(std::move(works)),
-      remaining_(dag.num_nodes()),
-      pending_preds_(dag.num_nodes()),
-      ready_pos_(dag.num_nodes(), kNpos),
+      n_(dag.num_nodes()),
+      work_buf_(2 * dag.num_nodes()),
+      idx_buf_(4 * dag.num_nodes()),
       nodes_remaining_(dag.num_nodes()) {
-  DS_CHECK_MSG(initial_.size() == dag.num_nodes(),
-               "works size " << initial_.size() << " != nodes "
+  DS_CHECK_MSG(works.size() == dag.num_nodes(),
+               "works size " << works.size() << " != nodes "
                              << dag.num_nodes());
-  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
-    DS_CHECK_MSG(initial_[v] > 0.0,
-                 "node " << v << " has non-positive work " << initial_[v]);
-    remaining_[v] = initial_[v];
-    total_remaining_ += initial_[v];
-    pending_preds_[v] = dag.in_degree(v);
+  for (NodeId v = 0; v < n_; ++v) {
+    DS_CHECK_MSG(works[v] > 0.0,
+                 "node " << v << " has non-positive work " << works[v]);
+    work_buf_[v] = works[v];
+    work_buf_[n_ + v] = works[v];
+    total_remaining_ += works[v];
   }
-  for (NodeId v : dag.sources()) {
-    status_[v] = Status::kReady;
-    ready_pos_[v] = ready_.size();
-    ready_.push_back(v);
-  }
+  init_structure(dag);
 }
 
 Work UnfoldingState::reset_progress(NodeId node) {
-  DS_CHECK_MSG(status_[node] != Status::kDone,
+  DS_CHECK_MSG(status(node) != Status::kDone,
                "reset_progress on completed node " << node);
-  const Work lost = initial_[node] - remaining_[node];
-  remaining_[node] = initial_[node];
+  const Work lost = work_buf_[node] - work_buf_[n_ + node];
+  work_buf_[n_ + node] = work_buf_[node];
   total_remaining_ += lost;
   return lost;
 }
 
 bool UnfoldingState::advance(NodeId node, Work amount,
                              std::vector<NodeId>* newly_ready) {
-  DS_CHECK_MSG(status_[node] == Status::kReady,
+  DS_CHECK_MSG(status(node) == Status::kReady,
                "advance on non-ready node " << node);
   DS_CHECK_MSG(amount >= 0.0, "negative work amount " << amount);
-  remaining_[node] = snap_nonnegative(remaining_[node] - amount);
+  Work& remaining = work_buf_[n_ + node];
+  remaining = snap_nonnegative(remaining - amount);
   total_remaining_ = snap_nonnegative(total_remaining_ - amount);
-  DS_CHECK_MSG(remaining_[node] >= 0.0,
-               "node " << node << " overshot by " << -remaining_[node]);
-  if (approx_zero(remaining_[node])) {
-    remaining_[node] = 0.0;
+  DS_CHECK_MSG(remaining >= 0.0,
+               "node " << node << " overshot by " << -remaining);
+  if (approx_zero(remaining)) {
+    remaining = 0.0;
     mark_done(node, newly_ready);
     return true;
   }
@@ -80,24 +87,27 @@ bool UnfoldingState::advance(NodeId node, Work amount,
 }
 
 void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
-  status_[node] = Status::kDone;
+  set_status(node, Status::kDone);
   --nodes_remaining_;
   if (nodes_remaining_ == 0) total_remaining_ = 0.0;  // clear float residue
-  // Swap-remove from the ready list, keeping ready_pos_ consistent.
-  const std::size_t pos = ready_pos_[node];
+  // Swap-remove from the ready list, keeping the position map consistent.
+  NodeId* ready = idx_buf_.data() + ready_off();
+  NodeId* ready_pos = idx_buf_.data() + ready_pos_off();
+  const NodeId pos = ready_pos[node];
   DS_CHECK(pos != kNpos);
-  const NodeId moved = ready_.back();
-  ready_[pos] = moved;
-  ready_pos_[moved] = pos;
-  ready_.pop_back();
-  ready_pos_[node] = kNpos;
+  const NodeId moved = ready[ready_size_ - 1];
+  ready[pos] = moved;
+  ready_pos[moved] = pos;
+  --ready_size_;
+  ready_pos[node] = kNpos;
 
+  NodeId* pending = idx_buf_.data() + pending_off();
   for (NodeId succ : dag_->successors(node)) {
-    DS_CHECK(pending_preds_[succ] > 0);
-    if (--pending_preds_[succ] == 0) {
-      status_[succ] = Status::kReady;
-      ready_pos_[succ] = ready_.size();
-      ready_.push_back(succ);
+    DS_CHECK(pending[succ] > 0);
+    if (--pending[succ] == 0) {
+      set_status(succ, Status::kReady);
+      ready_pos[succ] = static_cast<NodeId>(ready_size_);
+      ready[ready_size_++] = succ;
       if (newly_ready != nullptr) newly_ready->push_back(succ);
     }
   }
@@ -106,18 +116,20 @@ void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
 Work UnfoldingState::remaining_span() const {
   // Longest path over unfinished nodes using remaining work, computed along
   // the static topological order (a superset of the unfinished subgraph's
-  // topological order).
-  std::vector<Work> depth(dag_->num_nodes(), 0.0);
+  // topological order).  span_depth_ is not cleared between calls: the only
+  // entries read are those of non-done predecessors, and the topological
+  // sweep writes every non-done node before any successor reads it.
+  span_depth_.resize(n_);
   Work best = 0.0;
   for (NodeId v : dag_->topological_order()) {
-    if (status_[v] == Status::kDone) continue;
+    if (status(v) == Status::kDone) continue;
     Work prefix = 0.0;
     for (NodeId u : dag_->predecessors(v)) {
-      if (status_[u] == Status::kDone) continue;
-      prefix = std::max(prefix, depth[u]);
+      if (status(u) == Status::kDone) continue;
+      prefix = std::max(prefix, span_depth_[u]);
     }
-    depth[v] = prefix + remaining_[v];
-    best = std::max(best, depth[v]);
+    span_depth_[v] = prefix + work_buf_[n_ + v];
+    best = std::max(best, span_depth_[v]);
   }
   return best;
 }

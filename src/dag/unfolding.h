@@ -5,6 +5,12 @@
 // Semi-non-clairvoyance boundary: schedulers never see this class directly --
 // they see only the ready *count* through JobView (sim/views.h).  Engines and
 // clairvoyant baselines may inspect everything.
+//
+// Layout: one construction per job arrival sits on the kernel's event-
+// delivery path, so the per-node state lives in two fused arenas (a Work
+// buffer for initial|remaining, a NodeId buffer for
+// pending-preds|ready-list|ready-pos|status) instead of six separate
+// vectors -- two allocations per arrival instead of six.
 #pragma once
 
 #include <span>
@@ -30,22 +36,24 @@ class UnfoldingState {
   /// Nodes whose predecessors have all completed and which are not yet done.
   /// Order is deterministic: nodes become ready in completion order, sources
   /// in id order (this is the "arbitrary" order a FIFO selector uses).
-  std::span<const NodeId> ready() const { return ready_; }
-
-  std::size_t ready_count() const { return ready_.size(); }
-
-  bool is_ready(NodeId node) const {
-    return status_[node] == Status::kReady;
+  std::span<const NodeId> ready() const {
+    return {idx_buf_.data() + ready_off(), ready_size_};
   }
 
-  bool is_done(NodeId node) const { return status_[node] == Status::kDone; }
+  std::size_t ready_count() const { return ready_size_; }
+
+  bool is_ready(NodeId node) const {
+    return status(node) == Status::kReady;
+  }
+
+  bool is_done(NodeId node) const { return status(node) == Status::kDone; }
 
   /// Remaining processing time of `node` at unit speed.
-  Work remaining_work(NodeId node) const { return remaining_[node]; }
+  Work remaining_work(NodeId node) const { return work_buf_[n_ + node]; }
 
   /// The work `node` started with: the DAG's declared work, or the actual
   /// (possibly overrun) work when constructed with explicit works.
-  Work initial_work(NodeId node) const { return initial_[node]; }
+  Work initial_work(NodeId node) const { return work_buf_[node]; }
 
   /// Discards all progress on an unfinished node (restart-from-zero failure
   /// semantics): remaining work snaps back to initial_work.  Returns the
@@ -69,26 +77,47 @@ class UnfoldingState {
                std::vector<NodeId>* newly_ready = nullptr);
 
   /// Remaining span: weight of the heaviest path through unfinished nodes,
-  /// counting each unfinished node's *remaining* work.  O(V+E); used by
-  /// diagnostics and Observation-1 tests, not by the hot path.
+  /// counting each unfinished node's *remaining* work.  O(V+E) with no
+  /// allocation after the first call (clairvoyant baselines call this per
+  /// decision); used by diagnostics and Observation-1 tests.
   Work remaining_span() const;
 
  private:
-  enum class Status : unsigned char { kWaiting, kReady, kDone };
+  enum class Status : NodeId { kWaiting = 0, kReady = 1, kDone = 2 };
 
+  // Segments of idx_buf_ (all NodeId-typed, n_ entries each).
+  std::size_t pending_off() const { return 0; }
+  std::size_t ready_off() const { return n_; }
+  std::size_t ready_pos_off() const { return 2 * n_; }
+  std::size_t status_off() const { return 3 * n_; }
+
+  Status status(NodeId node) const {
+    return static_cast<Status>(idx_buf_[status_off() + node]);
+  }
+  void set_status(NodeId node, Status s) {
+    idx_buf_[status_off() + node] = static_cast<NodeId>(s);
+  }
+
+  void init_structure(const Dag& dag);
   void mark_done(NodeId node, std::vector<NodeId>* newly_ready);
 
   const Dag* dag_;
-  std::vector<Status> status_;
-  std::vector<Work> initial_;
-  std::vector<Work> remaining_;
-  std::vector<NodeId> pending_preds_;  // # of uncompleted predecessors
-  std::vector<NodeId> ready_;
-  std::vector<std::size_t> ready_pos_;  // node -> index in ready_, or npos
+  std::size_t n_ = 0;  // == dag_->num_nodes()
+  /// [0, n): initial work per node; [n, 2n): remaining work per node.
+  std::vector<Work> work_buf_;
+  /// [0, n): pending predecessor counts; [n, n + ready_size_): the ready
+  /// list; [2n, 3n): node -> ready-list index (kNpos when absent);
+  /// [3n, 4n): Status per node.
+  std::vector<NodeId> idx_buf_;
+  std::size_t ready_size_ = 0;
+  /// Scratch for remaining_span(): per-node path depth.  Stale entries need
+  /// no clearing -- the topological sweep writes every non-done node before
+  /// any successor reads it.
+  mutable std::vector<Work> span_depth_;
   Work total_remaining_ = 0.0;
   NodeId nodes_remaining_ = 0;
 
-  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr NodeId kNpos = static_cast<NodeId>(-1);
 };
 
 }  // namespace dagsched

@@ -6,7 +6,7 @@
 // accidentally peek at DAG structure.
 #pragma once
 
-#include <span>
+#include <cstddef>
 #include <vector>
 
 #include "job/job.h"
@@ -18,6 +18,56 @@
 namespace dagsched {
 
 struct ObsSink;
+
+/// Read-only view over the kernel's active set.  The kernel removes
+/// completed jobs by tombstoning their slot (kInvalidJob) instead of an
+/// O(|active|) vector erase; this view skips tombstones during iteration,
+/// so schedulers still observe exactly the arrival-ordered live jobs.
+class ActiveJobs {
+ public:
+  class iterator {
+   public:
+    using value_type = JobId;
+
+    iterator(const JobId* cur, const JobId* end) : cur_(cur), end_(end) {
+      skip_tombstones();
+    }
+    JobId operator*() const { return *cur_; }
+    iterator& operator++() {
+      ++cur_;
+      skip_tombstones();
+      return *this;
+    }
+    bool operator==(const iterator& other) const = default;
+
+   private:
+    void skip_tombstones() {
+      while (cur_ != end_ && *cur_ == kInvalidJob) ++cur_;
+    }
+    const JobId* cur_;
+    const JobId* end_;
+  };
+
+  ActiveJobs(const std::vector<JobId>* slots, std::size_t live)
+      : slots_(slots), live_(live) {}
+
+  iterator begin() const {
+    return {slots_->data(), slots_->data() + slots_->size()};
+  }
+  iterator end() const {
+    const JobId* e = slots_->data() + slots_->size();
+    return {e, e};
+  }
+  /// Number of live (non-tombstone) jobs.
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  /// First live job (earliest still-active arrival); requires !empty().
+  JobId front() const { return *begin(); }
+
+ private:
+  const std::vector<JobId>* slots_;
+  std::size_t live_;
+};
 
 class EngineContext {
  public:
@@ -39,8 +89,9 @@ class EngineContext {
   }
 
   /// Jobs that have arrived and not yet completed (including expired ones;
-  /// dropping those is the scheduler's decision, as in the paper).
-  std::span<const JobId> active_jobs() const { return *active_; }
+  /// dropping those is the scheduler's decision, as in the paper), in
+  /// arrival order.
+  ActiveJobs active_jobs() const { return {active_, *active_live_}; }
 
   /// Full DAG structure; clairvoyant schedulers only.
   const Dag& dag_of(JobId id) const {
@@ -71,6 +122,7 @@ class EngineContext {
   const std::vector<Job>* jobs_ = nullptr;
   const std::vector<JobRuntime>* runtimes_ = nullptr;
   const std::vector<JobId>* active_ = nullptr;
+  const std::size_t* active_live_ = nullptr;
 };
 
 }  // namespace dagsched

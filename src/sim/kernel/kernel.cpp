@@ -8,6 +8,11 @@
 
 namespace dagsched {
 
+namespace {
+/// active_pos_ value for jobs not currently in the active set.
+constexpr std::size_t kNoActiveSlot = static_cast<std::size_t>(-1);
+}  // namespace
+
 SimKernel::SimKernel(const JobSet& jobs, SchedulerBase& scheduler,
                      NodeSelector& selector, KernelOptions options)
     : jobs_(jobs),
@@ -24,6 +29,8 @@ void SimKernel::begin(Time start_time) {
   scheduler_.reset();
   runtimes_.assign(n, JobRuntime{});
   active_.clear();
+  active_pos_.assign(n, kNoActiveSlot);
+  active_live_ = 0;
   result_ = SimResult{};
   result_.outcomes.resize(n);
 
@@ -34,6 +41,7 @@ void SimKernel::begin(Time start_time) {
   ctx_.jobs_ = &jobs_.jobs();
   ctx_.runtimes_ = &runtimes_;
   ctx_.active_ = &active_;
+  ctx_.active_live_ = &active_live_;
   ctx_.obs_ = options_.obs;
 
   // Resolve instruments once; null pointers make every emission a no-op.
@@ -81,6 +89,16 @@ void SimKernel::begin(Time start_time) {
   jobs_done_ = 0;
   prev_nodes_.clear();
   prev_jobs_.clear();
+  node_stamp_base_.resize(n);
+  std::size_t total_nodes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    node_stamp_base_[i] = total_nodes;
+    total_nodes += jobs_[i].dag().num_nodes();
+  }
+  node_stamp_.assign(total_nodes, 0);
+  job_stamp_.assign(n, 0);
+  interval_epoch_ = 0;
+  preempted_jobs_.clear();
   alloc_stamp_.assign(n, 0);
   alloc_epoch_ = 0;
   capacity_time_ = 0.0;
@@ -168,14 +186,16 @@ void SimKernel::deliver_arrivals(Time now) {
     } else {
       rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
     }
+    active_pos_[id] = active_.size();
     active_.push_back(id);
+    ++active_live_;
     if (jobs_[id].has_deadline()) {
       deadlines_.emplace(jobs_[id].absolute_deadline(), id);
     }
     DS_OBS_INC(c_arrivals_);
     if (obs_ != nullptr) obs_->event(now, id, ObsEventKind::kArrival);
     if (faults != nullptr &&
-        rt.unfolding->total_remaining_work() > jobs_[id].work()) {
+        approx_gt(rt.unfolding->total_remaining_work(), jobs_[id].work())) {
       DS_OBS_INC(c_overruns_);
       if (obs_ != nullptr) {
         obs_->event(now, id, ObsEventKind::kWorkOverrun, {},
@@ -283,7 +303,16 @@ void SimKernel::notify_completions_slow(Time notify_time) {
   // Flags first (set in mark_if_completed), notifications second, so the
   // scheduler observes a consistent post-completion state.
   ctx_.now_ = notify_time;
-  for (const JobId id : completed_now_) std::erase(active_, id);
+  for (const JobId id : completed_now_) {
+    const std::size_t pos = active_pos_[id];
+    if (pos == kNoActiveSlot) continue;
+    active_[pos] = kInvalidJob;
+    active_pos_[id] = kNoActiveSlot;
+    --active_live_;
+  }
+  if (active_.size() > 64 && active_live_ * 2 < active_.size()) {
+    compact_active();
+  }
   for (const JobId id : completed_now_) {
     DS_OBS_INC(c_job_completions_);
     if (obs_ != nullptr) obs_->event(notify_time, id, ObsEventKind::kComplete);
@@ -293,27 +322,56 @@ void SimKernel::notify_completions_slow(Time notify_time) {
   completed_now_.clear();
 }
 
+void SimKernel::compact_active() {
+  std::size_t w = 0;
+  for (const JobId id : active_) {
+    if (id == kInvalidJob) continue;
+    active_pos_[id] = w;
+    active_[w++] = id;
+  }
+  active_.resize(w);
+}
+
 void SimKernel::account_preemptions(
     Time now, std::vector<std::pair<JobId, NodeId>>& nodes,
     std::vector<JobId>& jobs) {
-  std::sort(nodes.begin(), nodes.end());
-  std::sort(jobs.begin(), jobs.end());
-  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+  // Stamp this interval's execution set, then scan the previous one:
+  // anything that ran before, is unfinished, and carries a stale stamp was
+  // preempted.  O(running) per decision, no sorting.  `jobs` is deduplicated
+  // in place (stamping doubles as the duplicate check).
+  ++interval_epoch_;
+  const std::uint32_t e = interval_epoch_;
+  for (const auto& [job, node] : nodes) {
+    node_stamp_[node_stamp_base_[job] + node] = e;
+  }
+  std::size_t w = 0;
+  for (const JobId job : jobs) {
+    if (job_stamp_[job] == e) continue;
+    job_stamp_[job] = e;
+    jobs[w++] = job;
+  }
+  jobs.resize(w);
   for (const auto& [job, node] : prev_nodes_) {
     const JobRuntime& rt = runtimes_[job];
     if (rt.completed || rt.unfolding->is_done(node)) continue;
-    if (!std::binary_search(nodes.begin(), nodes.end(),
-                            std::make_pair(job, node))) {
+    if (node_stamp_[node_stamp_base_[job] + node] != e) {
       ++result_.node_preemptions;
       DS_OBS_INC(c_node_preemptions_);
     }
   }
+  preempted_jobs_.clear();
   for (const JobId job : prev_jobs_) {
     if (runtimes_[job].completed) continue;
-    if (!std::binary_search(jobs.begin(), jobs.end(), job)) {
-      ++result_.job_preemptions;
+    if (job_stamp_[job] != e) preempted_jobs_.push_back(job);
+  }
+  result_.job_preemptions += preempted_jobs_.size();
+  if (obs_ != nullptr) {
+    // Emit in ascending job id -- the order the seed's sorted previous set
+    // produced -- so decision logs stay byte-identical.
+    std::sort(preempted_jobs_.begin(), preempted_jobs_.end());
+    for (const JobId job : preempted_jobs_) {
       DS_OBS_INC(c_job_preemptions_);
-      if (obs_ != nullptr) obs_->event(now, job, ObsEventKind::kPreempt);
+      obs_->event(now, job, ObsEventKind::kPreempt);
     }
   }
   std::swap(prev_nodes_, nodes);

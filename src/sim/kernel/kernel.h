@@ -286,6 +286,9 @@ class SimKernel {
   void deliver_arrivals(Time now);
   void deliver_expiries(Time now, DeadlineDuePolicy policy);
   void notify_completions_slow(Time notify_time);
+  /// Rewrites active_ without tombstones (preserving order) once live
+  /// entries drop below half the slots; amortized O(1) per removal.
+  void compact_active();
   /// Empty string when valid; otherwise a diagnosis of the first violation.
   std::string validate(const Assignment& assignment);
 
@@ -295,7 +298,14 @@ class SimKernel {
   KernelOptions options_;
 
   std::vector<JobRuntime> runtimes_;
+  // Active set: arrival-ordered slots with tombstones (kInvalidJob) left by
+  // completions -- expired-but-incomplete jobs stay active for their whole
+  // run, so an eager O(|active|) erase per completion was quadratic at
+  // 10^5 jobs.  active_pos_ maps job -> slot, active_live_ counts live
+  // slots; ctx_.active_jobs() skips tombstones (see ActiveJobs).
   std::vector<JobId> active_;
+  std::vector<std::size_t> active_pos_;
+  std::size_t active_live_ = 0;
   EngineContext ctx_;
   SimResult result_;
 
@@ -340,9 +350,18 @@ class SimKernel {
   std::vector<JobId> completed_now_;
   std::size_t jobs_done_ = 0;
 
-  // Previous interval's execution set, for preemption accounting.
+  // Previous interval's execution set, for preemption accounting.  Membership
+  // tests use epoch stamps (node_stamp_ is one flat array over all jobs'
+  // nodes, offset by node_stamp_base_) so each decision costs O(running)
+  // with no sorting; the seed sorted + binary-searched both sets per
+  // decision, which dominated the event engine's hot loop at 10^5 jobs.
   std::vector<std::pair<JobId, NodeId>> prev_nodes_;
   std::vector<JobId> prev_jobs_;
+  std::vector<std::size_t> node_stamp_base_;  // job -> offset into node_stamp_
+  std::vector<std::uint32_t> node_stamp_;
+  std::vector<std::uint32_t> job_stamp_;
+  std::uint32_t interval_epoch_ = 0;
+  std::vector<JobId> preempted_jobs_;  // scratch, event-order emission
 
   // Duplicate-allocation detection scratch (epoch stamps avoid O(n) clears).
   std::vector<std::uint32_t> alloc_stamp_;

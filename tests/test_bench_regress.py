@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gate semantics of scripts/bench_regress.py.
+
+The perf gate must (a) treat measurement names present only in the current
+report -- e.g. a freshly added bench_scale family -- as informational, never
+a failure; (b) treat retired names the same way; (c) fail (exit 1) only when
+a name present in BOTH reports slows past the threshold; (d) honor
+--warn-only.  Runs under plain unittest (CI has no pytest).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "bench_regress.py"
+
+
+def report(measurements: dict[str, float]) -> dict:
+    return {
+        "schema": "dagsched.bench_report/1",
+        "bench": "engine_perf",
+        "measurements": [
+            {
+                "name": name,
+                "real_time_ns": ns,
+                "cpu_time_ns": ns,
+                "iterations": 1,
+                "aggregate": "",
+                "counters": {},
+            }
+            for name, ns in measurements.items()
+        ],
+    }
+
+
+def run_gate(baseline: dict[str, float], current: dict[str, float],
+             *extra: str) -> subprocess.CompletedProcess:
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = pathlib.Path(tmp) / "baseline.json"
+        cur_path = pathlib.Path(tmp) / "current.json"
+        base_path.write_text(json.dumps(report(baseline)))
+        cur_path.write_text(json.dumps(report(current)))
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), str(base_path), str(cur_path),
+             "--threshold", "0.25", *extra],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+
+
+class BenchRegressGate(unittest.TestCase):
+    def test_new_measurement_names_are_informational(self):
+        # A new scale benchmark joining the report must not fail the gate.
+        result = run_gate(
+            {"BM_EventEnginePaperS/50": 400000.0},
+            {
+                "BM_EventEnginePaperS/50": 410000.0,
+                "BM_EventEnginePaperSScale/100000": 3.4e9,
+                "BM_DensityQueueOps/100000": 104.0,
+            },
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("(new)", result.stdout)
+
+    def test_missing_measurement_names_are_informational(self):
+        result = run_gate(
+            {"BM_EventEnginePaperS/50": 400000.0, "BM_Retired/1": 100.0},
+            {"BM_EventEnginePaperS/50": 400000.0},
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("(gone)", result.stdout)
+
+    def test_regression_past_threshold_fails(self):
+        result = run_gate(
+            {"BM_EventEnginePaperSScale/10000": 1e9},
+            {"BM_EventEnginePaperSScale/10000": 1.5e9},
+        )
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_slowdown_within_threshold_passes(self):
+        result = run_gate(
+            {"BM_EventEnginePaperSScale/10000": 1e9},
+            {"BM_EventEnginePaperSScale/10000": 1.2e9},
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_warn_only_never_fails(self):
+        result = run_gate(
+            {"BM_EventEnginePaperSScale/10000": 1e9},
+            {"BM_EventEnginePaperSScale/10000": 2e9},
+            "--warn-only",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
