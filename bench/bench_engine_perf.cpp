@@ -30,6 +30,7 @@
 #include "core/job_queue.h"
 #include "dag/generators.h"
 #include "obs/report.h"
+#include "obs/telemetry/telemetry.h"
 #include "opt/upper_bound.h"
 #include "sim/event_engine.h"
 #include "sim/slot_engine.h"
@@ -133,17 +134,87 @@ BENCHMARK(BM_EventEngineEdfScale)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_SlotEngineEdfScale(benchmark::State& state) {
   const JobSet jobs = make_scale_jobs(static_cast<std::size_t>(state.range(0)));
+  std::size_t decisions = 0;
   for (auto _ : state) {
     ListScheduler scheduler({ListPolicy::kEdf, false, true});
     auto sel = make_selector(SelectorKind::kFifo);
     SlotEngineOptions options;
     options.num_procs = 16;
     SlotEngine engine(jobs, scheduler, *sel, options);
-    benchmark::DoNotOptimize(engine.run().total_profit);
+    const SimResult result = engine.run();
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
   state.counters["jobs"] = static_cast<double>(jobs.size());
 }
 BENCHMARK(BM_SlotEngineEdfScale)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// ---- telemetry-enabled points --------------------------------------------
+//
+// Same workloads as their plain counterparts but with a TelemetryRecorder
+// attached (histogram-only, no JSONL sink): the *enabled* overhead shows up
+// as the delta against the plain name, and the recorder's decide histogram
+// is exported as decide_p50_ns/decide_p99_ns counters, which
+// scripts/bench_regress.py tracks under the same regression gate.  The
+// plain benchmark names keep telemetry off, so the gate also proves the
+// compiled-in-but-disabled path stays free.
+
+void export_decide_counters(benchmark::State& state,
+                            const TelemetryRecorder& telemetry) {
+  state.counters["decide_p50_ns"] =
+      static_cast<double>(telemetry.decide_histogram().percentile_ns(0.50));
+  state.counters["decide_p99_ns"] =
+      static_cast<double>(telemetry.decide_histogram().percentile_ns(0.99));
+}
+
+void BM_EventEnginePaperSTelemetry(benchmark::State& state) {
+  const JobSet jobs =
+      state.range(0) >= 1000
+          ? make_scale_jobs(static_cast<std::size_t>(state.range(0)))
+          : make_jobs(static_cast<std::size_t>(state.range(0)));
+  TelemetryRecorder telemetry;  // accumulates across iterations
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    DeadlineScheduler scheduler({.params = Params::from_epsilon(0.5)});
+    auto sel = make_selector(SelectorKind::kFifo);
+    EngineOptions options;
+    options.num_procs = 16;
+    options.telemetry = &telemetry;
+    const SimResult result = simulate(jobs, scheduler, *sel, options);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  export_decide_counters(state, telemetry);
+}
+BENCHMARK(BM_EventEnginePaperSTelemetry)->Arg(50)->Arg(10000);
+
+void BM_SlotEngineEdfTelemetry(benchmark::State& state) {
+  Rng rng(7);
+  WorkloadConfig config =
+      scenario_profit(0.5, 0.8, 16, ProfitPolicy::Shape::kPlateauLinear);
+  config.horizon = static_cast<double>(state.range(0));
+  const JobSet jobs = generate_workload(rng, config);
+  TelemetryRecorder telemetry;
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    ListScheduler scheduler({ListPolicy::kEdf, false, true});
+    auto sel = make_selector(SelectorKind::kFifo);
+    SlotEngineOptions options;
+    options.num_procs = 16;
+    options.telemetry = &telemetry;
+    SlotEngine engine(jobs, scheduler, *sel, options);
+    const SimResult result = engine.run();
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.total_profit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  export_decide_counters(state, telemetry);
+}
+BENCHMARK(BM_SlotEngineEdfTelemetry)->Arg(100);
 
 void BM_DensityQueueOps(benchmark::State& state) {
   // One insert + one erase against a queue holding `size` resident members
@@ -269,7 +340,9 @@ int main(int argc, char** argv) {
       "BM_SlotEngineEdf/100$|BM_DensityIndexAdmit/128$|BM_AllocationMath$|"
       "BM_OptUpperBoundLp/50$|BM_DagGeneration$|"
       "BM_EventEnginePaperSScale/10000$|BM_EventEngineEdfScale/10000$|"
-      "BM_SlotEngineEdfScale/10000$|BM_DensityQueueOps/100000$";
+      "BM_SlotEngineEdfScale/10000$|BM_DensityQueueOps/100000$|"
+      "BM_EventEnginePaperSTelemetry/50$|BM_EventEnginePaperSTelemetry/10000$|"
+      "BM_SlotEngineEdfTelemetry/100$";
   static char quick_min_time[] = "--benchmark_min_time=0.05";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];

@@ -5,10 +5,13 @@ Usage:
     bench_regress.py BASELINE.json CURRENT.json [--threshold 0.30] [--warn-only]
 
 Compares real_time_ns per measurement name (aggregates such as
-google-benchmark mean/median/stddev rows are skipped).  A measurement whose
-current time exceeds baseline * (1 + threshold) is a regression; new or
-missing measurements are reported but never fail the gate (benchmarks are
-allowed to be added or retired).
+google-benchmark mean/median/stddev rows are skipped), plus any latency
+counters -- counter names ending in `_ns`, e.g. the telemetry benches'
+decide_p99_ns -- as derived measurements keyed "name:counter".  A
+measurement whose current time exceeds baseline * (1 + threshold) is a
+regression; new or missing measurements (including counters that appear or
+disappear) are reported but never fail the gate (benchmarks are allowed to
+be added or retired).
 
 This is a BLOCKING gate in CI (.github/workflows/ci.yml, perf-trajectory
 job): exit 1 fails the job.  CI passes --threshold 0.25 -- wider than the
@@ -42,8 +45,18 @@ def load_measurements(path: str) -> dict[str, float]:
             continue
         name = row.get("name")
         real = row.get("real_time_ns")
-        if isinstance(name, str) and isinstance(real, (int, float)):
-            out[name] = float(real)
+        if not isinstance(name, str) or not isinstance(real, (int, float)):
+            continue
+        out[name] = float(real)
+        # Latency counters (telemetry decide_p99_ns etc.) gate like times:
+        # bigger is worse.  Throughput counters (items_per_second) do not.
+        counters = row.get("counters", {})
+        if isinstance(counters, dict):
+            for counter, value in counters.items():
+                if counter.endswith("_ns") and isinstance(
+                    value, (int, float)
+                ):
+                    out[f"{name}:{counter}"] = float(value)
     if not out:
         sys.exit(f"bench_regress: {path}: no non-aggregate measurements")
     return out
@@ -70,13 +83,13 @@ def main() -> int:
     current = load_measurements(args.current)
 
     regressions: list[str] = []
-    print(f"{'measurement':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    print(f"{'measurement':<52} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in sorted(baseline.keys() | current.keys()):
         if name not in current:
-            print(f"{name:<40} {baseline[name]:>12.0f} {'(gone)':>12} {'':>8}")
+            print(f"{name:<52} {baseline[name]:>12.0f} {'(gone)':>12} {'':>8}")
             continue
         if name not in baseline:
-            print(f"{name:<40} {'(new)':>12} {current[name]:>12.0f} {'':>8}")
+            print(f"{name:<52} {'(new)':>12} {current[name]:>12.0f} {'':>8}")
             continue
         base, cur = baseline[name], current[name]
         delta = (cur - base) / base if base > 0 else 0.0
@@ -86,7 +99,7 @@ def main() -> int:
             regressions.append(
                 f"{name}: {base:.0f} ns -> {cur:.0f} ns (+{delta:.0%})"
             )
-        print(f"{name:<40} {base:>12.0f} {cur:>12.0f} {delta:>+7.1%}{marker}")
+        print(f"{name:<52} {base:>12.0f} {cur:>12.0f} {delta:>+7.1%}{marker}")
 
     if regressions:
         print(

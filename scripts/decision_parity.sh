@@ -12,6 +12,10 @@
 #   2. diff mode: compare two such log directories decisions-only with
 #      `dagsched trace diff --decisions` (exit 4 on divergence):
 #        scripts/decision_parity.sh diff BUILD_DIR PRE_DIR POST_DIR
+#   3. telemetry mode: run every combo twice in the same binary -- once
+#      plain, once with --telemetry attached -- and require the event logs
+#      to be byte-identical (the obs/telemetry off==seed contract):
+#        scripts/decision_parity.sh telemetry BUILD_DIR
 #
 # Typical use: emit with the pre-change binary, apply the change, rebuild,
 # emit again, then diff.  Exits non-zero on the first divergence.
@@ -92,8 +96,39 @@ diff_dirs() {
   return "$fail"
 }
 
+telemetry_check() {
+  gen_workloads
+  local line sched engine wl fmode fargs tag fail=0 n=0
+  while read -r line; do
+    read -r sched engine wl <<<"$line"
+    for fmode in none churn-resume churn-zero; do
+      fargs="$(fault_args "$fmode")"
+      tag="${sched}_${engine}_${wl}_${fmode}"
+      # shellcheck disable=SC2086
+      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+        --m 16 $fargs --events "$workdir/$tag.off.jsonl" >/dev/null
+      # shellcheck disable=SC2086
+      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+        --m 16 $fargs --events "$workdir/$tag.on.jsonl" \
+        --telemetry "$workdir/$tag.tele.jsonl" --telemetry-interval 50 \
+        >/dev/null
+      n=$((n + 1))
+      if ! cmp -s "$workdir/$tag.off.jsonl" "$workdir/$tag.on.jsonl"; then
+        echo "TELEMETRY DIVERGED: $tag"
+        "$cli" trace diff "$workdir/$tag.off.jsonl" \
+          "$workdir/$tag.on.jsonl" --decisions || true
+        fail=1
+      fi
+    done
+  done < <(combos)
+  [ "$fail" -eq 0 ] && \
+    echo "telemetry parity: all $n combos byte-identical with --telemetry"
+  return "$fail"
+}
+
 case "$mode" in
   emit) emit "${3:?missing OUT_DIR}" ;;
   diff) diff_dirs "${3:?missing PRE_DIR}" "${4:?missing POST_DIR}" ;;
+  telemetry) telemetry_check ;;
   *) echo "unknown mode $mode" >&2; exit 2 ;;
 esac

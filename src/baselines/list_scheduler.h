@@ -58,6 +58,12 @@ class ListScheduler final : public SchedulerBase {
   void on_arrival(const EngineContext& ctx, JobId job) override;
   void on_completion(const EngineContext& ctx, JobId job) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
+  std::size_t queue_depth() const override { return order_index_.size(); }
+  std::size_t memory_bytes() const override {
+    // One red-black tree node per indexed job (kLlf keeps no index).
+    return order_index_.size() *
+           (sizeof(std::pair<double, JobId>) + 4 * sizeof(void*));
+  }
 
  private:
   double key(const EngineContext& ctx, JobId job) const;

@@ -105,6 +105,8 @@ class DeadlineScheduler final : public SchedulerBase {
   void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
                           ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
+  std::size_t queue_depth() const override { return q_.size() + p_.size(); }
+  std::size_t memory_bytes() const override;
 
   // ---- Introspection (tests, benches, invariant observers) ----
 

@@ -50,6 +50,13 @@ class DensityWindowIndex {
   /// Total requirement of members with density >= v (N(Q, v, infinity)).
   double load_at_least(Density v) const;
 
+  /// Allocated bytes of the entry array and prefix-sum cache (telemetry
+  /// gauge; capacities, not live counts).
+  std::size_t memory_bytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           prefix_.capacity() * sizeof(double);
+  }
+
  private:
   struct Entry {
     Density v;

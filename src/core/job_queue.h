@@ -64,6 +64,13 @@ class DensityOrderedQueue {
     }
   }
 
+  /// Estimated allocated bytes: one red-black tree node per member (key +
+  /// three child/parent links + color, as libstdc++ lays it out).  Telemetry
+  /// gauge, not an allocator measurement.
+  std::size_t memory_bytes() const {
+    return set_.size() * (sizeof(Key) + 4 * sizeof(void*));
+  }
+
  private:
   std::set<Key, DensityDescIdAsc> set_;
 };

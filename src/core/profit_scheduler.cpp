@@ -317,4 +317,23 @@ double ProfitScheduler::slot_window_load(std::uint64_t slot) const {
   return it->second.index.max_window_load(options_.params.c);
 }
 
+std::size_t ProfitScheduler::memory_bytes() const {
+  // Per-slot maps dominate: one tree node per slot (key + SlotInfo header)
+  // plus each slot's job vector and window index; then the work-conserving
+  // order set, per-job info, and assigned-slot lists.
+  std::size_t bytes = 0;
+  for (const auto& [slot, slot_info] : slots_) {
+    bytes += sizeof(std::uint64_t) + sizeof(SlotInfo) + 4 * sizeof(void*) +
+             slot_info.jobs.capacity() * sizeof(JobId) +
+             slot_info.index.memory_bytes();
+  }
+  bytes += work_order_.size() *
+           (sizeof(std::pair<Density, JobId>) + 4 * sizeof(void*));
+  bytes += info_.capacity() * sizeof(JobInfo);
+  for (const JobInfo& info : info_) {
+    bytes += info.assigned.capacity() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
 }  // namespace dagsched

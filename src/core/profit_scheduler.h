@@ -77,6 +77,8 @@ class ProfitScheduler final : public SchedulerBase {
                           ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
   Time next_wakeup(const EngineContext& ctx) const override;
+  std::size_t queue_depth() const override { return work_order_.size(); }
+  std::size_t memory_bytes() const override;
 
   // ---- Introspection ----
 

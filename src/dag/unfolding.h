@@ -82,6 +82,14 @@ class UnfoldingState {
   /// decision); used by diagnostics and Observation-1 tests.
   Work remaining_span() const;
 
+  /// Allocated bytes of the two fused arenas plus the span scratch
+  /// (telemetry gauge; capacities, not live counts).
+  std::size_t memory_bytes() const {
+    return work_buf_.capacity() * sizeof(Work) +
+           idx_buf_.capacity() * sizeof(NodeId) +
+           span_depth_.capacity() * sizeof(Work);
+  }
+
  private:
   enum class Status : NodeId { kWaiting = 0, kReady = 1, kDone = 2 };
 

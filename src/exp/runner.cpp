@@ -73,6 +73,7 @@ RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
   options.record_trace = config.record_trace;
   options.obs = config.obs;
   options.faults = config.faults;
+  options.telemetry = config.telemetry;
   const SimResult result =
       run_simulation(config.engine, jobs, scheduler, *selector, options);
   RunMetrics metrics;

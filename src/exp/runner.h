@@ -47,6 +47,8 @@ struct RunConfig {
   const ObsSink* obs = nullptr;
   /// Fault injector forwarded to the engine (null = no faults).
   const FaultInjector* faults = nullptr;
+  /// Runtime-telemetry recorder forwarded to the engine (null = off).
+  TelemetryRecorder* telemetry = nullptr;
 };
 
 struct RunMetrics {

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace dagsched {
@@ -138,6 +139,10 @@ JsonValue build_run_report(const RunReportInputs& inputs) {
     report.set("spans", spans_to_json(*inputs.spans));
   }
 
+  if (inputs.telemetry != nullptr) {
+    report.set("telemetry", telemetry_to_json(*inputs.telemetry));
+  }
+
   JsonValue timeline = JsonValue::object();
   const Time horizon = result.end_time;
   timeline.set("buckets", JsonValue(inputs.timeline_buckets));
@@ -265,6 +270,31 @@ std::string format_run_report(const JsonValue& report) {
             << (total != nullptr ? fixed(total->as_number() / 1e6) : "?")
             << "ms\n";
       }
+    }
+  }
+  if (const JsonValue* telemetry = report.find("telemetry")) {
+    out << "\n[telemetry]\n";
+    for (const char* key : {"decide_ns", "transition_ns", "admission_ns"}) {
+      const JsonValue* histogram = telemetry->find(key);
+      if (histogram == nullptr || !histogram->is_object()) continue;
+      out << "  " << key << ":";
+      for (const char* stat : {"count", "p50", "p90", "p99", "p999", "max"}) {
+        if (const JsonValue* value = histogram->find(stat)) {
+          out << ' ' << stat << '='
+              << (value->is_number() ? json_number_to_string(value->as_number())
+                                     : value->dump());
+        }
+      }
+      out << '\n';
+    }
+    if (const JsonValue* gauges = telemetry->find("gauges")) {
+      out << "  gauges:";
+      for (const auto& [key, value] : gauges->members()) {
+        out << ' ' << key << '='
+            << (value.is_number() ? fixed(value.as_number(), 6)
+                                  : value.dump());
+      }
+      out << '\n';
     }
   }
   if (const JsonValue* events = report.find("events")) {

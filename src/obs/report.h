@@ -29,6 +29,8 @@
 
 namespace dagsched {
 
+class TelemetryRecorder;
+
 inline constexpr std::string_view kRunReportSchema = "dagsched.run_report/1";
 inline constexpr std::string_view kBenchReportSchema =
     "dagsched.bench_report/1";
@@ -48,6 +50,9 @@ struct RunReportInputs {
   const MetricRegistry* registry = nullptr;
   const SpanRegistry* spans = nullptr;
   const EventLog* events = nullptr;
+  /// Runtime-telemetry recorder: adds a "telemetry" section with the
+  /// decide/transition/admission latency histograms and byte gauges.
+  const TelemetryRecorder* telemetry = nullptr;
   std::string events_path;  // recorded in the document when non-empty
 
   /// Timeline resolution; utilization requires result->trace (recorded

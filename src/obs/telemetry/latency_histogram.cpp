@@ -1,0 +1,86 @@
+#include "obs/telemetry/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dagsched {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSubCount) return static_cast<std::size_t>(ns);
+  // Octave = position of the most significant bit; keep the next kSubBits
+  // bits as the linear sub-bucket.
+  const int msb = static_cast<int>(std::bit_width(ns)) - 1;  // >= kSubBits
+  const int shift = msb - kSubBits;                 // >= 0
+  const auto sub = static_cast<std::size_t>((ns >> shift) & (kSubCount - 1));
+  return (static_cast<std::size_t>(shift) + 1) * kSubCount + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_lower_bound(std::size_t i) {
+  if (i < kSubCount) return i;
+  const std::size_t shift = i / kSubCount - 1;
+  const std::uint64_t sub = i % kSubCount;
+  return (kSubCount + sub) << shift;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  if (count_ == 0) {
+    min_ = ns;
+    max_ = ns;
+  } else {
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+  }
+  ++count_;
+  sum_ += static_cast<double>(ns);
+  if (ns >= kMaxTrackedNs) {
+    ++overflow_;
+  } else {
+    ++buckets_[bucket_index(ns)];
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based: the smallest r with
+  // r >= q * count (and at least 1), the standard nearest-rank definition
+  // the exact-sample tests compare against.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Upper edge of the bucket (inclusive): never under-reports, and
+      // over-reports by at most the bucket width <= value / 2^kSubBits.
+      const std::uint64_t next = i + 1 < kNumBuckets
+                                     ? bucket_lower_bound(i + 1)
+                                     : kMaxTrackedNs;
+      return std::min(next - 1, max_);
+    }
+  }
+  return max_;  // rank falls in the overflow bucket
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+}  // namespace dagsched

@@ -1,0 +1,83 @@
+// LatencyHistogram: fixed-memory, log-bucketed (HDR-style) latency recorder.
+//
+// The runtime-telemetry layer needs per-decide() / per-transition /
+// per-arrival wall-cost distributions on runs with 10^5..10^6 observations,
+// so per-sample storage (SampleSet) is out: this histogram is a fixed 8 KiB
+// array of power-of-two octaves, each split into 2^kSubBits linear
+// sub-buckets, the bucketing scheme of HdrHistogram and production DAG
+// schedulers' overhead telemetry (DAGPS reports scheduler-latency
+// distributions the same way).
+//
+// Guarantees, all covered by tests/test_telemetry.cpp:
+//   * values below 2^kSubBits ns are recorded exactly;
+//   * any reported percentile P satisfies
+//       exact <= P <= exact * (1 + 2^-kSubBits) + 1
+//     against the true (sorted-sample) percentile;
+//   * merge() is exact bucket-wise addition, so merging is associative and
+//     order-independent (shard-and-merge safe);
+//   * values at or above kMaxTrackedNs land in a dedicated overflow bucket
+//     (counted, included in percentile ranks; reported as max()).
+//
+// Single-threaded like the rest of the obs layer: one recorder per run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dagsched {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave, i.e.
+  /// a worst-case relative quantization error of 1/32 ~ 3.1%.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  /// Largest tracked value, exclusive: 2^36 ns ~ 69 s.  Anything slower is
+  /// not a latency any gate cares about distinguishing; it lands in the
+  /// overflow bucket.
+  static constexpr int kMaxExponent = 36;
+  /// Octave 0 covers [0, 2^kSubBits) exactly with kSubCount unit buckets;
+  /// octaves 1..(kMaxExponent - kSubBits) each contribute kSubCount buckets
+  /// (the top octave's last bucket ends exactly at kMaxTrackedNs).
+  static constexpr std::size_t kNumBuckets =
+      (kMaxExponent - kSubBits + 1) * kSubCount;
+
+  void record(std::uint64_t ns);
+
+  /// Exact bucket-wise addition (associative, commutative).
+  void merge(const LatencyHistogram& other);
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket holding
+  /// the rank-ceil(q*count) observation (see the error bound above).
+  /// Returns 0 when empty; returns max() when the rank falls in the
+  /// overflow bucket.
+  std::uint64_t percentile_ns(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t overflow_count() const { return overflow_; }
+  double sum_ns() const { return sum_; }
+  double mean_ns() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  std::uint64_t min_ns() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max_ns() const { return count_ > 0 ? max_ : 0; }
+  const std::uint64_t* buckets() const { return buckets_; }
+
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_lower_bound(std::size_t i);
+  /// Index of the bucket covering `ns` (ns must be < kMaxTrackedNs).
+  static std::size_t bucket_index(std::uint64_t ns);
+  static constexpr std::uint64_t kMaxTrackedNs = 1ull << kMaxExponent;
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t overflow_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t buckets_[kNumBuckets] = {};
+};
+
+}  // namespace dagsched

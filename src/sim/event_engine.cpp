@@ -32,6 +32,7 @@ SimResult EventEngine::run() {
   kernel_options.observer = options_.observer;
   kernel_options.obs = options_.obs;
   kernel_options.faults = options_.faults;
+  kernel_options.telemetry = options_.telemetry;
   SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
 
   // The step-duration histogram is the one event-engine-specific instrument

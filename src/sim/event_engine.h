@@ -27,6 +27,8 @@
 
 namespace dagsched {
 
+class TelemetryRecorder;
+
 struct EngineOptions {
   ProcCount num_procs = 1;
   /// Resource augmentation: work units processed per processor-time-unit.
@@ -47,6 +49,9 @@ struct EngineOptions {
   /// decide() sees the reduced ctx.num_procs(), and the scheduler's
   /// on_capacity_change() runs its degradation policy.
   const FaultInjector* faults = nullptr;
+  /// Runtime-telemetry recorder (obs/telemetry); null = off, the seed code
+  /// path.  Forwarded to KernelOptions::telemetry.
+  TelemetryRecorder* telemetry = nullptr;
 };
 
 /// Continuous-time stepping driver over the shared SimKernel

@@ -35,6 +35,7 @@ SimResult run_simulation(EngineKind kind, const JobSet& jobs,
       eo.observer = options.observer;
       eo.obs = options.obs;
       eo.faults = options.faults;
+      eo.telemetry = options.telemetry;
       EventEngine engine(jobs, scheduler, selector, std::move(eo));
       return engine.run();
     }
@@ -47,6 +48,7 @@ SimResult run_simulation(EngineKind kind, const JobSet& jobs,
       so.observer = options.observer;
       so.obs = options.obs;
       so.faults = options.faults;
+      so.telemetry = options.telemetry;
       SlotEngine engine(jobs, scheduler, selector, std::move(so));
       return engine.run();
     }

@@ -23,6 +23,8 @@
 
 namespace dagsched {
 
+class TelemetryRecorder;
+
 enum class EngineKind {
   kEvent,  // continuous event-to-event stepping (EventEngine)
   kSlot,   // discrete unit time slots, the paper's native model (SlotEngine)
@@ -48,6 +50,8 @@ struct SimOptions {
   std::function<void(const EngineContext&, const Assignment&)> observer;
   const ObsSink* obs = nullptr;
   const FaultInjector* faults = nullptr;
+  /// Runtime-telemetry recorder (obs/telemetry); null = off.
+  TelemetryRecorder* telemetry = nullptr;
 };
 
 /// Constructs the requested stepping driver over the shared kernel and runs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 
@@ -64,6 +65,11 @@ void SimKernel::begin(Time start_time) {
     decide_span_ = obs_->spans->span("engine.decide");
   }
 
+  telemetry_ = options_.telemetry;
+  expiries_delivered_ = 0;
+  unfolding_bytes_ = 0;
+  if (telemetry_ != nullptr) telemetry_->begin_run(start_time);
+
   // Fault state: all of it (including counter registration) is gated on
   // options_.faults so fault-free runs stay byte-identical.
   const FaultInjector* faults = options_.faults;
@@ -122,6 +128,9 @@ void SimKernel::deliver_transitions(Time now) {
   // victim-map entries across idle stretches).
   const FaultInjector* faults = options_.faults;
   const auto& transitions = faults->transitions();
+  const auto telemetry_t0 = telemetry_ != nullptr
+                                ? TelemetryRecorder::Clock::now()
+                                : TelemetryRecorder::Clock::time_point{};
   bool capacity_changed = false;
   while (next_transition_ < transitions.size() &&
          approx_le(transitions[next_transition_].time, now)) {
@@ -168,12 +177,18 @@ void SimKernel::deliver_transitions(Time now) {
     ctx_.m_ = avail_;
     scheduler_.on_capacity_change(ctx_, old_m, avail_);
   }
+  if (telemetry_ != nullptr) telemetry_->record_transition_since(telemetry_t0);
 }
 
 void SimKernel::deliver_arrivals(Time now) {
   const std::size_t n = jobs_.size();
   const FaultInjector* faults = options_.faults;
   while (next_arrival_ < n && approx_le(jobs_[next_arrival_].release(), now)) {
+    // Admission cost = unfolding construction + bookkeeping + the
+    // scheduler's on_arrival (allocation computation, condition (2)).
+    const auto telemetry_t0 = telemetry_ != nullptr
+                                  ? TelemetryRecorder::Clock::now()
+                                  : TelemetryRecorder::Clock::time_point{};
     const JobId id = static_cast<JobId>(next_arrival_++);
     JobRuntime& rt = runtimes_[id];
     rt.arrived = true;
@@ -204,6 +219,10 @@ void SimKernel::deliver_arrivals(Time now) {
       }
     }
     scheduler_.on_arrival(ctx_, id);
+    if (telemetry_ != nullptr) {
+      unfolding_bytes_ += rt.unfolding->memory_bytes();
+      telemetry_->record_admission_since(telemetry_t0);
+    }
   }
 }
 
@@ -218,6 +237,7 @@ void SimKernel::deliver_expiries(Time now, DeadlineDuePolicy policy) {
     JobRuntime& rt = runtimes_[id];
     if (rt.completed || rt.deadline_notified) continue;
     rt.deadline_notified = true;
+    ++expiries_delivered_;
     DS_OBS_INC(c_expiries_);
     if (obs_ != nullptr) obs_->event(now, id, ObsEventKind::kExpire);
     scheduler_.on_deadline(ctx_, id);
@@ -261,9 +281,16 @@ std::string SimKernel::validate(const Assignment& assignment) {
 
 bool SimKernel::decide(Time now, Assignment& out) {
   out.clear();
-  {
+  if (telemetry_ == nullptr) {
     ScopedSpan decide_scope(decide_span_);
     scheduler_.decide(ctx_, out);
+  } else {
+    const auto t0 = TelemetryRecorder::Clock::now();
+    {
+      ScopedSpan decide_scope(decide_span_);
+      scheduler_.decide(ctx_, out);
+    }
+    telemetry_->record_decide_since(t0);
   }
   DS_OBS_INC(c_decisions_);
   ++result_.decisions;
@@ -286,6 +313,9 @@ bool SimKernel::decide(Time now, Assignment& out) {
     return false;
   }
   if (options_.observer) options_.observer(ctx_, out);
+  if (telemetry_ != nullptr && telemetry_->snapshot_due(now)) {
+    emit_telemetry(now, /*final_snapshot=*/false);
+  }
   return true;
 }
 
@@ -378,7 +408,52 @@ void SimKernel::account_preemptions(
   std::swap(prev_jobs_, jobs);
 }
 
+std::size_t SimKernel::kernel_bytes() const {
+  // Allocated (capacity) bytes of the kernel's bookkeeping containers --
+  // the figure the million-job memory budget tracks per subsystem.
+  return runtimes_.capacity() * sizeof(JobRuntime) +
+         active_.capacity() * sizeof(JobId) +
+         active_pos_.capacity() * sizeof(std::size_t) +
+         deadlines_.size() * sizeof(DeadlineEntry) +
+         completed_now_.capacity() * sizeof(JobId) +
+         prev_nodes_.capacity() * sizeof(std::pair<JobId, NodeId>) +
+         prev_jobs_.capacity() * sizeof(JobId) +
+         node_stamp_base_.capacity() * sizeof(std::size_t) +
+         node_stamp_.capacity() * sizeof(std::uint32_t) +
+         job_stamp_.capacity() * sizeof(std::uint32_t) +
+         preempted_jobs_.capacity() * sizeof(JobId) +
+         alloc_stamp_.capacity() * sizeof(std::uint32_t) +
+         proc_up_.capacity() * sizeof(char) +
+         proc_node_.capacity() * sizeof(std::pair<JobId, NodeId>) +
+         up_list_.capacity() * sizeof(ProcCount);
+}
+
+void SimKernel::emit_telemetry(Time now, bool final_snapshot) {
+  TelemetrySample sample;
+  sample.sim_time = now;
+  sample.final_snapshot = final_snapshot;
+  sample.decisions = result_.decisions;
+  sample.arrivals = next_arrival_;
+  sample.completions = jobs_done_;
+  sample.expiries = expiries_delivered_;
+  sample.transitions = churn_ ? next_transition_ : 0;
+  sample.jobs_in_flight = active_live_;
+  sample.jobs_total = jobs_.size();
+  sample.queue_depth = scheduler_.queue_depth();
+  sample.kernel_bytes = kernel_bytes();
+  sample.unfolding_bytes = unfolding_bytes_;
+  sample.scheduler_bytes = scheduler_.memory_bytes();
+  if (final_snapshot) {
+    telemetry_->finish_run(sample);
+  } else {
+    telemetry_->emit_snapshot(sample);
+  }
+}
+
 SimResult SimKernel::finish() {
+  if (telemetry_ != nullptr) {
+    emit_telemetry(result_.end_time, /*final_snapshot=*/true);
+  }
   // Idle processor-time is the accounted capacity not spent executing; this
   // is exact even when a node finishes mid-slot and strands its processor
   // for the rest of the slot.

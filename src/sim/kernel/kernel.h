@@ -47,6 +47,8 @@
 
 namespace dagsched {
 
+class TelemetryRecorder;
+
 struct KernelOptions {
   ProcCount num_procs = 1;
   /// Work units processed per processor-time-unit (resource augmentation).
@@ -62,6 +64,12 @@ struct KernelOptions {
   const ObsSink* obs = nullptr;
   /// Fault injector; null = no faults, byte-identical to a fault-free build.
   const FaultInjector* faults = nullptr;
+  /// Runtime-telemetry recorder (obs/telemetry): decide/transition/admission
+  /// latency histograms plus periodic snapshots of counters and byte gauges.
+  /// Null = off, the seed code path; when set, timing happens outside the
+  /// scheduler callbacks so decision logs stay byte-identical (the parity
+  /// script proves it).
+  TelemetryRecorder* telemetry = nullptr;
 };
 
 /// How an engine maps deadline instants onto its decision points.  The
@@ -286,6 +294,12 @@ class SimKernel {
   void deliver_arrivals(Time now);
   void deliver_expiries(Time now, DeadlineDuePolicy policy);
   void notify_completions_slow(Time notify_time);
+  /// Fills a TelemetrySample with the live gauges and emits it through the
+  /// recorder (periodic when `final_snapshot` is false, unconditional final
+  /// otherwise).  Only called with telemetry_ != nullptr.
+  void emit_telemetry(Time now, bool final_snapshot);
+  /// Allocated bytes of the kernel's own bookkeeping containers.
+  std::size_t kernel_bytes() const;
   /// Rewrites active_ without tombstones (preserving order) once live
   /// entries drop below half the slots; amortized O(1) per removal.
   void compact_active();
@@ -328,6 +342,14 @@ class SimKernel {
   Counter* c_lost_work_ = nullptr;
   Histogram* h_running_ = nullptr;
   SpanStats* decide_span_ = nullptr;
+
+  // Runtime telemetry (null = off, the seed code path).  expiries_delivered_
+  // and unfolding_bytes_ are plain member updates with no observable side
+  // effects on the decision log; unfolding_bytes_ accumulation is gated on
+  // telemetry_ to keep the disabled hot path free of virtual calls.
+  TelemetryRecorder* telemetry_ = nullptr;
+  std::size_t expiries_delivered_ = 0;
+  std::size_t unfolding_bytes_ = 0;
 
   // Fault state.
   bool churn_ = false;

@@ -79,6 +79,18 @@ class SchedulerBase {
   /// validates: total procs <= ctx.num_procs(), every job arrived and
   /// incomplete, no duplicate jobs, procs >= 1 per entry.
   virtual void decide(const EngineContext& ctx, Assignment& out) = 0;
+
+  // ---- Telemetry introspection (obs/telemetry) ----------------------------
+  // Read-only gauges sampled by the kernel when a TelemetryRecorder is
+  // attached; never called on the byte-identical telemetry-off path.
+
+  /// Jobs currently held in this scheduler's queues/indexes (0 for policies
+  /// that keep no queue of their own and re-read ctx.active() per decide).
+  virtual std::size_t queue_depth() const { return 0; }
+
+  /// Estimated bytes of scheduler-owned queue/index state (allocated, not
+  /// live -- the quantity the million-job memory budget constrains).
+  virtual std::size_t memory_bytes() const { return 0; }
 };
 
 }  // namespace dagsched

@@ -51,6 +51,7 @@ SimResult SlotEngine::run() {
   kernel_options.observer = options_.observer;
   kernel_options.obs = options_.obs;
   kernel_options.faults = options_.faults;
+  kernel_options.telemetry = options_.telemetry;
   SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
 
   const ObsSink* obs = options_.obs;

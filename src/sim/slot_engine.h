@@ -26,6 +26,8 @@
 
 namespace dagsched {
 
+class TelemetryRecorder;
+
 struct SlotEngineOptions {
   ProcCount num_procs = 1;
   /// Work units one processor completes per slot.
@@ -41,6 +43,9 @@ struct SlotEngineOptions {
   /// Fault injector; null = no faults (see EngineOptions::faults).  Use
   /// integral transition times for slot-aligned churn.
   const FaultInjector* faults = nullptr;
+  /// Runtime-telemetry recorder (obs/telemetry); null = off, the seed code
+  /// path.  Forwarded to KernelOptions::telemetry.
+  TelemetryRecorder* telemetry = nullptr;
 };
 
 /// Discrete-slot stepping driver over the shared SimKernel

@@ -20,7 +20,9 @@ import unittest
 SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "bench_regress.py"
 
 
-def report(measurements: dict[str, float]) -> dict:
+def report(measurements: dict[str, float],
+           counters: dict[str, dict[str, float]] | None = None) -> dict:
+    counters = counters or {}
     return {
         "schema": "dagsched.bench_report/1",
         "bench": "engine_perf",
@@ -31,7 +33,7 @@ def report(measurements: dict[str, float]) -> dict:
                 "cpu_time_ns": ns,
                 "iterations": 1,
                 "aggregate": "",
-                "counters": {},
+                "counters": counters.get(name, {}),
             }
             for name, ns in measurements.items()
         ],
@@ -39,12 +41,15 @@ def report(measurements: dict[str, float]) -> dict:
 
 
 def run_gate(baseline: dict[str, float], current: dict[str, float],
-             *extra: str) -> subprocess.CompletedProcess:
+             *extra: str,
+             baseline_counters: dict[str, dict[str, float]] | None = None,
+             current_counters: dict[str, dict[str, float]] | None = None,
+             ) -> subprocess.CompletedProcess:
     with tempfile.TemporaryDirectory() as tmp:
         base_path = pathlib.Path(tmp) / "baseline.json"
         cur_path = pathlib.Path(tmp) / "current.json"
-        base_path.write_text(json.dumps(report(baseline)))
-        cur_path.write_text(json.dumps(report(current)))
+        base_path.write_text(json.dumps(report(baseline, baseline_counters)))
+        cur_path.write_text(json.dumps(report(current, current_counters)))
         return subprocess.run(
             [sys.executable, str(SCRIPT), str(base_path), str(cur_path),
              "--threshold", "0.25", *extra],
@@ -98,6 +103,52 @@ class BenchRegressGate(unittest.TestCase):
             "--warn-only",
         )
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_latency_counter_regression_fails(self):
+        # _ns counters (the telemetry benches' decide_p99_ns) gate exactly
+        # like real_time_ns: shared names past the threshold fail.
+        result = run_gate(
+            {"BM_EventEnginePaperSTelemetry/50": 1e5},
+            {"BM_EventEnginePaperSTelemetry/50": 1e5},
+            baseline_counters={
+                "BM_EventEnginePaperSTelemetry/50": {"decide_p99_ns": 100.0}
+            },
+            current_counters={
+                "BM_EventEnginePaperSTelemetry/50": {"decide_p99_ns": 200.0}
+            },
+        )
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn(
+            "BM_EventEnginePaperSTelemetry/50:decide_p99_ns", result.stdout
+        )
+
+    def test_counter_appearing_is_informational(self):
+        # A counter present only in the current report is a "(new)" row.
+        result = run_gate(
+            {"BM_EventEnginePaperSTelemetry/50": 1e5},
+            {"BM_EventEnginePaperSTelemetry/50": 1e5},
+            current_counters={
+                "BM_EventEnginePaperSTelemetry/50": {"decide_p99_ns": 200.0}
+            },
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("(new)", result.stdout)
+
+    def test_throughput_counters_are_not_gated(self):
+        # items_per_second halving is not a latency regression; only _ns
+        # counters are compared.
+        result = run_gate(
+            {"BM_EventEnginePaperS/50": 1e5},
+            {"BM_EventEnginePaperS/50": 1e5},
+            baseline_counters={
+                "BM_EventEnginePaperS/50": {"items_per_second": 2e6}
+            },
+            current_counters={
+                "BM_EventEnginePaperS/50": {"items_per_second": 1e6}
+            },
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertNotIn("items_per_second", result.stdout)
 
 
 if __name__ == "__main__":

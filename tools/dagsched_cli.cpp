@@ -18,6 +18,7 @@
 // guard or runaway horizon -- the run terminated abnormally but cleanly),
 // 4 `trace diff` found a divergence between the two event logs.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -33,6 +34,7 @@
 #include "obs/crash_dump.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/telemetry/telemetry.h"
 #include "obs/trace_export.h"
 #include "opt/exact.h"
 #include "opt/upper_bound.h"
@@ -71,10 +73,13 @@ int usage() {
          "\n           [--engine event|slot] [--selector KIND] [--gantt] "
          "[--svg FILE]\n"
          "           [--obs REPORT.json] [--events EVENTS.jsonl]\n"
+         "           [--telemetry OUT.jsonl] [--telemetry-interval "
+         "N|Nms|Ns]\n"
          "           [--faults mtbf=T,mttr=T,horizon=T,seed=S,min-procs=K,"
          "\n                    integral=0|1,overrun-prob=P,overrun-factor=F,"
          "restart=resume|zero]\n"
          "  dagsched report REPORT.json   # run or bench report\n"
+         "  dagsched top TELEMETRY.jsonl  # render telemetry snapshots\n"
          "  dagsched trace export FILE [run flags] [--out TRACE.json]\n"
          "  dagsched trace attribution FILE [run flags] [--json] "
          "[--out FILE]\n"
@@ -185,7 +190,8 @@ std::optional<FaultInjector> make_injector(const std::string& fault_spec,
 SimResult run_engine(const std::string& engine, const JobSet& jobs,
                      SchedulerBase& scheduler, NodeSelector& selector,
                      ProcCount m, double speed, bool record_trace,
-                     const ObsSink* obs, const FaultInjector* faults) {
+                     const ObsSink* obs, const FaultInjector* faults,
+                     TelemetryRecorder* telemetry = nullptr) {
   const std::optional<EngineKind> kind = parse_engine_kind(engine);
   if (!kind) throw std::invalid_argument("unknown engine '" + engine + "'");
   SimOptions options;
@@ -194,7 +200,42 @@ SimResult run_engine(const std::string& engine, const JobSet& jobs,
   options.record_trace = record_trace;
   options.obs = obs;
   options.faults = faults;
+  options.telemetry = telemetry;
   return run_simulation(*kind, jobs, scheduler, selector, options);
+}
+
+/// Parses a `--telemetry-interval` value into TelemetryOptions intervals:
+/// a plain number is simulated time units, an `ms`/`s` suffix is wall
+/// clock.  Throws ParseError (exit 2) on a malformed value.
+void apply_telemetry_interval(const std::string& value,
+                              TelemetryOptions& options) {
+  std::string number = value;
+  double wall_scale = 0.0;  // 0 = simulated time
+  if (value.size() > 2 && value.substr(value.size() - 2) == "ms") {
+    number = value.substr(0, value.size() - 2);
+    wall_scale = 1e6;  // ms -> ns
+  } else if (value.size() > 1 && value.back() == 's') {
+    number = value.substr(0, value.size() - 1);
+    wall_scale = 1e9;  // s -> ns
+  }
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != number.size() || !(parsed > 0.0)) {
+    throw ParseError("--telemetry-interval", 1, 1,
+                     "expected a positive number with optional ms/s suffix, "
+                     "got '" +
+                         value + "'");
+  }
+  if (wall_scale > 0.0) {
+    options.wall_interval_ns = static_cast<std::uint64_t>(parsed * wall_scale);
+  } else {
+    options.sim_interval = parsed;
+  }
 }
 
 int cmd_run(ArgParser& args) {
@@ -214,7 +255,15 @@ int cmd_run(ArgParser& args) {
   const std::string obs_path = args.get_string("obs", "");
   const std::string events_path = args.get_string("events", "");
   const std::string fault_spec = args.get_string("faults", "");
+  const std::string telemetry_path = args.get_string("telemetry", "");
+  const std::string telemetry_interval =
+      args.get_string("telemetry-interval", "");
   args.finish();
+
+  if (!telemetry_interval.empty() && telemetry_path.empty()) {
+    std::cerr << "run: --telemetry-interval requires --telemetry\n";
+    return 1;
+  }
 
   // Fault plan: parsed and materialized before the engines exist, so both
   // engines would consume the identical schedule.  Spec errors are parse
@@ -233,6 +282,26 @@ int cmd_run(ArgParser& args) {
   }
   if (!obs_path.empty() || !events_path.empty()) sink.events = &event_log;
   const ObsSink* obs = sink.enabled() ? &sink : nullptr;
+
+  // Runtime telemetry: a JSONL snapshot stream next to (and independent of)
+  // the obs registries.  No flag => null recorder => seed behavior.
+  std::ofstream telemetry_out;
+  std::optional<TelemetryRecorder> telemetry;
+  if (!telemetry_path.empty()) {
+    telemetry_out.open(telemetry_path);
+    if (!telemetry_out) {
+      std::cerr << "cannot open " << telemetry_path << "\n";
+      return 1;
+    }
+    TelemetryOptions telemetry_options;
+    telemetry_options.out = &telemetry_out;
+    if (telemetry_interval.empty()) {
+      telemetry_options.wall_interval_ns = 100'000'000;  // default: 100ms
+    } else {
+      apply_telemetry_interval(telemetry_interval, telemetry_options);
+    }
+    telemetry.emplace(telemetry_options);
+  }
 
   // With an event log wired, make DS_CHECK failures flush it (plus a final
   // engine-abort event) instead of losing the decision history.
@@ -265,7 +334,8 @@ int cmd_run(ArgParser& args) {
       show_gantt || show_profile || !svg_path.empty() || !obs_path.empty();
   const SimResult result =
       run_engine(engine, jobs, *scheduler, *sel, m, speed, record_trace, obs,
-                 injector ? &*injector : nullptr);
+                 injector ? &*injector : nullptr,
+                 telemetry ? &*telemetry : nullptr);
 
   std::cout << "scheduler:        " << scheduler->name() << "\n"
             << "jobs:             " << jobs.size() << "\n"
@@ -336,6 +406,11 @@ int cmd_run(ArgParser& args) {
     std::cout << "wrote " << event_log.size() << " events to " << events_path
               << "\n";
   }
+  if (telemetry) {
+    telemetry_out.flush();
+    std::cout << "wrote " << telemetry->snapshots_emitted()
+              << " telemetry snapshots to " << telemetry_path << "\n";
+  }
   if (!obs_path.empty()) {
     RunReportInputs inputs;
     inputs.scheduler = scheduler->name();
@@ -354,6 +429,7 @@ int cmd_run(ArgParser& args) {
     } else {
       inputs.events_path = events_path;
     }
+    if (telemetry) inputs.telemetry = &*telemetry;
     const JsonValue report = build_run_report(inputs);
     std::ofstream out(obs_path);
     if (!out) {
@@ -632,6 +708,104 @@ int cmd_opt(ArgParser& args) {
   return 0;
 }
 
+// `dagsched top TELEMETRY.jsonl`: render a telemetry snapshot stream as a
+// per-snapshot table plus a final-state summary -- the offline equivalent
+// of watching the run live.
+int cmd_top(ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  const std::string path = args.positional()[1];
+  args.finish();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::string error;
+  const auto snapshots = parse_telemetry_jsonl(in, &error);
+  if (!snapshots) {
+    std::cerr << "top: " << path << ": " << error << "\n";
+    return 2;
+  }
+  if (snapshots->empty()) {
+    std::cout << "no telemetry snapshots in " << path << "\n";
+    return 0;
+  }
+
+  auto num = [](const JsonValue& snap, std::string_view section,
+                std::string_view key) -> double {
+    const JsonValue* group = snap.find(section);
+    if (group == nullptr) return 0.0;
+    const JsonValue* value = group->find(key);
+    return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+  };
+  auto top_num = [](const JsonValue& snap, std::string_view key) -> double {
+    const JsonValue* value = snap.find(key);
+    return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+  };
+
+  auto whole = [](double value) {
+    return static_cast<std::uint64_t>(std::max(0.0, value));
+  };
+
+  std::cout << "telemetry: " << path << " (" << snapshots->size()
+            << " snapshots)\n"
+            << "  seq    sim_time    wall_ms   in_flight   queue"
+               "    events/s   decide_p99_ns   bytes/job\n";
+  std::cout << std::fixed;
+  for (const JsonValue& snap : *snapshots) {
+    std::cout << "  " << std::setw(3) << whole(top_num(snap, "seq")) << "  "
+              << std::setw(10) << std::setprecision(2)
+              << top_num(snap, "sim_time") << "  " << std::setw(9)
+              << std::setprecision(1) << top_num(snap, "wall_ms") << "  "
+              << std::setw(9) << whole(num(snap, "gauges", "jobs_in_flight"))
+              << "  " << std::setw(6)
+              << whole(num(snap, "gauges", "queue_depth")) << "  "
+              << std::setw(10) << whole(num(snap, "rates", "events_per_sec"))
+              << "  " << std::setw(14) << whole(num(snap, "decide_ns", "p99"))
+              << "  " << std::setw(9) << std::setprecision(1)
+              << num(snap, "gauges", "bytes_per_job") << "\n";
+  }
+  std::cout.unsetf(std::ios::floatfield);
+  std::cout << std::setprecision(6);
+
+  const JsonValue& last = snapshots->back();
+  std::cout << "\nfinal state:\n"
+            << "  decisions:   " << whole(num(last, "counters", "decisions"))
+            << "\n"
+            << "  arrivals:    " << whole(num(last, "counters", "arrivals"))
+            << "\n"
+            << "  completions: "
+            << whole(num(last, "counters", "completions")) << "\n"
+            << "  expiries:    " << whole(num(last, "counters", "expiries"))
+            << "\n";
+  for (const char* histogram : {"decide_ns", "transition_ns", "admission_ns"}) {
+    if (num(last, histogram, "count") == 0.0) continue;
+    std::cout << "  " << std::left << std::setw(14) << histogram << std::right
+              << " count " << whole(num(last, histogram, "count")) << "  p50 "
+              << whole(num(last, histogram, "p50")) << "  p90 "
+              << whole(num(last, histogram, "p90")) << "  p99 "
+              << whole(num(last, histogram, "p99")) << "  p999 "
+              << whole(num(last, histogram, "p999")) << "  max "
+              << whole(num(last, histogram, "max")) << "\n";
+  }
+  std::cout << "  tracked bytes: "
+            << static_cast<std::uint64_t>(num(last, "gauges", "tracked_bytes"))
+            << " (kernel "
+            << static_cast<std::uint64_t>(num(last, "gauges", "kernel_bytes"))
+            << ", unfolding "
+            << static_cast<std::uint64_t>(
+                   num(last, "gauges", "unfolding_bytes"))
+            << ", scheduler "
+            << static_cast<std::uint64_t>(
+                   num(last, "gauges", "scheduler_bytes"))
+            << ")\n"
+            << "  rss bytes:     "
+            << static_cast<std::uint64_t>(num(last, "gauges", "rss_bytes"))
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -642,6 +816,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "run") return cmd_run(args);
     if (command == "report") return cmd_report(args);
+    if (command == "top") return cmd_top(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "compare") return cmd_compare(args);
