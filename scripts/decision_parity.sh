@@ -16,6 +16,11 @@
 #      plain, once with --telemetry attached -- and require the event logs
 #      to be byte-identical (the obs/telemetry off==seed contract):
 #        scripts/decision_parity.sh telemetry BUILD_DIR
+#   4. resume mode: for every combo, kill a checkpointing run at a mid-run
+#      decision (--die-at-decision, exit 9), resume from the last snapshot,
+#      and require the resumed event log to be byte-identical to the
+#      uninterrupted run's suffix (docs/RECOVERY.md):
+#        scripts/decision_parity.sh resume BUILD_DIR
 #
 # Typical use: emit with the pre-change binary, apply the change, rebuild,
 # emit again, then diff.  Exits non-zero on the first divergence.
@@ -126,9 +131,66 @@ telemetry_check() {
   return "$fail"
 }
 
+resume_check() {
+  gen_workloads
+  local line sched engine wl fmode fargs tag fail=0 n=0 skipped=0
+  local decisions kill_at interval status emitted
+  while read -r line; do
+    read -r sched engine wl <<<"$line"
+    for fmode in none churn-resume churn-zero; do
+      fargs="$(fault_args "$fmode")"
+      tag="${sched}_${engine}_${wl}_${fmode}"
+      # Uninterrupted reference run.
+      # shellcheck disable=SC2086
+      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+        --m 16 $fargs --events "$workdir/$tag.full.jsonl" \
+        > "$workdir/$tag.summary.txt"
+      decisions="$(awk '/^decisions:/{print $2}' "$workdir/$tag.summary.txt")"
+      if [ "$decisions" -lt 3 ]; then
+        skipped=$((skipped + 1))
+        continue
+      fi
+      # Kill a checkpointing run halfway; the interval guarantees at least
+      # one snapshot lands before the kill point.
+      kill_at=$((decisions / 2))
+      [ "$kill_at" -lt 2 ] && kill_at=2
+      interval=$((kill_at / 3))
+      [ "$interval" -lt 1 ] && interval=1
+      status=0
+      # shellcheck disable=SC2086
+      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+        --m 16 $fargs --events "$workdir/$tag.killed.jsonl" \
+        --checkpoint "$workdir/$tag.ckpt" --checkpoint-interval "$interval" \
+        --die-at-decision "$kill_at" >/dev/null || status=$?
+      if [ "$status" -ne 9 ]; then
+        echo "KILL DID NOT EXIT 9 (got $status): $tag"
+        fail=1
+        continue
+      fi
+      emitted="$("$cli" checkpoint info "$workdir/$tag.ckpt" \
+        | awk '/^events_emitted:/{print $2}')"
+      # Resume and compare against the reference log's suffix.
+      # shellcheck disable=SC2086
+      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+        --m 16 $fargs --resume "$workdir/$tag.ckpt" \
+        --events "$workdir/$tag.resumed.jsonl" >/dev/null
+      n=$((n + 1))
+      if ! cmp -s <(tail -n +$((emitted + 1)) "$workdir/$tag.full.jsonl") \
+          "$workdir/$tag.resumed.jsonl"; then
+        echo "RESUME DIVERGED: $tag (checkpoint events_emitted=$emitted)"
+        fail=1
+      fi
+    done
+  done < <(combos)
+  [ "$fail" -eq 0 ] && echo "crash-recovery parity: all $n kill-resume" \
+    "combos byte-identical ($skipped skipped as too short)"
+  return "$fail"
+}
+
 case "$mode" in
   emit) emit "${3:?missing OUT_DIR}" ;;
   diff) diff_dirs "${3:?missing PRE_DIR}" "${4:?missing POST_DIR}" ;;
   telemetry) telemetry_check ;;
+  resume) resume_check ;;
   *) echo "unknown mode $mode" >&2; exit 2 ;;
 esac

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/sink.h"
 #include "util/check.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -15,6 +17,7 @@ void EquiScheduler::decide(const EngineContext& ctx, Assignment& out) {
   shares.clear();
   double total_weight = 0.0;
   for (const JobId job : ctx.active_jobs()) {
+    if (!overload_shed_.empty() && overload_shed_.count(job) != 0) continue;
     const JobView view = ctx.view(job);
     if (options_.drop_expired && view.deadline_unreachable(ctx.now())) {
       continue;
@@ -55,6 +58,52 @@ void EquiScheduler::decide(const EngineContext& ctx, Assignment& out) {
 
   for (std::size_t i = 0; i < shares.size(); ++i) {
     if (grant[i] >= 1) out.add(shares[i].first, grant[i]);
+  }
+}
+
+std::size_t EquiScheduler::shed_load(const EngineContext& ctx,
+                                     std::size_t max_jobs) {
+  std::size_t shed = 0;
+  const ObsSink* obs = ctx.obs();
+  while (shed < max_jobs) {
+    JobId victim = kInvalidJob;
+    double victim_weight = 0.0;
+    for (const JobId job : ctx.active_jobs()) {
+      if (overload_shed_.count(job) != 0) continue;
+      const JobView view = ctx.view(job);
+      if (view.ready_count() == 0) continue;
+      const double weight =
+          options_.weight_by_profit ? view.peak_profit() : 1.0;
+      // Lowest weight loses; ties shed the latest arrival (largest id).
+      if (victim == kInvalidJob || weight < victim_weight ||
+          (weight == victim_weight && job > victim)) {
+        victim = job;
+        victim_weight = weight;
+      }
+    }
+    if (victim == kInvalidJob) break;
+    overload_shed_.insert(victim);
+    if (obs != nullptr) {
+      obs->count("sched.drops.overload");
+      obs->event(ctx.now(), victim, ObsEventKind::kDrop,
+                 "overload.shed.share", {{"weight", victim_weight}});
+    }
+    ++shed;
+  }
+  return shed;
+}
+
+void EquiScheduler::save_state(CheckpointWriter& out) const {
+  out.u64(overload_shed_.size());
+  for (const JobId job : overload_shed_) out.u32(job);
+}
+
+void EquiScheduler::load_state(CheckpointReader& in) {
+  const std::uint64_t n = in.count(4);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!overload_shed_.insert(in.u32()).second) {
+      in.fail("duplicate shed-set entry");
+    }
   }
 }
 

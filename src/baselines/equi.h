@@ -12,6 +12,7 @@
 // never W, L or remaining work.
 #pragma once
 
+#include <set>
 #include <string>
 
 #include "sim/scheduler.h"
@@ -31,10 +32,21 @@ class EquiScheduler final : public SchedulerBase {
   std::string name() const override {
     return options_.weight_by_profit ? "equi(profit-weighted)" : "equi";
   }
+  void reset() override { overload_shed_.clear(); }
   void decide(const EngineContext& ctx, Assignment& out) override;
+  /// Overload shedding: EQUI has no committed allocations to revoke, so it
+  /// excludes the lowest-weight runnable job (latest arrival on ties) from
+  /// future splits.  Emits kDrop events with the `overload.shed.share` slug.
+  std::size_t shed_load(const EngineContext& ctx,
+                        std::size_t max_jobs) override;
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
 
  private:
   EquiOptions options_;
+  /// Jobs excluded from the split by shed_load (empty unless the overload
+  /// budget fired, so the default path is untouched).
+  std::set<JobId> overload_shed_;
 };
 
 }  // namespace dagsched

@@ -6,6 +6,7 @@
 #include "obs/sink.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -100,6 +101,69 @@ void FederatedScheduler::on_capacity_change(const EngineContext& ctx,
                         {"m", static_cast<double>(new_m)}});
     }
   }
+}
+
+std::size_t FederatedScheduler::shed_load(const EngineContext& ctx,
+                                          std::size_t max_jobs) {
+  std::size_t shed = 0;
+  const ObsSink* obs = ctx.obs();
+  while (shed < max_jobs && !running_.empty()) {
+    const JobId job = running_.back();
+    JobInfo& info = info_[job];
+    running_.pop_back();
+    DS_CHECK(committed_ >= info.cluster);
+    committed_ -= info.cluster;
+    info.admitted = false;
+    if (obs != nullptr) {
+      obs->count("sched.drops.overload");
+      obs->event(ctx.now(), job, ObsEventKind::kDrop, "overload.shed.cluster",
+                 {{"cluster", static_cast<double>(info.cluster)}});
+    }
+    ++shed;
+  }
+  return shed;
+}
+
+void FederatedScheduler::save_state(CheckpointWriter& out) const {
+  out.u64(info_.size());
+  for (const JobInfo& info : info_) {
+    out.u32(info.cluster);
+    out.boolean(info.admitted);
+  }
+  // running_ order is the admission (LIFO-eviction) order; saved verbatim.
+  out.u64(running_.size());
+  for (const JobId job : running_) out.u32(job);
+  out.u32(committed_);
+  out.u64(admitted_count_);
+}
+
+void FederatedScheduler::load_state(CheckpointReader& in) {
+  const std::uint64_t n = in.count(5);
+  info_.resize(static_cast<std::size_t>(n));
+  std::size_t flagged = 0;
+  for (JobInfo& info : info_) {
+    info.cluster = in.u32();
+    info.admitted = in.boolean();
+    if (info.admitted && info.cluster == 0) {
+      in.fail("admitted job with empty cluster");
+    }
+    flagged += info.admitted ? 1 : 0;
+  }
+  const std::uint64_t running = in.count(4);
+  if (running != flagged) in.fail("running list disagrees with flags");
+  running_.resize(static_cast<std::size_t>(running));
+  std::uint64_t total = 0;
+  for (JobId& job : running_) {
+    job = in.u32();
+    if (job >= n || !info_[job].admitted) in.fail("invalid running entry");
+    total += info_[job].cluster;
+  }
+  // Duplicate-free: flagged admitted jobs == list length and every entry is
+  // admitted, so a duplicate would leave some admitted job unlisted; catch
+  // it via the committed total instead of an O(n^2) scan.
+  committed_ = in.u32();
+  if (total != committed_) in.fail("committed total disagrees with clusters");
+  admitted_count_ = static_cast<std::size_t>(in.u64());
 }
 
 void FederatedScheduler::decide(const EngineContext& ctx, Assignment& out) {

@@ -46,6 +46,13 @@ class FederatedScheduler final : public SchedulerBase {
   void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
                           ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
+  /// Overload shedding: evicts the most recently admitted cluster (LIFO,
+  /// like the capacity-shrink path -- oldest commitments survive).  Emits
+  /// kDrop events with the `overload.shed.cluster` slug.
+  std::size_t shed_load(const EngineContext& ctx,
+                        std::size_t max_jobs) override;
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
 
   std::size_t admitted_count() const { return admitted_count_; }
 

@@ -1,10 +1,12 @@
 #include "baselines/list_scheduler.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "obs/sink.h"
 #include "util/check.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -55,7 +57,81 @@ double ListScheduler::key(const EngineContext& ctx, JobId job) const {
   return 0.0;
 }
 
-void ListScheduler::reset() { order_index_.clear(); }
+void ListScheduler::reset() {
+  order_index_.clear();
+  overload_shed_.clear();
+}
+
+std::size_t ListScheduler::shed_load(const EngineContext& ctx,
+                                     std::size_t max_jobs) {
+  std::size_t shed = 0;
+  const ObsSink* obs = ctx.obs();
+  auto emit = [&](JobId job) {
+    if (obs == nullptr) return;
+    obs->count("sched.drops.overload");
+    obs->event(ctx.now(), job, ObsEventKind::kDrop,
+               "overload.shed.lowest-priority");
+  };
+  if (indexed()) {
+    while (shed < max_jobs && !order_index_.empty()) {
+      const auto it = std::prev(order_index_.end());
+      emit(it->second);
+      order_index_.erase(it);
+      ++shed;
+    }
+    return shed;
+  }
+  // kLlf: keys are time-dependent and no index exists, so pick the victim
+  // the way decide_sorted would rank it -- largest (key, id) among runnable
+  // jobs not already shed -- and remember it.
+  while (shed < max_jobs) {
+    JobId victim = kInvalidJob;
+    double victim_key = 0.0;
+    for (const JobId job : ctx.active_jobs()) {
+      if (overload_shed_.count(job) != 0) continue;
+      if (ctx.view(job).ready_count() == 0) continue;
+      const double k = key(ctx, job);
+      if (victim == kInvalidJob ||
+          std::pair<double, JobId>{k, job} >
+              std::pair<double, JobId>{victim_key, victim}) {
+        victim = job;
+        victim_key = k;
+      }
+    }
+    if (victim == kInvalidJob) break;
+    overload_shed_.insert(victim);
+    emit(victim);
+    ++shed;
+  }
+  return shed;
+}
+
+void ListScheduler::save_state(CheckpointWriter& out) const {
+  out.u64(order_index_.size());
+  for (const auto& [k, job] : order_index_) {
+    out.f64(k);
+    out.u32(job);
+  }
+  out.u64(overload_shed_.size());
+  for (const JobId job : overload_shed_) out.u32(job);
+}
+
+void ListScheduler::load_state(CheckpointReader& in) {
+  const std::uint64_t indexed_count = in.count(12);
+  for (std::uint64_t i = 0; i < indexed_count; ++i) {
+    const double k = in.f64();
+    const JobId job = in.u32();
+    if (!order_index_.emplace(k, job).second) {
+      in.fail("duplicate order-index entry");
+    }
+  }
+  const std::uint64_t shed_count = in.count(4);
+  for (std::uint64_t i = 0; i < shed_count; ++i) {
+    if (!overload_shed_.insert(in.u32()).second) {
+      in.fail("duplicate shed-set entry");
+    }
+  }
+}
 
 void ListScheduler::on_arrival(const EngineContext& ctx, JobId job) {
   if (indexed()) order_index_.emplace(key(ctx, job), job);
@@ -113,6 +189,7 @@ void ListScheduler::decide_sorted(const EngineContext& ctx, Assignment& out) {
   static thread_local std::vector<std::pair<double, JobId>> order;
   order.clear();
   for (const JobId job : ctx.active_jobs()) {
+    if (!overload_shed_.empty() && overload_shed_.count(job) != 0) continue;
     const JobView view = ctx.view(job);
     if (options_.drop_expired && view.deadline_unreachable(ctx.now())) {
       if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.expired");

@@ -58,6 +58,16 @@ class ListScheduler final : public SchedulerBase {
   void on_arrival(const EngineContext& ctx, JobId job) override;
   void on_completion(const EngineContext& ctx, JobId job) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
+  /// Overload shedding: removes the lowest-priority job (the back of the
+  /// key order).  Indexed policies drop it from the index for good; kLlf
+  /// records the victim in a shed set decide_sorted() skips.  Emits kDrop
+  /// events with the `overload.shed.lowest-priority` slug.
+  std::size_t shed_load(const EngineContext& ctx,
+                        std::size_t max_jobs) override;
+  /// Checkpoint the key-ordered index (its contents are history-dependent:
+  /// expired jobs are removed for good) and the kLlf shed set.
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
   std::size_t queue_depth() const override { return order_index_.size(); }
   std::size_t memory_bytes() const override {
     // One red-black tree node per indexed job (kLlf keeps no index).
@@ -77,6 +87,10 @@ class ListScheduler final : public SchedulerBase {
   /// good (deadline_unreachable is monotone in time, so a skipped job can
   /// never become runnable again).
   std::set<std::pair<double, JobId>> order_index_;
+  /// kLlf only: jobs abandoned by shed_load (kLlf keeps no index to erase
+  /// from, so the shed decision is remembered here).  Empty unless the
+  /// overload budget fired, so the hot path is unchanged by default.
+  std::set<JobId> overload_shed_;
 };
 
 }  // namespace dagsched

@@ -1,10 +1,12 @@
 #include "core/deadline_scheduler.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "obs/sink.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -399,6 +401,155 @@ void DeadlineScheduler::decide(const EngineContext& ctx, Assignment& out) {
     // engine caps actual use at the job's ready-node count.
     out.allocs.front().procs += free;
   }
+}
+
+std::size_t DeadlineScheduler::shed_load(const EngineContext& ctx,
+                                         std::size_t max_jobs) {
+  // Lowest density first: the back of each queue (they are kept density-
+  // descending).  Waiting jobs go before started jobs -- abandoning a P job
+  // forfeits no committed profit.  Shed jobs are marked dropped, so every
+  // queue path skips them from here on; Q removals loosen admission
+  // windows, which is what lets the scheduler recover on its own once the
+  // overload clears.
+  std::size_t shed = 0;
+  const ObsSink* obs = ctx.obs();
+  auto emit = [&](JobId job, const char* slug) {
+    if (obs == nullptr) return;
+    obs->count("sched.drops.overload");
+    obs->event(ctx.now(), job, ObsEventKind::kDrop, slug,
+               {{"v", info_[job].alloc.v},
+                {"n", static_cast<double>(info_[job].alloc.n)}});
+  };
+  while (shed < max_jobs && !p_.empty()) {
+    const auto [v, job] = *std::prev(p_.end());
+    remove_from_p(job, v);
+    info_[job].dropped = true;
+    emit(job, "overload.shed.waiting");
+    ++shed;
+  }
+  while (shed < max_jobs && !q_.empty()) {
+    const auto [v, job] = *std::prev(q_.end());
+    q_.erase(job, v);
+    info_[job].in_q = false;
+    q_index_.erase(job);
+    mark_q_removal(v);
+    info_[job].dropped = true;
+    emit(job, "overload.shed.started");
+    ++shed;
+  }
+  return shed;
+}
+
+void DeadlineScheduler::save_state(CheckpointWriter& out) const {
+  out.u64(info_.size());
+  for (const JobInfo& info : info_) {
+    out.u32(info.alloc.n);
+    out.f64(info.alloc.x);
+    out.f64(info.alloc.v);
+    out.boolean(info.alloc.good);
+    out.f64(info.peak);
+    out.f64(info.abs_plateau_deadline);
+    out.f64(info.plateau);
+    out.u8(static_cast<std::uint8_t>(
+        (info.arrived ? 1u : 0u) | (info.started ? 2u : 0u) |
+        (info.dropped ? 4u : 0u) | (info.in_q ? 8u : 0u) |
+        (info.in_p ? 16u : 0u)));
+  }
+  out.u64(started_count_);
+  out.f64(started_profit_);
+  auto write_queue = [&out](const DensityOrderedQueue& queue) {
+    out.u64(queue.size());
+    for (const auto& [v, job] : queue) {
+      out.f64(v);
+      out.u32(job);
+    }
+  };
+  write_queue(q_);
+  write_queue(p_);
+  out.u64(p_fresh_.size());
+  for (const JobId job : p_fresh_) out.u32(job);
+  out.u64(p_dirty_.size());
+  for (const auto& [lo, hi] : p_dirty_) {
+    out.f64(lo);
+    out.f64(hi);
+  }
+  out.boolean(p_dirty_all_);
+}
+
+void DeadlineScheduler::load_state(CheckpointReader& in) {
+  const std::uint64_t n = in.count(46);
+  info_.resize(static_cast<std::size_t>(n));
+  std::size_t flagged_q = 0;
+  std::size_t flagged_p = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    JobInfo& info = info_[static_cast<std::size_t>(i)];
+    info.alloc.n = in.u32();
+    info.alloc.x = in.f64();
+    info.alloc.v = in.f64();
+    info.alloc.good = in.boolean();
+    info.peak = in.f64();
+    info.abs_plateau_deadline = in.f64();
+    info.plateau = in.f64();
+    const std::uint8_t flags = in.u8();
+    if ((flags & ~0x1Fu) != 0) {
+      in.fail("job " + std::to_string(i) + " has invalid flags");
+    }
+    info.arrived = (flags & 1u) != 0;
+    info.started = (flags & 2u) != 0;
+    info.dropped = (flags & 4u) != 0;
+    info.in_q = (flags & 8u) != 0;
+    info.in_p = (flags & 16u) != 0;
+    if ((info.in_q && info.in_p) ||
+        ((info.in_q || info.in_p) && (!info.arrived || info.dropped)) ||
+        (info.in_q && (!info.started || info.alloc.n == 0 ||
+                       !(info.alloc.v > 0.0)))) {
+      in.fail("job " + std::to_string(i) + " has inconsistent queue flags");
+    }
+    flagged_q += info.in_q ? 1 : 0;
+    flagged_p += info.in_p ? 1 : 0;
+  }
+  started_count_ = static_cast<std::size_t>(in.u64());
+  started_profit_ = in.f64();
+  // Q: the admission index is derived state, rebuilt entry by entry (its
+  // contents are a function of the member set, not of insertion history).
+  const std::uint64_t q_size = in.count(12);
+  for (std::uint64_t i = 0; i < q_size; ++i) {
+    const Density v = in.f64();
+    const JobId job = in.u32();
+    if (job >= n || !info_[job].in_q || info_[job].alloc.v != v) {
+      in.fail("Q entry " + std::to_string(i) + " does not match job state");
+    }
+    if (!q_.insert(job, v)) in.fail("duplicate Q member");
+    q_index_.insert(job, v, info_[job].alloc.n);
+  }
+  if (q_.size() != flagged_q) in.fail("Q size disagrees with in_q flags");
+  // P: the expiry heap is derived too -- its live entries are exactly one
+  // (plateau deadline, job) pair per current member; the lazily deleted
+  // entries the running process still carried are skipped on pop anyway.
+  const std::uint64_t p_size = in.count(12);
+  for (std::uint64_t i = 0; i < p_size; ++i) {
+    const Density v = in.f64();
+    const JobId job = in.u32();
+    if (job >= n || !info_[job].in_p || info_[job].alloc.v != v) {
+      in.fail("P entry " + std::to_string(i) + " does not match job state");
+    }
+    if (!p_.insert(job, v)) in.fail("duplicate P member");
+    p_expiry_.emplace(info_[job].abs_plateau_deadline, job);
+  }
+  if (p_.size() != flagged_p) in.fail("P size disagrees with in_p flags");
+  const std::uint64_t fresh = in.count(4);
+  p_fresh_.resize(static_cast<std::size_t>(fresh));
+  for (JobId& job : p_fresh_) {
+    job = in.u32();
+    if (job >= n) in.fail("p_fresh entry out of range");
+  }
+  const std::uint64_t dirty = in.count(16);
+  p_dirty_.resize(static_cast<std::size_t>(dirty));
+  for (auto& [lo, hi] : p_dirty_) {
+    lo = in.f64();
+    hi = in.f64();
+  }
+  p_dirty_all_ = in.boolean();
 }
 
 bool DeadlineScheduler::in_queue_q(JobId job) const {

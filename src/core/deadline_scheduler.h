@@ -105,6 +105,17 @@ class DeadlineScheduler final : public SchedulerBase {
   void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
                           ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
+  /// Overload shedding: abandons the lowest-density admissible jobs,
+  /// waiting set P before started set Q (dropping a P job forfeits no
+  /// committed profit).  Emits kDrop events with `overload.shed.waiting` /
+  /// `overload.shed.started` slugs.
+  std::size_t shed_load(const EngineContext& ctx,
+                        std::size_t max_jobs) override;
+  /// Checkpoint both queues, the per-job allocations, and the pending
+  /// incremental-drain work.  q_index_ and p_expiry_ are derived (rebuilt
+  /// on load); the audit trail is diagnostics and restarts empty on resume.
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
   std::size_t queue_depth() const override { return q_.size() + p_.size(); }
   std::size_t memory_bytes() const override;
 

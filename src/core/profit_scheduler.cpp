@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "obs/sink.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -267,6 +269,113 @@ void ProfitScheduler::decide(const EngineContext& ctx, Assignment& out) {
         out.add(job, info.alloc.n);
         free -= info.alloc.n;
       }
+    }
+  }
+}
+
+std::size_t ProfitScheduler::shed_load(const EngineContext& ctx,
+                                       std::size_t max_jobs) {
+  // Lowest density first: the back of work_order_ (scheduled, unfinished
+  // jobs in density-descending order).  Shedding releases every assigned
+  // slot, which only loosens Lemma-15 windows for future arrivals -- that
+  // is the automatic-recovery path once the overload clears.
+  std::size_t shed = 0;
+  const ObsSink* obs = ctx.obs();
+  while (shed < max_jobs && !work_order_.empty()) {
+    const auto [v, job] = *std::prev(work_order_.end());
+    JobInfo& info = info_[job];
+    for (const std::uint64_t t : info.assigned) {
+      const auto it = slots_.find(t);
+      if (it == slots_.end()) continue;
+      it->second.index.erase(job);
+      std::erase(it->second.jobs, job);
+    }
+    info.scheduled = false;
+    info.assigned.clear();
+    work_order_.erase({v, job});
+    if (obs != nullptr) {
+      obs->count("sched.drops.overload");
+      obs->event(ctx.now(), job, ObsEventKind::kDrop, "overload.shed.window",
+                 {{"v", v}, {"n", static_cast<double>(info.alloc.n)}});
+    }
+    ++shed;
+  }
+  return shed;
+}
+
+void ProfitScheduler::save_state(CheckpointWriter& out) const {
+  out.u64(info_.size());
+  for (const JobInfo& info : info_) {
+    out.u32(info.alloc.n);
+    out.f64(info.alloc.x);
+    out.f64(info.alloc.v);
+    out.boolean(info.alloc.good);
+    out.u64(info.assigned.size());
+    for (const std::uint64_t t : info.assigned) out.u64(t);
+    out.f64(info.deadline);
+    out.f64(info.v);
+    out.u8(static_cast<std::uint8_t>((info.arrived ? 1u : 0u) |
+                                     (info.scheduled ? 2u : 0u) |
+                                     (info.completed ? 4u : 0u)));
+  }
+  out.f64(cap_);
+  out.u64(scheduled_count_);
+  out.f64(scheduled_profit_);
+  // Each slot's job list is saved in its maintained (density desc, id asc)
+  // order; the per-slot window index and work_order_ are functions of the
+  // saved state and are rebuilt on load.
+  out.u64(slots_.size());
+  for (const auto& [t, slot] : slots_) {
+    out.u64(t);
+    out.u64(slot.jobs.size());
+    for (const JobId job : slot.jobs) out.u32(job);
+  }
+}
+
+void ProfitScheduler::load_state(CheckpointReader& in) {
+  const std::uint64_t n = in.count(46);
+  info_.resize(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    JobInfo& info = info_[static_cast<std::size_t>(i)];
+    info.alloc.n = in.u32();
+    info.alloc.x = in.f64();
+    info.alloc.v = in.f64();
+    info.alloc.good = in.boolean();
+    const std::uint64_t assigned = in.count(8);
+    info.assigned.resize(static_cast<std::size_t>(assigned));
+    for (std::uint64_t& t : info.assigned) t = in.u64();
+    info.deadline = in.f64();
+    info.v = in.f64();
+    const std::uint8_t flags = in.u8();
+    if ((flags & ~0x7u) != 0) {
+      in.fail("job " + std::to_string(i) + " has invalid flags");
+    }
+    info.arrived = (flags & 1u) != 0;
+    info.scheduled = (flags & 2u) != 0;
+    info.completed = (flags & 4u) != 0;
+    if (info.scheduled && !info.completed) {
+      work_order_.emplace(info.v, static_cast<JobId>(i));
+    }
+  }
+  cap_ = in.f64();
+  scheduled_count_ = static_cast<std::size_t>(in.u64());
+  scheduled_profit_ = in.f64();
+  const std::uint64_t slot_count = in.count(16);
+  std::uint64_t prev_t = 0;
+  for (std::uint64_t s = 0; s < slot_count; ++s) {
+    const std::uint64_t t = in.u64();
+    if (s > 0 && t <= prev_t) in.fail("slot keys out of order");
+    prev_t = t;
+    SlotInfo& slot = slots_[t];
+    const std::uint64_t members = in.count(4);
+    slot.jobs.resize(static_cast<std::size_t>(members));
+    for (JobId& job : slot.jobs) {
+      job = in.u32();
+      if (job >= n || !info_[job].arrived || info_[job].alloc.n == 0 ||
+          !(info_[job].v > 0.0) || slot.index.contains(job)) {
+        in.fail("slot " + std::to_string(t) + " references invalid job");
+      }
+      slot.index.insert(job, info_[job].v, info_[job].alloc.n);
     }
   }
 }

@@ -76,6 +76,15 @@ class ProfitScheduler final : public SchedulerBase {
   void on_capacity_change(const EngineContext& ctx, ProcCount old_m,
                           ProcCount new_m) override;
   void decide(const EngineContext& ctx, Assignment& out) override;
+  /// Overload shedding: unschedules the lowest-density scheduled unfinished
+  /// job (the back of work_order_), releasing all its assigned slots.
+  /// Emits kDrop events with the `overload.shed.window` slug.
+  std::size_t shed_load(const EngineContext& ctx,
+                        std::size_t max_jobs) override;
+  /// Checkpoint the per-job allocations/pinnings and each slot's job list.
+  /// Slot window indexes and work_order_ are derived (rebuilt on load).
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
   Time next_wakeup(const EngineContext& ctx) const override;
   std::size_t queue_depth() const override { return work_order_.size(); }
   std::size_t memory_bytes() const override;

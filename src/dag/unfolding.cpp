@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/float_cmp.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -109,6 +110,50 @@ void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
       ready_pos[succ] = static_cast<NodeId>(ready_size_);
       ready[ready_size_++] = succ;
       if (newly_ready != nullptr) newly_ready->push_back(succ);
+    }
+  }
+}
+
+void UnfoldingState::save_state(CheckpointWriter& out) const {
+  out.u64(n_);
+  for (const Work w : work_buf_) out.f64(w);
+  for (const NodeId v : idx_buf_) out.u32(v);
+  out.u64(ready_size_);
+  out.f64(total_remaining_);
+  out.u32(nodes_remaining_);
+}
+
+void UnfoldingState::load_state(CheckpointReader& in) {
+  const std::uint64_t n = in.u64();
+  if (n != n_) {
+    in.fail("unfolding has " + std::to_string(n) + " nodes, DAG has " +
+            std::to_string(n_));
+  }
+  for (Work& w : work_buf_) w = in.f64();
+  for (NodeId& v : idx_buf_) v = in.u32();
+  const std::uint64_t ready = in.u64();
+  if (ready > n_) in.fail("ready count exceeds node count");
+  ready_size_ = static_cast<std::size_t>(ready);
+  total_remaining_ = in.f64();
+  const NodeId remaining = in.u32();
+  if (remaining > n_) in.fail("nodes-remaining exceeds node count");
+  nodes_remaining_ = remaining;
+  // Restored invariants the engines rely on: every status byte is a valid
+  // Status, and the ready list / ready-pos maps are mutually consistent.
+  const NodeId* ready_list = idx_buf_.data() + ready_off();
+  const NodeId* ready_pos = idx_buf_.data() + ready_pos_off();
+  for (NodeId v = 0; v < n_; ++v) {
+    const NodeId s = idx_buf_[status_off() + v];
+    if (s > static_cast<NodeId>(Status::kDone)) {
+      in.fail("node " + std::to_string(v) + " has invalid status " +
+              std::to_string(s));
+    }
+    const bool node_ready = s == static_cast<NodeId>(Status::kReady);
+    if (node_ready !=
+        (ready_pos[v] != kNpos && ready_pos[v] < ready_size_ &&
+         ready_list[ready_pos[v]] == v)) {
+      in.fail("node " + std::to_string(v) +
+              " ready status disagrees with the ready list");
     }
   }
 }

@@ -21,6 +21,9 @@
 
 namespace dagsched {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class UnfoldingState {
  public:
   explicit UnfoldingState(const Dag& dag);
@@ -89,6 +92,16 @@ class UnfoldingState {
            idx_buf_.capacity() * sizeof(NodeId) +
            span_depth_.capacity() * sizeof(Work);
   }
+
+  /// Serializes both fused arenas plus the derived aggregates verbatim.
+  /// The ready list order is part of engine determinism (FIFO selectors
+  /// read it), so it is saved, not rebuilt.
+  void save_state(CheckpointWriter& out) const;
+
+  /// Restores state saved by save_state into an instance constructed from
+  /// the same DAG.  Throws CheckpointError when the node count disagrees
+  /// or any restored invariant (status codes, ready-list bounds) is broken.
+  void load_state(CheckpointReader& in);
 
  private:
   enum class Status : NodeId { kWaiting = 0, kReady = 1, kDone = 2 };

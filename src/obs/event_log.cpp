@@ -23,6 +23,7 @@ const char* obs_event_kind_name(ObsEventKind kind) {
     case ObsEventKind::kWorkOverrun: return "work-overrun";
     case ObsEventKind::kReadmitFail: return "readmit-fail";
     case ObsEventKind::kEngineAbort: return "engine-abort";
+    case ObsEventKind::kOverload: return "overload";
   }
   return "?";
 }
@@ -42,6 +43,7 @@ std::optional<ObsEventKind> obs_event_kind_from_name(std::string_view name) {
   if (name == "work-overrun") return ObsEventKind::kWorkOverrun;
   if (name == "readmit-fail") return ObsEventKind::kReadmitFail;
   if (name == "engine-abort") return ObsEventKind::kEngineAbort;
+  if (name == "overload") return ObsEventKind::kOverload;
   return std::nullopt;
 }
 
@@ -53,23 +55,25 @@ double DecisionEvent::detail_value(std::string_view key,
   return fallback;
 }
 
-void EventLog::write_jsonl(std::ostream& out) const {
-  for (const DecisionEvent& event : events_) {
-    JsonValue line = JsonValue::object();
-    line.set("t", JsonValue(event.time));
-    line.set("job", JsonValue(static_cast<double>(event.job)));
-    line.set("kind", JsonValue(obs_event_kind_name(event.kind)));
-    if (!event.reason.empty()) line.set("reason", JsonValue(event.reason));
-    if (!event.detail.empty()) {
-      JsonValue detail = JsonValue::object();
-      for (const auto& [key, value] : event.detail) {
-        detail.set(key, JsonValue(value));
-      }
-      line.set("detail", std::move(detail));
+void write_event_jsonl(std::ostream& out, const DecisionEvent& event) {
+  JsonValue line = JsonValue::object();
+  line.set("t", JsonValue(event.time));
+  line.set("job", JsonValue(static_cast<double>(event.job)));
+  line.set("kind", JsonValue(obs_event_kind_name(event.kind)));
+  if (!event.reason.empty()) line.set("reason", JsonValue(event.reason));
+  if (!event.detail.empty()) {
+    JsonValue detail = JsonValue::object();
+    for (const auto& [key, value] : event.detail) {
+      detail.set(key, JsonValue(value));
     }
-    line.write(out);
-    out << '\n';
+    line.set("detail", std::move(detail));
   }
+  line.write(out);
+  out << '\n';
+}
+
+void EventLog::write_jsonl(std::ostream& out) const {
+  for (const DecisionEvent& event : events_) write_event_jsonl(out, event);
 }
 
 std::optional<std::vector<DecisionEvent>> EventLog::parse_jsonl(

@@ -42,6 +42,10 @@ enum class ObsEventKind {
   kWorkOverrun,  // engine: node's actual work exceeds its declared work
   kReadmitFail,  // scheduler: job lost admission after a capacity shrink
   kEngineAbort,  // engine/crash hook: run terminated abnormally
+  kOverload,     // kernel: decide() latency budget breached / recovered
+                 // (reason "overload.breach" or "overload.recovered"; the
+                 // jobs shed in response are kDrop events with
+                 // `overload.shed.*` slugs)
 };
 
 const char* obs_event_kind_name(ObsEventKind kind);
@@ -66,13 +70,26 @@ struct DecisionEvent {
   }
 };
 
+/// Writes one event as a compact JSON object followed by '\n'.  Both
+/// EventLog::write_jsonl and the streaming path below go through this, so
+/// a streamed log is byte-identical to a write-at-end one.
+void write_event_jsonl(std::ostream& out, const DecisionEvent& event);
+
 class EventLog {
  public:
   void emit(Time time, JobId job, ObsEventKind kind, std::string reason = {},
             std::vector<std::pair<std::string, double>> detail = {}) {
     events_.push_back(
         {time, job, kind, std::move(reason), std::move(detail)});
+    if (stream_ != nullptr) write_event_jsonl(*stream_, events_.back());
   }
+
+  /// Streaming mode: every emit() additionally appends its JSONL line to
+  /// `out` immediately, so a killed process loses at most the OS-buffered
+  /// tail instead of the whole log.  Pass nullptr to detach.  The in-memory
+  /// vector is still kept (reports and crash dumps read it).
+  void stream_to(std::ostream* out) { stream_ = out; }
+  std::ostream* stream() const { return stream_; }
 
   const std::vector<DecisionEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -90,6 +107,7 @@ class EventLog {
 
  private:
   std::vector<DecisionEvent> events_;
+  std::ostream* stream_ = nullptr;
 };
 
 }  // namespace dagsched

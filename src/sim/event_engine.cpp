@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/checkpoint/checkpoint.h"
 #include "sim/kernel/kernel.h"
 #include "util/check.h"
 
@@ -33,6 +34,10 @@ SimResult EventEngine::run() {
   kernel_options.obs = options_.obs;
   kernel_options.faults = options_.faults;
   kernel_options.telemetry = options_.telemetry;
+  kernel_options.die_at_decision = options_.die_at_decision;
+  kernel_options.decide_budget_ns = options_.decide_budget_ns;
+  kernel_options.overload_shed_max = options_.overload_shed_max;
+  kernel_options.overload_probe = options_.overload_probe;
   SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
 
   // The step-duration histogram is the one event-engine-specific instrument
@@ -48,6 +53,20 @@ SimResult EventEngine::run() {
   Time now = jobs_[0].release();
   kernel.begin(now);
 
+  if (options_.resume != nullptr) {
+    // Restore the exact loop-top state the checkpoint captured; the run
+    // continues as if it had never stopped (the decision log from here on
+    // is byte-identical to the uninterrupted run's suffix).
+    CheckpointReader kernel_in = options_.resume->section_reader("kernel");
+    CheckpointReader sched_in = options_.resume->section_reader("scheduler");
+    kernel.load_checkpoint_state(kernel_in, sched_in);
+    now = options_.resume->meta.sim_time;
+    kernel.set_now(now);
+    if (options_.checkpoint != nullptr) {
+      options_.checkpoint->note_resumed(kernel.decisions());
+    }
+  }
+
   Assignment assignment;
   std::vector<NodeId> picked;
   std::vector<RunningNode> running;
@@ -55,6 +74,14 @@ SimResult EventEngine::run() {
   std::vector<JobId> current_jobs;
 
   for (;;) {
+    // (0) Checkpoint at the loop top, before event delivery: nothing is
+    // half-delivered here, so the snapshot plus the emitted-event count is
+    // a complete resume point.
+    if (options_.checkpoint != nullptr &&
+        options_.checkpoint->due(kernel.decisions())) {
+      options_.checkpoint->write(kernel, now, 0);
+    }
+
     // (1) Deliver everything due now -- processor transitions, arrivals,
     // deadline expiries -- in the kernel's pinned order, then obtain and
     // validate the allocation in force until the next event.

@@ -36,6 +36,12 @@ SimResult run_simulation(EngineKind kind, const JobSet& jobs,
       eo.obs = options.obs;
       eo.faults = options.faults;
       eo.telemetry = options.telemetry;
+      eo.checkpoint = options.checkpoint;
+      eo.resume = options.resume;
+      eo.die_at_decision = options.die_at_decision;
+      eo.decide_budget_ns = options.decide_budget_ns;
+      eo.overload_shed_max = options.overload_shed_max;
+      eo.overload_probe = options.overload_probe;
       EventEngine engine(jobs, scheduler, selector, std::move(eo));
       return engine.run();
     }
@@ -49,6 +55,12 @@ SimResult run_simulation(EngineKind kind, const JobSet& jobs,
       so.obs = options.obs;
       so.faults = options.faults;
       so.telemetry = options.telemetry;
+      so.checkpoint = options.checkpoint;
+      so.resume = options.resume;
+      so.die_at_decision = options.die_at_decision;
+      so.decide_budget_ns = options.decide_budget_ns;
+      so.overload_shed_max = options.overload_shed_max;
+      so.overload_probe = options.overload_probe;
       SlotEngine engine(jobs, scheduler, selector, std::move(so));
       return engine.run();
     }

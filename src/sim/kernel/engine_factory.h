@@ -23,6 +23,8 @@
 
 namespace dagsched {
 
+class CheckpointSink;
+struct CheckpointFile;
 class TelemetryRecorder;
 
 enum class EngineKind {
@@ -52,6 +54,17 @@ struct SimOptions {
   const FaultInjector* faults = nullptr;
   /// Runtime-telemetry recorder (obs/telemetry); null = off.
   TelemetryRecorder* telemetry = nullptr;
+  /// Periodic checkpoint writer (sim/checkpoint); null = off.
+  CheckpointSink* checkpoint = nullptr;
+  /// Parsed checkpoint to resume from (already verified compatible).
+  const CheckpointFile* resume = nullptr;
+  /// Crash-recovery test hook: _Exit(9) after decision #N (0 = off).
+  std::size_t die_at_decision = 0;
+  /// Overload degradation: wall-clock decide() budget in ns (0 = off),
+  /// max jobs shed per breach, and the latency-override test probe.
+  std::uint64_t decide_budget_ns = 0;
+  std::size_t overload_shed_max = 1;
+  std::function<std::uint64_t(std::size_t, std::uint64_t)> overload_probe;
 };
 
 /// Constructs the requested stepping driver over the shared kernel and runs

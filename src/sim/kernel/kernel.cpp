@@ -1,11 +1,14 @@
 #include "sim/kernel/kernel.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
+#include "util/wire.h"
 
 namespace dagsched {
 
@@ -63,6 +66,16 @@ void SimKernel::begin(Time start_time) {
   }
   if (obs_ != nullptr && obs_->spans != nullptr) {
     decide_span_ = obs_->spans->span("engine.decide");
+  }
+  // Overload instruments are gated on the budget flag, like fault counters
+  // are gated on the injector: budget-off runs register nothing.
+  overload_active_ = false;
+  if (options_.decide_budget_ns > 0 && obs_ != nullptr &&
+      obs_->metrics != nullptr) {
+    MetricRegistry& mr = *obs_->metrics;
+    c_overload_breaches_ = mr.counter("overload.breaches");
+    c_overload_sheds_ = mr.counter("overload.sheds");
+    c_overload_recoveries_ = mr.counter("overload.recoveries");
   }
 
   telemetry_ = options_.telemetry;
@@ -281,7 +294,12 @@ std::string SimKernel::validate(const Assignment& assignment) {
 
 bool SimKernel::decide(Time now, Assignment& out) {
   out.clear();
-  if (telemetry_ == nullptr) {
+  // Wall-clock timing is needed by telemetry and by the overload budget;
+  // with neither attached the decide stays a single virtual call under the
+  // (possibly null) span, the seed hot path.
+  const bool budgeted = options_.decide_budget_ns > 0;
+  std::uint64_t decide_ns = 0;
+  if (telemetry_ == nullptr && !budgeted) {
     ScopedSpan decide_scope(decide_span_);
     scheduler_.decide(ctx_, out);
   } else {
@@ -290,10 +308,22 @@ bool SimKernel::decide(Time now, Assignment& out) {
       ScopedSpan decide_scope(decide_span_);
       scheduler_.decide(ctx_, out);
     }
-    telemetry_->record_decide_since(t0);
+    if (budgeted) {
+      decide_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              TelemetryRecorder::Clock::now() - t0)
+              .count());
+    }
+    if (telemetry_ != nullptr) telemetry_->record_decide_since(t0);
   }
   DS_OBS_INC(c_decisions_);
   ++result_.decisions;
+  if (options_.die_at_decision != 0 &&
+      result_.decisions == options_.die_at_decision) {
+    // Simulated SIGKILL for the crash-recovery harness: no stack unwinding,
+    // no atexit flushes -- nothing this decision produced may survive.
+    std::_Exit(9);
+  }
   if (options_.max_decisions > 0 &&
       result_.decisions > options_.max_decisions) {
     // Livelock guard: fail the run structurally instead of aborting the
@@ -313,10 +343,46 @@ bool SimKernel::decide(Time now, Assignment& out) {
     return false;
   }
   if (options_.observer) options_.observer(ctx_, out);
+  if (budgeted) handle_overload(now, decide_ns);
   if (telemetry_ != nullptr && telemetry_->snapshot_due(now)) {
     emit_telemetry(now, /*final_snapshot=*/false);
   }
   return true;
+}
+
+void SimKernel::handle_overload(Time now, std::uint64_t decide_ns) {
+  if (options_.overload_probe) {
+    decide_ns = options_.overload_probe(result_.decisions, decide_ns);
+  }
+  if (decide_ns > options_.decide_budget_ns) {
+    ++result_.overload_breaches;
+    DS_OBS_INC(c_overload_breaches_);
+    if (obs_ != nullptr) {
+      obs_->event(now, kInvalidJob, ObsEventKind::kOverload,
+                  "overload.breach",
+                  {{"elapsed_ns", static_cast<double>(decide_ns)},
+                   {"budget_ns",
+                    static_cast<double>(options_.decide_budget_ns)}});
+    }
+    overload_active_ = true;
+    // The shed affects the *next* decision: this interval's allocation was
+    // already validated, and a shed job staying on its processors for one
+    // more interval is harmless -- it is only dropped from the scheduler's
+    // queues, never from the kernel's active set.
+    const std::size_t shed =
+        scheduler_.shed_load(ctx_, std::max<std::size_t>(
+                                       1, options_.overload_shed_max));
+    result_.overload_sheds += shed;
+    DS_OBS_ADD(c_overload_sheds_, static_cast<double>(shed));
+  } else if (overload_active_) {
+    overload_active_ = false;
+    ++result_.overload_recoveries;
+    DS_OBS_INC(c_overload_recoveries_);
+    if (obs_ != nullptr) {
+      obs_->event(now, kInvalidJob, ObsEventKind::kOverload,
+                  "overload.recovered");
+    }
+  }
 }
 
 void SimKernel::begin_interval() {
@@ -448,6 +514,215 @@ void SimKernel::emit_telemetry(Time now, bool final_snapshot) {
   } else {
     telemetry_->emit_snapshot(sample);
   }
+}
+
+void SimKernel::save_checkpoint_state(CheckpointWriter& kernel_out,
+                                      CheckpointWriter& scheduler_out) const {
+  // Snapshot point contract: top of an engine loop iteration.  Completions
+  // of the previous step have been notified, so nothing is in flight.
+  DS_CHECK_MSG(completed_now_.empty(),
+               "checkpoint with pending completion notifications");
+  CheckpointWriter& out = kernel_out;
+  const std::size_t n = jobs_.size();
+  out.u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRuntime& rt = runtimes_[i];
+    const std::uint8_t flags =
+        static_cast<std::uint8_t>((rt.arrived ? 1u : 0u) |
+                                  (rt.completed ? 2u : 0u) |
+                                  (rt.deadline_notified ? 4u : 0u));
+    out.u8(flags);
+    out.f64(rt.completion_time);
+    out.f64(rt.first_start);
+    out.f64(rt.executed);
+    if (rt.arrived) rt.unfolding->save_state(out);
+  }
+  out.u64(active_.size());
+  for (const JobId id : active_) out.u32(id);
+  out.u64(active_live_);
+  out.u64(next_arrival_);
+  out.u64(jobs_done_);
+  out.u32(ctx_.m_);
+  out.u64(result_.decisions);
+  out.u64(result_.node_preemptions);
+  out.u64(result_.job_preemptions);
+  out.f64(result_.busy_proc_time);
+  out.f64(result_.end_time);
+  out.f64(result_.lost_work);
+  out.u64(result_.overload_breaches);
+  out.u64(result_.overload_sheds);
+  out.u64(result_.overload_recoveries);
+  out.boolean(overload_active_);
+  out.boolean(churn_);
+  if (churn_) {
+    // up_list_ is rebuilt by begin_interval() every decision and the
+    // deadline heap is reconstructed on load; everything else about the
+    // fault plan's position is explicit state.
+    out.u64(next_transition_);
+    out.u64(proc_up_.size());
+    for (const char up : proc_up_) out.u8(static_cast<std::uint8_t>(up));
+    out.u32(avail_);
+    out.u64(proc_node_.size());
+    for (const auto& [job, node] : proc_node_) {
+      out.u32(job);
+      out.u32(node);
+    }
+    out.f64(last_exec_end_);
+  }
+  out.u64(prev_nodes_.size());
+  for (const auto& [job, node] : prev_nodes_) {
+    out.u32(job);
+    out.u32(node);
+  }
+  out.u64(prev_jobs_.size());
+  for (const JobId job : prev_jobs_) out.u32(job);
+  out.f64(capacity_time_);
+  out.f64(start_time_);
+  out.u64(expiries_delivered_);
+  out.u64(unfolding_bytes_);
+
+  scheduler_out.str(scheduler_.name());
+  scheduler_.save_state(scheduler_out);
+}
+
+void SimKernel::load_checkpoint_state(CheckpointReader& kernel_in,
+                                      CheckpointReader& scheduler_in) {
+  CheckpointReader& in = kernel_in;
+  const std::size_t n = jobs_.size();
+  if (in.u64() != n) {
+    in.fail("checkpoint job count does not match this workload (" +
+            std::to_string(n) + " jobs)");
+  }
+  std::size_t completed_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    JobRuntime& rt = runtimes_[i];
+    const std::uint8_t flags = in.u8();
+    if ((flags & ~0x7u) != 0) in.fail("malformed job-runtime flags");
+    rt.arrived = (flags & 1u) != 0;
+    rt.completed = (flags & 2u) != 0;
+    rt.deadline_notified = (flags & 4u) != 0;
+    if (rt.completed && !rt.arrived) {
+      in.fail("job " + std::to_string(i) + " completed without arriving");
+    }
+    rt.completion_time = in.f64();
+    rt.first_start = in.f64();
+    rt.executed = in.f64();
+    if (rt.arrived) {
+      // Re-emplace from the DAG, then overwrite the arenas; overrun-scaled
+      // works are captured in the serialized remaining/initial buffers.
+      rt.unfolding.emplace(jobs_[i].dag());
+      rt.unfolding->load_state(in);
+    }
+    if (rt.completed) ++completed_count;
+  }
+  const std::uint64_t active_count = in.count(4);
+  active_.clear();
+  active_.reserve(static_cast<std::size_t>(active_count));
+  std::fill(active_pos_.begin(), active_pos_.end(), kNoActiveSlot);
+  std::size_t live = 0;
+  for (std::uint64_t i = 0; i < active_count; ++i) {
+    const JobId id = in.u32();
+    if (id != kInvalidJob) {
+      if (id >= n || !runtimes_[id].arrived || active_pos_[id] != kNoActiveSlot) {
+        in.fail("malformed active-set entry");
+      }
+      active_pos_[id] = active_.size();
+      ++live;
+    }
+    active_.push_back(id);
+  }
+  active_live_ = in.u64();
+  if (active_live_ != live) in.fail("active-set live count mismatch");
+  next_arrival_ = static_cast<std::size_t>(in.u64());
+  if (next_arrival_ > n) in.fail("next-arrival cursor out of range");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (runtimes_[i].arrived != (i < next_arrival_)) {
+      in.fail("arrival flags disagree with the arrival cursor");
+    }
+  }
+  jobs_done_ = static_cast<std::size_t>(in.u64());
+  if (jobs_done_ != completed_count) in.fail("completed-job count mismatch");
+  const ProcCount m = in.u32();
+  if (m < 1 || m > options_.num_procs) {
+    in.fail("up-processor count out of range");
+  }
+  ctx_.m_ = m;
+  result_.decisions = static_cast<std::size_t>(in.u64());
+  result_.node_preemptions = static_cast<std::size_t>(in.u64());
+  result_.job_preemptions = static_cast<std::size_t>(in.u64());
+  result_.busy_proc_time = in.f64();
+  result_.end_time = in.f64();
+  result_.lost_work = in.f64();
+  result_.overload_breaches = static_cast<std::size_t>(in.u64());
+  result_.overload_sheds = static_cast<std::size_t>(in.u64());
+  result_.overload_recoveries = static_cast<std::size_t>(in.u64());
+  overload_active_ = in.boolean();
+  if (in.boolean() != churn_) {
+    in.fail("checkpoint fault mode does not match this run");
+  }
+  if (churn_) {
+    next_transition_ = static_cast<std::size_t>(in.u64());
+    if (next_transition_ > options_.faults->transitions().size()) {
+      in.fail("fault-plan cursor out of range");
+    }
+    if (in.u64() != proc_up_.size()) in.fail("processor count mismatch");
+    ProcCount up = 0;
+    for (char& slot : proc_up_) {
+      slot = static_cast<char>(in.boolean() ? 1 : 0);
+      if (slot != 0) ++up;
+    }
+    avail_ = in.u32();
+    if (avail_ != up || avail_ != m) {
+      in.fail("up-processor bookkeeping mismatch");
+    }
+    if (in.u64() != proc_node_.size()) in.fail("victim-map size mismatch");
+    for (auto& [job, node] : proc_node_) {
+      job = in.u32();
+      node = in.u32();
+      if (job != kInvalidJob && job >= n) in.fail("malformed victim entry");
+    }
+    last_exec_end_ = in.f64();
+  }
+  const std::uint64_t prev_node_count = in.count(8);
+  prev_nodes_.resize(static_cast<std::size_t>(prev_node_count));
+  for (auto& [job, node] : prev_nodes_) {
+    job = in.u32();
+    node = in.u32();
+    if (job >= n) in.fail("malformed previous-interval node entry");
+  }
+  const std::uint64_t prev_job_count = in.count(4);
+  prev_jobs_.resize(static_cast<std::size_t>(prev_job_count));
+  for (JobId& job : prev_jobs_) {
+    job = in.u32();
+    if (job >= n) in.fail("malformed previous-interval job entry");
+  }
+  capacity_time_ = in.f64();
+  start_time_ = in.f64();
+  expiries_delivered_ = static_cast<std::size_t>(in.u64());
+  unfolding_bytes_ = static_cast<std::size_t>(in.u64());
+  in.expect_done();
+
+  // Derived structures: the deadline heap is rebuilt from runtime flags (a
+  // lazily-discarded heap entry for a completed job was behaviorally inert,
+  // so omitting it is exact), and the victim map / up list refresh at the
+  // next begin_interval().
+  deadlines_ = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRuntime& rt = runtimes_[i];
+    if (rt.arrived && !rt.completed && !rt.deadline_notified &&
+        jobs_[i].has_deadline()) {
+      deadlines_.emplace(jobs_[i].absolute_deadline(),
+                         static_cast<JobId>(i));
+    }
+  }
+
+  const std::string saved_scheduler = scheduler_in.str();
+  if (saved_scheduler != scheduler_.name()) {
+    scheduler_in.fail("checkpoint was taken by scheduler '" +
+                      saved_scheduler + "', not '" + scheduler_.name() + "'");
+  }
+  scheduler_.load_state(scheduler_in);
+  scheduler_in.expect_done();
 }
 
 SimResult SimKernel::finish() {

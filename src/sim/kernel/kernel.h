@@ -47,6 +47,8 @@
 
 namespace dagsched {
 
+class CheckpointReader;
+class CheckpointWriter;
 class TelemetryRecorder;
 
 struct KernelOptions {
@@ -70,6 +72,22 @@ struct KernelOptions {
   /// scheduler callbacks so decision logs stay byte-identical (the parity
   /// script proves it).
   TelemetryRecorder* telemetry = nullptr;
+  /// Simulated hard crash for the recovery harness: the process _Exit(9)s
+  /// immediately after decision number `die_at_decision` is counted, before
+  /// any of its effects reach the event log or a checkpoint.  0 = off.
+  std::size_t die_at_decision = 0;
+  /// Overload degradation: wall-clock budget per decide() in nanoseconds.
+  /// When a decision exceeds it, the kernel sheds up to overload_shed_max of
+  /// the scheduler's lowest-density jobs (SchedulerBase::shed_load, kDrop
+  /// events with `overload.shed.*` slugs) instead of letting queue pressure
+  /// overflow into a SimFailureKind; it recovers automatically at the first
+  /// under-budget decision.  0 = off, the byte-identical seed path.
+  std::uint64_t decide_budget_ns = 0;
+  /// Max jobs shed per over-budget decision (>= 1 when the budget is on).
+  std::size_t overload_shed_max = 1;
+  /// Test hook: replaces the measured decide latency (deterministic overload
+  /// tests).  Arguments: decision number (1-based), measured nanoseconds.
+  std::function<std::uint64_t(std::size_t, std::uint64_t)> overload_probe;
 };
 
 /// How an engine maps deadline instants onto its decision points.  The
@@ -118,6 +136,23 @@ class SimKernel {
   /// event carrying `slug`); the engine must stop stepping afterwards.
   void fail(SimFailureKind kind, std::string message, Time now,
             const char* slug);
+
+  // -- Checkpoint/restore ---------------------------------------------------
+
+  /// Serializes the full mid-run state into the checkpoint's "kernel" and
+  /// "scheduler" sections (sim/checkpoint/).  Must be called at the top of
+  /// an engine loop iteration, before that iteration's due events are
+  /// delivered; pending completions would make the snapshot unreplayable
+  /// and are rejected with DS_CHECK.
+  void save_checkpoint_state(CheckpointWriter& kernel_out,
+                             CheckpointWriter& scheduler_out) const;
+
+  /// Restores state saved by save_checkpoint_state.  Call after begin();
+  /// derived structures (deadline heap, active-position map) are rebuilt
+  /// from the serialized core.  Throws CheckpointError on a payload that is
+  /// malformed or inconsistent with this kernel's job set.
+  void load_checkpoint_state(CheckpointReader& kernel_in,
+                             CheckpointReader& scheduler_in);
 
   // -- Unified transition queue ---------------------------------------------
 
@@ -294,6 +329,10 @@ class SimKernel {
   void deliver_arrivals(Time now);
   void deliver_expiries(Time now, DeadlineDuePolicy policy);
   void notify_completions_slow(Time notify_time);
+  /// Applies the decision-latency budget to one decide() measurement:
+  /// breach -> shed + overload events, first under-budget decision after a
+  /// breach -> recovery event.  Only called with decide_budget_ns > 0.
+  void handle_overload(Time now, std::uint64_t decide_ns);
   /// Fills a TelemetrySample with the live gauges and emits it through the
   /// recorder (periodic when `final_snapshot` is false, unconditional final
   /// otherwise).  Only called with telemetry_ != nullptr.
@@ -342,6 +381,12 @@ class SimKernel {
   Counter* c_lost_work_ = nullptr;
   Histogram* h_running_ = nullptr;
   SpanStats* decide_span_ = nullptr;
+  Counter* c_overload_breaches_ = nullptr;
+  Counter* c_overload_sheds_ = nullptr;
+  Counter* c_overload_recoveries_ = nullptr;
+
+  /// True between an over-budget decide() and the next under-budget one.
+  bool overload_active_ = false;
 
   // Runtime telemetry (null = off, the seed code path).  expiries_delivered_
   // and unfolding_bytes_ are plain member updates with no observable side

@@ -56,6 +56,13 @@ struct SimResult {
   /// only); work conservation holds as executed work = consumed work +
   /// lost_work.
   Work lost_work = 0.0;
+  /// Overload degradation (KernelOptions::decide_budget_ns): decisions that
+  /// exceeded the wall-clock budget, jobs shed in response, and recoveries
+  /// (first under-budget decision after a breach).  All zero with the
+  /// budget off.
+  std::size_t overload_breaches = 0;
+  std::size_t overload_sheds = 0;
+  std::size_t overload_recoveries = 0;
   /// kNone unless the run terminated abnormally (see SimFailureKind).
   SimFailureKind failure = SimFailureKind::kNone;
   /// Human-readable diagnosis when failure != kNone.

@@ -17,6 +17,9 @@
 
 namespace dagsched {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 class SchedulerBase {
  public:
   virtual ~SchedulerBase() = default;
@@ -79,6 +82,37 @@ class SchedulerBase {
   /// validates: total procs <= ctx.num_procs(), every job arrived and
   /// incomplete, no duplicate jobs, procs >= 1 per entry.
   virtual void decide(const EngineContext& ctx, Assignment& out) = 0;
+
+  // ---- Checkpoint/restore (sim/checkpoint) --------------------------------
+  // Serialization of every queue, index, and per-job record the policy owns,
+  // encoded with util/wire.h primitives.  The contract is *behavioral*
+  // equivalence, not bit equivalence of internals: after load_state the
+  // scheduler must produce the same decision sequence as the instance that
+  // saved, so derived structures (lazy heaps, position maps) may be rebuilt
+  // from the serialized core state.  load_state is called on a freshly
+  // reset() scheduler and may throw CheckpointError (via
+  // CheckpointReader::fail) on malformed payloads.  The default no-ops suit
+  // stateless policies that re-derive everything from ctx.active().
+
+  virtual void save_state(CheckpointWriter& out) const { (void)out; }
+  virtual void load_state(CheckpointReader& in) { (void)in; }
+
+  // ---- Overload degradation (graceful load shedding) ----------------------
+
+  /// Sheds up to `max_jobs` of the least-valuable admitted/queued jobs --
+  /// lowest density first where the policy has a density order -- because
+  /// decide() exceeded its wall-clock latency budget.  Each shed job must be
+  /// dropped from every queue the policy owns (it stays active in the kernel
+  /// but will never be granted processors again) and should emit a kDrop
+  /// decision event with an `overload.shed.*` reason slug.  Returns the
+  /// number of jobs actually shed; the default sheds nothing, which suits
+  /// stateless policies with no standing commitments.
+  virtual std::size_t shed_load(const EngineContext& ctx,
+                                std::size_t max_jobs) {
+    (void)ctx;
+    (void)max_jobs;
+    return 0;
+  }
 
   // ---- Telemetry introspection (obs/telemetry) ----------------------------
   // Read-only gauges sampled by the kernel when a TelemetryRecorder is

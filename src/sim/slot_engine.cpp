@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/checkpoint/checkpoint.h"
 #include "sim/kernel/kernel.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -52,6 +53,10 @@ SimResult SlotEngine::run() {
   kernel_options.obs = options_.obs;
   kernel_options.faults = options_.faults;
   kernel_options.telemetry = options_.telemetry;
+  kernel_options.die_at_decision = options_.die_at_decision;
+  kernel_options.decide_budget_ns = options_.decide_budget_ns;
+  kernel_options.overload_shed_max = options_.overload_shed_max;
+  kernel_options.overload_probe = options_.overload_probe;
   SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
 
   const ObsSink* obs = options_.obs;
@@ -69,6 +74,19 @@ SimResult SlotEngine::run() {
   std::uint64_t slot =
       static_cast<std::uint64_t>(std::max(0.0, std::floor(jobs_[0].release())));
   kernel.begin(static_cast<Time>(slot));
+
+  if (options_.resume != nullptr) {
+    // Restore the exact loop-top state the checkpoint captured; the run
+    // continues at the pinned slot as if it had never stopped.
+    CheckpointReader kernel_in = options_.resume->section_reader("kernel");
+    CheckpointReader sched_in = options_.resume->section_reader("scheduler");
+    kernel.load_checkpoint_state(kernel_in, sched_in);
+    slot = options_.resume->meta.slot;
+    kernel.set_now(static_cast<Time>(slot));
+    if (options_.checkpoint != nullptr) {
+      options_.checkpoint->note_resumed(kernel.decisions());
+    }
+  }
 
   for (; !kernel.all_done(); ++slot) {
     if (slot >= horizon) {
@@ -88,6 +106,14 @@ SimResult SlotEngine::run() {
       break;
     }
     const Time now = static_cast<Time>(slot);
+
+    // (0) Checkpoint at the slot top, before event delivery: nothing is
+    // half-delivered here, so the snapshot plus the emitted-event count is
+    // a complete resume point.
+    if (options_.checkpoint != nullptr &&
+        options_.checkpoint->due(kernel.decisions())) {
+      options_.checkpoint->write(kernel, now, slot);
+    }
 
     // (1) Deliver everything due by the start of this slot -- processor
     // transitions, arrivals, deadline expiries -- in the kernel's pinned

@@ -26,6 +26,8 @@
 
 namespace dagsched {
 
+class CheckpointSink;
+struct CheckpointFile;
 class TelemetryRecorder;
 
 struct SlotEngineOptions {
@@ -46,6 +48,22 @@ struct SlotEngineOptions {
   /// Runtime-telemetry recorder (obs/telemetry); null = off, the seed code
   /// path.  Forwarded to KernelOptions::telemetry.
   TelemetryRecorder* telemetry = nullptr;
+  /// Periodic checkpoint writer (sim/checkpoint); null = off, and the run
+  /// is byte-identical to one without checkpointing.  Snapshots are taken
+  /// at the top of the slot loop, before event delivery.
+  CheckpointSink* checkpoint = nullptr;
+  /// Parsed checkpoint to resume from (already verified compatible); null =
+  /// start from the beginning.
+  const CheckpointFile* resume = nullptr;
+  /// Crash-recovery test hook: _Exit(9) immediately after decision #N
+  /// completes (0 = off).  Forwarded to KernelOptions::die_at_decision.
+  std::size_t die_at_decision = 0;
+  /// Overload degradation: wall-clock budget per decide() in nanoseconds
+  /// (0 = off), max jobs shed per breach, and the test probe overriding the
+  /// measured latency.  Forwarded to KernelOptions.
+  std::uint64_t decide_budget_ns = 0;
+  std::size_t overload_shed_max = 1;
+  std::function<std::uint64_t(std::size_t, std::uint64_t)> overload_probe;
 };
 
 /// Discrete-slot stepping driver over the shared SimKernel

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "obs/crash_dump.h"
@@ -61,6 +62,56 @@ TEST(CrashDump, GuardRestoresPreviousHookOnDestruction) {
   const CheckFailureHook restored = set_check_failure_hook(before);
   EXPECT_TRUE(static_cast<bool>(restored));
   EXPECT_FALSE(outer_called);
+}
+
+TEST(CrashDumpDeathTest, StreamedLogEndsOnCompleteLine) {
+  // Streaming mode: the guard must truncate a partial trailing JSONL
+  // record (here simulated by a raw write that a buffer-boundary flush
+  // could leave behind) before appending the engine-abort event, so the
+  // dump always parses end to end.
+  const std::string path = ::testing::TempDir() + "crash_stream.jsonl";
+  std::remove(path.c_str());
+
+  EXPECT_DEATH(
+      {
+        std::ofstream out(path);
+        EventLog log;
+        log.stream_to(&out);
+        log.emit(1.0, 0, ObsEventKind::kArrival);
+        log.emit(2.0, 1, ObsEventKind::kArrival);
+        out << "{\"t\":3,\"jo";  // ragged tail: a half-flushed record
+        CrashDumpGuard guard(&log, path);
+        DS_CHECK_MSG(false, "synthetic failure for the streamed-dump test");
+      },
+      "DS_CHECK failed");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "streamed crash dump missing at " << path;
+  std::string error;
+  const auto events = EventLog::parse_jsonl(in, &error);
+  ASSERT_TRUE(events.has_value()) << error;  // no partial record survived
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ((*events)[0].kind, ObsEventKind::kArrival);
+  EXPECT_EQ((*events)[1].kind, ObsEventKind::kArrival);
+  EXPECT_EQ((*events)[2].kind, ObsEventKind::kEngineAbort);
+  EXPECT_EQ((*events)[2].reason, "ds-check");
+  EXPECT_EQ((*events)[2].time, 2.0);
+}
+
+TEST(CrashDump, StreamedEmitMatchesWriteJsonlBytes) {
+  EventLog streamed, buffered;
+  std::ostringstream live;
+  streamed.stream_to(&live);
+  for (int i = 0; i < 4; ++i) {
+    const auto t = static_cast<Time>(i);
+    streamed.emit(t, static_cast<JobId>(i), ObsEventKind::kAdmit,
+                  "window-fits", {{"v", 1.5}, {"n", 2.0}});
+    buffered.emit(t, static_cast<JobId>(i), ObsEventKind::kAdmit,
+                  "window-fits", {{"v", 1.5}, {"n", 2.0}});
+  }
+  std::ostringstream at_end;
+  buffered.write_jsonl(at_end);
+  EXPECT_EQ(live.str(), at_end.str());
 }
 
 }  // namespace

@@ -38,6 +38,7 @@
 #include "obs/trace_export.h"
 #include "opt/exact.h"
 #include "opt/upper_bound.h"
+#include "sim/checkpoint/checkpoint.h"
 #include "sim/gantt.h"
 #include "sim/metrics.h"
 #include "util/arg_parse.h"
@@ -78,6 +79,11 @@ int usage() {
          "           [--faults mtbf=T,mttr=T,horizon=T,seed=S,min-procs=K,"
          "\n                    integral=0|1,overrun-prob=P,overrun-factor=F,"
          "restart=resume|zero]\n"
+         "           [--checkpoint CKPT --checkpoint-interval N] "
+         "[--resume CKPT]\n"
+         "           [--die-at-decision N] [--decide-budget N|Nus|Nms|Ns]\n"
+         "           [--overload-shed K]\n"
+         "  dagsched checkpoint info CKPT # print a checkpoint header\n"
          "  dagsched report REPORT.json   # run or bench report\n"
          "  dagsched top TELEMETRY.jsonl  # render telemetry snapshots\n"
          "  dagsched trace export FILE [run flags] [--out TRACE.json]\n"
@@ -191,7 +197,12 @@ SimResult run_engine(const std::string& engine, const JobSet& jobs,
                      SchedulerBase& scheduler, NodeSelector& selector,
                      ProcCount m, double speed, bool record_trace,
                      const ObsSink* obs, const FaultInjector* faults,
-                     TelemetryRecorder* telemetry = nullptr) {
+                     TelemetryRecorder* telemetry = nullptr,
+                     CheckpointSink* checkpoint = nullptr,
+                     const CheckpointFile* resume = nullptr,
+                     std::size_t die_at_decision = 0,
+                     std::uint64_t decide_budget_ns = 0,
+                     std::size_t overload_shed_max = 1) {
   const std::optional<EngineKind> kind = parse_engine_kind(engine);
   if (!kind) throw std::invalid_argument("unknown engine '" + engine + "'");
   SimOptions options;
@@ -201,6 +212,11 @@ SimResult run_engine(const std::string& engine, const JobSet& jobs,
   options.obs = obs;
   options.faults = faults;
   options.telemetry = telemetry;
+  options.checkpoint = checkpoint;
+  options.resume = resume;
+  options.die_at_decision = die_at_decision;
+  options.decide_budget_ns = decide_budget_ns;
+  options.overload_shed_max = overload_shed_max;
   return run_simulation(*kind, jobs, scheduler, selector, options);
 }
 
@@ -238,6 +254,49 @@ void apply_telemetry_interval(const std::string& value,
   }
 }
 
+/// Parses a `--decide-budget` value into nanoseconds: a plain number is ns,
+/// and ns/us/ms/s suffixes scale accordingly.  Throws ParseError (exit 2)
+/// on a malformed value.
+std::uint64_t parse_decide_budget(const std::string& value) {
+  std::string number = value;
+  double scale = 1.0;  // default: nanoseconds
+  if (value.size() > 2 && value.substr(value.size() - 2) == "ns") {
+    number = value.substr(0, value.size() - 2);
+  } else if (value.size() > 2 && value.substr(value.size() - 2) == "us") {
+    number = value.substr(0, value.size() - 2);
+    scale = 1e3;
+  } else if (value.size() > 2 && value.substr(value.size() - 2) == "ms") {
+    number = value.substr(0, value.size() - 2);
+    scale = 1e6;
+  } else if (value.size() > 1 && value.back() == 's') {
+    number = value.substr(0, value.size() - 1);
+    scale = 1e9;
+  }
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != number.size() || !(parsed > 0.0)) {
+    throw ParseError("--decide-budget", 1, 1,
+                     "expected a positive number with optional ns/us/ms/s "
+                     "suffix, got '" +
+                         value + "'");
+  }
+  return static_cast<std::uint64_t>(parsed * scale);
+}
+
+/// Reads a file verbatim for config fingerprinting; returns empty on a
+/// missing file (the load_instance call before this would have thrown).
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 int cmd_run(ArgParser& args) {
   if (args.positional().size() != 2) return usage();
   const JobSet jobs = load_instance(args.positional()[1]);
@@ -246,8 +305,8 @@ int cmd_run(ArgParser& args) {
   const double speed = args.get_double("speed", 1.0);
   const double eps = args.get_double("eps", 0.5);
   const std::string engine = args.get_string("engine", "event");
-  const SelectorKind selector =
-      parse_selector(args.get_string("selector", "fifo"));
+  const std::string selector_name = args.get_string("selector", "fifo");
+  const SelectorKind selector = parse_selector(selector_name);
   const bool show_gantt = args.get_flag("gantt");
   const bool show_profile = args.get_flag("profile");
   const bool show_audit = args.get_flag("audit");
@@ -258,12 +317,33 @@ int cmd_run(ArgParser& args) {
   const std::string telemetry_path = args.get_string("telemetry", "");
   const std::string telemetry_interval =
       args.get_string("telemetry-interval", "");
+  const std::string checkpoint_path = args.get_string("checkpoint", "");
+  const std::int64_t checkpoint_interval =
+      args.get_int("checkpoint-interval", 1000);
+  const std::string resume_path = args.get_string("resume", "");
+  const std::int64_t die_at_decision = args.get_int("die-at-decision", 0);
+  const std::string decide_budget = args.get_string("decide-budget", "");
+  const std::int64_t overload_shed = args.get_int("overload-shed", 1);
   args.finish();
 
   if (!telemetry_interval.empty() && telemetry_path.empty()) {
     std::cerr << "run: --telemetry-interval requires --telemetry\n";
     return 1;
   }
+  if (checkpoint_interval < 1) {
+    std::cerr << "run: --checkpoint-interval must be >= 1\n";
+    return 1;
+  }
+  if (die_at_decision < 0) {
+    std::cerr << "run: --die-at-decision must be >= 0\n";
+    return 1;
+  }
+  if (overload_shed < 1) {
+    std::cerr << "run: --overload-shed must be >= 1\n";
+    return 1;
+  }
+  const std::uint64_t decide_budget_ns =
+      decide_budget.empty() ? 0 : parse_decide_budget(decide_budget);
 
   // Fault plan: parsed and materialized before the engines exist, so both
   // engines would consume the identical schedule.  Spec errors are parse
@@ -303,6 +383,19 @@ int cmd_run(ArgParser& args) {
     telemetry.emplace(telemetry_options);
   }
 
+  // Stream the event log: each event's JSONL line is written as it is
+  // emitted (byte-identical to the old write-at-end path), so a killed run
+  // leaves the log prefix on disk for crash recovery.
+  std::ofstream events_out;
+  if (!events_path.empty()) {
+    events_out.open(events_path);
+    if (!events_out) {
+      std::cerr << "cannot open " << events_path << "\n";
+      return 1;
+    }
+    event_log.stream_to(&events_out);
+  }
+
   // With an event log wired, make DS_CHECK failures flush it (plus a final
   // engine-abort event) instead of losing the decision history.
   std::optional<CrashDumpGuard> crash_guard;
@@ -310,6 +403,35 @@ int cmd_run(ArgParser& args) {
     crash_guard.emplace(&event_log, events_path.empty()
                                         ? obs_path + ".crash-events.jsonl"
                                         : events_path);
+  }
+
+  // Checkpoint / resume wiring.  The config fingerprint covers everything
+  // that shapes the deterministic decision sequence: workload bytes,
+  // scheduler, eps, m, speed, engine, selector, fault spec.  A --resume
+  // whose checkpoint disagrees fails with a positioned diagnostic (exit 2).
+  std::optional<CheckpointFile> resume_file;
+  std::optional<CheckpointSink> checkpoint_sink;
+  if (!checkpoint_path.empty() || !resume_path.empty()) {
+    CheckpointMeta meta;
+    meta.config_hash = run_config_fingerprint(
+        slurp_file(args.positional()[1]), scheduler_name, eps, m, speed,
+        engine, selector_name, fault_spec);
+    meta.workload = args.positional()[1];
+    meta.engine = engine;
+    meta.scheduler = scheduler_name;
+    meta.fault_spec = fault_spec;
+    meta.m = m;
+    meta.speed = speed;
+    meta.jobs = jobs.size();
+    if (!resume_path.empty()) {
+      resume_file = read_checkpoint_file(resume_path);
+      verify_resume_compatible(*resume_file, meta);
+    }
+    if (!checkpoint_path.empty()) {
+      checkpoint_sink.emplace(checkpoint_path,
+                              static_cast<std::uint64_t>(checkpoint_interval),
+                              std::move(meta), sink.events);
+    }
   }
 
   auto scheduler = make_named_scheduler(scheduler_name, eps);
@@ -335,7 +457,11 @@ int cmd_run(ArgParser& args) {
   const SimResult result =
       run_engine(engine, jobs, *scheduler, *sel, m, speed, record_trace, obs,
                  injector ? &*injector : nullptr,
-                 telemetry ? &*telemetry : nullptr);
+                 telemetry ? &*telemetry : nullptr,
+                 checkpoint_sink ? &*checkpoint_sink : nullptr,
+                 resume_file ? &*resume_file : nullptr,
+                 static_cast<std::size_t>(die_at_decision), decide_budget_ns,
+                 static_cast<std::size_t>(overload_shed));
 
   std::cout << "scheduler:        " << scheduler->name() << "\n"
             << "jobs:             " << jobs.size() << "\n"
@@ -351,6 +477,16 @@ int cmd_run(ArgParser& args) {
     std::cout << "fault transitions: " << injector->transitions().size()
               << "\n"
               << "lost work:        " << result.lost_work << "\n";
+  }
+  if (resume_file) {
+    std::cout << "resumed from:     " << resume_path << " (decision "
+              << resume_file->meta.decisions << ", t="
+              << resume_file->meta.sim_time << ")\n";
+  }
+  if (decide_budget_ns > 0) {
+    std::cout << "overload:         " << result.overload_breaches
+              << " breaches, " << result.overload_sheds << " sheds, "
+              << result.overload_recoveries << " recoveries\n";
   }
   const ScheduleMetrics schedule_metrics =
       compute_metrics(result, jobs, m);
@@ -397,14 +533,19 @@ int cmd_run(ArgParser& args) {
     }
   }
   if (!events_path.empty()) {
-    std::ofstream out(events_path);
-    if (!out) {
-      std::cerr << "cannot open " << events_path << "\n";
+    // Events were streamed as they were emitted; just detach and flush.
+    event_log.stream_to(nullptr);
+    events_out.flush();
+    if (!events_out) {
+      std::cerr << "cannot write " << events_path << "\n";
       return 1;
     }
-    event_log.write_jsonl(out);
     std::cout << "wrote " << event_log.size() << " events to " << events_path
               << "\n";
+  }
+  if (checkpoint_sink && checkpoint_sink->snapshots() > 0) {
+    std::cout << "wrote " << checkpoint_sink->snapshots()
+              << " checkpoint snapshots to " << checkpoint_path << "\n";
   }
   if (telemetry) {
     telemetry_out.flush();
@@ -446,6 +587,41 @@ int cmd_run(ArgParser& args) {
               << "): " << result.failure_message << "\n";
     return 3;
   }
+  return 0;
+}
+
+/// `dagsched checkpoint info CKPT` -- print the parsed header of a
+/// checkpoint file.  A corrupt/truncated/mismatched file fails with the
+/// reader's positioned diagnostic (exit 2), never a crash.
+int cmd_checkpoint(ArgParser& args) {
+  if (args.positional().size() != 3 || args.positional()[1] != "info") {
+    return usage();
+  }
+  const std::string path = args.positional()[2];
+  args.finish();
+  const CheckpointFile file = read_checkpoint_file(path);
+  const CheckpointMeta& meta = file.meta;
+  std::ostringstream hash;
+  hash << std::hex << std::setfill('0') << std::setw(16) << meta.config_hash;
+  std::cout << "schema:          " << meta.schema << "\n"
+            << "workload:        " << meta.workload << "\n"
+            << "engine:          " << meta.engine << "\n"
+            << "scheduler:       " << meta.scheduler << "\n"
+            << "faults:          "
+            << (meta.fault_spec.empty() ? "(none)" : meta.fault_spec) << "\n"
+            << "m:               " << meta.m << "\n"
+            << "speed:           " << meta.speed << "\n"
+            << "jobs:            " << meta.jobs << "\n"
+            << "sim_time:        " << meta.sim_time << "\n"
+            << "slot:            " << meta.slot << "\n"
+            << "decisions:       " << meta.decisions << "\n"
+            << "events_emitted:  " << meta.events_emitted << "\n"
+            << "config_hash:     " << hash.str() << "\n"
+            << "sections:       ";
+  for (const CheckpointSection& section : file.sections) {
+    std::cout << ' ' << section.name << '(' << section.payload.size() << "B)";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -815,6 +991,7 @@ int main(int argc, char** argv) {
     const std::string& command = args.positional()[0];
     if (command == "generate") return cmd_generate(args);
     if (command == "run") return cmd_run(args);
+    if (command == "checkpoint") return cmd_checkpoint(args);
     if (command == "report") return cmd_report(args);
     if (command == "top") return cmd_top(args);
     if (command == "trace") return cmd_trace(args);
