@@ -12,9 +12,10 @@
 #   2. diff mode: compare two such log directories decisions-only with
 #      `dagsched trace diff --decisions` (exit 4 on divergence):
 #        scripts/decision_parity.sh diff BUILD_DIR PRE_DIR POST_DIR
-#   3. telemetry mode: run every combo twice in the same binary -- once
-#      plain, once with --telemetry attached -- and require the event logs
-#      to be byte-identical (the obs/telemetry off==seed contract):
+#   3. telemetry mode: run the whole matrix twice -- once plain
+#      (--no-telemetry), once with per-cell telemetry recorders attached --
+#      and require the event logs to be byte-identical (the obs/telemetry
+#      off==seed contract):
 #        scripts/decision_parity.sh telemetry BUILD_DIR
 #   4. resume mode: for every combo, kill a checkpointing run at a mid-run
 #      decision (--die-at-decision, exit 9), resume from the last snapshot,
@@ -22,14 +23,21 @@
 #      uninterrupted run's suffix (docs/RECOVERY.md):
 #        scripts/decision_parity.sh resume BUILD_DIR
 #
-# Typical use: emit with the pre-change binary, apply the change, rebuild,
-# emit again, then diff.  Exits non-zero on the first divergence.
+# emit and telemetry run the matrix through `dagsched sweep` (docs/SWEEP.md):
+# one process fans the cells across PARITY_JOBS worker threads (default:
+# nproc) and the per-cell event logs are byte-identical to serial runs by
+# the sweep determinism contract.  resume mode stays per-process (it drives
+# kill/resume of whole CLI invocations) but runs PARITY_JOBS combos at a
+# time.  Typical use: emit with the pre-change binary, apply the change,
+# rebuild, emit again, then diff.  Exits non-zero on the first divergence.
 set -euo pipefail
 
 mode="${1:?usage: decision_parity.sh emit BUILD_DIR OUT_DIR | diff BUILD_DIR PRE_DIR POST_DIR}"
 build="${2:?missing BUILD_DIR}"
 cli="$build/tools/dagsched"
 [ -x "$cli" ] || { echo "no dagsched CLI at $cli" >&2; exit 2; }
+
+jobs="${PARITY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -56,32 +64,50 @@ combos() {
   echo "profit slot profit"
 }
 
-fault_args() {
+fault_spec() {
   case "$1" in
     none) echo "" ;;
     churn-resume)
-      echo "--faults mtbf=60,mttr=20,horizon=300,seed=5,min-procs=4,restart=resume" ;;
+      echo "mtbf=60,mttr=20,horizon=300,seed=5,min-procs=4,restart=resume" ;;
     churn-zero)
-      echo "--faults mtbf=45,mttr=15,horizon=300,seed=9,min-procs=4,restart=zero" ;;
+      echo "mtbf=45,mttr=15,horizon=300,seed=9,min-procs=4,restart=zero" ;;
   esac
+}
+
+fault_args() {
+  local spec
+  spec="$(fault_spec "$1")"
+  [ -n "$spec" ] && echo "--faults $spec" || echo ""
+}
+
+# The full parity matrix as a `dagsched sweep --cells` file: cell ids keep
+# the ${sched}_${engine}_${wl}_${fmode} tag naming, so per-cell event logs
+# land under the same file names the per-process loop used to write.
+gen_cells() {
+  local out="$1" line sched engine wl fmode
+  : > "$out"
+  while read -r line; do
+    read -r sched engine wl <<<"$line"
+    for fmode in none churn-resume churn-zero; do
+      printf '{"id":"%s_%s_%s_%s","workload":"%s","scheduler":"%s","engine":"%s","fault":"%s","faults":"%s"}\n' \
+        "$sched" "$engine" "$wl" "$fmode" "$workdir/$wl.wl" "$sched" \
+        "$engine" "$fmode" "$(fault_spec "$fmode")" >> "$out"
+    done
+  done < <(combos)
 }
 
 emit() {
   local out="$1"
   mkdir -p "$out"
   gen_workloads
-  local line sched engine wl fmode fargs tag
-  while read -r line; do
-    read -r sched engine wl <<<"$line"
-    for fmode in none churn-resume churn-zero; do
-      fargs="$(fault_args "$fmode")"
-      tag="${sched}_${engine}_${wl}_${fmode}"
-      # shellcheck disable=SC2086
-      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
-        --m 16 $fargs --events "$out/$tag.jsonl" >/dev/null
-    done
-  done < <(combos)
-  echo "emitted $(ls "$out" | wc -l) event logs to $out"
+  gen_cells "$workdir/cells.jsonl"
+  # The merged report has no .jsonl suffix so diff mode's *.jsonl glob
+  # only ever sees event logs.
+  "$cli" sweep --cells "$workdir/cells.jsonl" --m 16 \
+    --sweep-jobs "$jobs" --events-dir "$out" --out "$out/sweep.report" \
+    --quiet >/dev/null
+  echo "emitted $(ls "$out"/*.jsonl | wc -l) event logs to $out" \
+    "(merged sweep report: $out/sweep.report)"
 }
 
 diff_dirs() {
@@ -97,94 +123,103 @@ diff_dirs() {
       fail=1
     fi
   done
-  [ "$fail" -eq 0 ] && echo "decision-log parity: all $(ls "$pre" | wc -l) combos identical"
+  [ "$fail" -eq 0 ] && echo "decision-log parity: all $(ls "$pre"/*.jsonl | wc -l) combos identical"
   return "$fail"
 }
 
 telemetry_check() {
   gen_workloads
-  local line sched engine wl fmode fargs tag fail=0 n=0
-  while read -r line; do
-    read -r sched engine wl <<<"$line"
-    for fmode in none churn-resume churn-zero; do
-      fargs="$(fault_args "$fmode")"
-      tag="${sched}_${engine}_${wl}_${fmode}"
-      # shellcheck disable=SC2086
-      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
-        --m 16 $fargs --events "$workdir/$tag.off.jsonl" >/dev/null
-      # shellcheck disable=SC2086
-      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
-        --m 16 $fargs --events "$workdir/$tag.on.jsonl" \
-        --telemetry "$workdir/$tag.tele.jsonl" --telemetry-interval 50 \
-        >/dev/null
-      n=$((n + 1))
-      if ! cmp -s "$workdir/$tag.off.jsonl" "$workdir/$tag.on.jsonl"; then
-        echo "TELEMETRY DIVERGED: $tag"
-        "$cli" trace diff "$workdir/$tag.off.jsonl" \
-          "$workdir/$tag.on.jsonl" --decisions || true
-        fail=1
-      fi
-    done
-  done < <(combos)
+  gen_cells "$workdir/cells.jsonl"
+  "$cli" sweep --cells "$workdir/cells.jsonl" --m 16 --sweep-jobs "$jobs" \
+    --no-telemetry --events-dir "$workdir/events_off" --quiet >/dev/null
+  "$cli" sweep --cells "$workdir/cells.jsonl" --m 16 --sweep-jobs "$jobs" \
+    --events-dir "$workdir/events_on" --quiet >/dev/null
+  local fail=0 n=0 f base
+  for f in "$workdir/events_off"/*.jsonl; do
+    base="$(basename "$f")"
+    n=$((n + 1))
+    if ! cmp -s "$f" "$workdir/events_on/$base"; then
+      echo "TELEMETRY DIVERGED: ${base%.jsonl}"
+      "$cli" trace diff "$f" "$workdir/events_on/$base" --decisions || true
+      fail=1
+    fi
+  done
   [ "$fail" -eq 0 ] && \
-    echo "telemetry parity: all $n combos byte-identical with --telemetry"
+    echo "telemetry parity: all $n combos byte-identical with telemetry attached"
   return "$fail"
+}
+
+# One kill/resume combo; always returns 0 and records the outcome as a
+# status file so the parallel pool can aggregate after `wait`.
+resume_one() {
+  local sched="$1" engine="$2" wl="$3" fmode="$4"
+  local fargs tag decisions kill_at interval status emitted
+  fargs="$(fault_args "$fmode")"
+  tag="${sched}_${engine}_${wl}_${fmode}"
+  # Uninterrupted reference run.
+  # shellcheck disable=SC2086
+  "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+    --m 16 $fargs --events "$workdir/$tag.full.jsonl" \
+    > "$workdir/$tag.summary.txt"
+  decisions="$(awk '/^decisions:/{print $2}' "$workdir/$tag.summary.txt")"
+  if [ "$decisions" -lt 3 ]; then
+    : > "$workdir/status/$tag.skip"
+    return 0
+  fi
+  # Kill a checkpointing run halfway; the interval guarantees at least
+  # one snapshot lands before the kill point.
+  kill_at=$((decisions / 2))
+  [ "$kill_at" -lt 2 ] && kill_at=2
+  interval=$((kill_at / 3))
+  [ "$interval" -lt 1 ] && interval=1
+  status=0
+  # shellcheck disable=SC2086
+  "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+    --m 16 $fargs --events "$workdir/$tag.killed.jsonl" \
+    --checkpoint "$workdir/$tag.ckpt" --checkpoint-interval "$interval" \
+    --die-at-decision "$kill_at" >/dev/null || status=$?
+  if [ "$status" -ne 9 ]; then
+    echo "KILL DID NOT EXIT 9 (got $status): $tag" > "$workdir/status/$tag.fail"
+    return 0
+  fi
+  emitted="$("$cli" checkpoint info "$workdir/$tag.ckpt" \
+    | awk '/^events_emitted:/{print $2}')"
+  # Resume and compare against the reference log's suffix.
+  # shellcheck disable=SC2086
+  "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
+    --m 16 $fargs --resume "$workdir/$tag.ckpt" \
+    --events "$workdir/$tag.resumed.jsonl" >/dev/null
+  if ! cmp -s <(tail -n +$((emitted + 1)) "$workdir/$tag.full.jsonl") \
+      "$workdir/$tag.resumed.jsonl"; then
+    echo "RESUME DIVERGED: $tag (checkpoint events_emitted=$emitted)" \
+      > "$workdir/status/$tag.fail"
+    return 0
+  fi
+  : > "$workdir/status/$tag.ok"
 }
 
 resume_check() {
   gen_workloads
-  local line sched engine wl fmode fargs tag fail=0 n=0 skipped=0
-  local decisions kill_at interval status emitted
+  mkdir -p "$workdir/status"
+  local line sched engine wl fmode
   while read -r line; do
     read -r sched engine wl <<<"$line"
     for fmode in none churn-resume churn-zero; do
-      fargs="$(fault_args "$fmode")"
-      tag="${sched}_${engine}_${wl}_${fmode}"
-      # Uninterrupted reference run.
-      # shellcheck disable=SC2086
-      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
-        --m 16 $fargs --events "$workdir/$tag.full.jsonl" \
-        > "$workdir/$tag.summary.txt"
-      decisions="$(awk '/^decisions:/{print $2}' "$workdir/$tag.summary.txt")"
-      if [ "$decisions" -lt 3 ]; then
-        skipped=$((skipped + 1))
-        continue
-      fi
-      # Kill a checkpointing run halfway; the interval guarantees at least
-      # one snapshot lands before the kill point.
-      kill_at=$((decisions / 2))
-      [ "$kill_at" -lt 2 ] && kill_at=2
-      interval=$((kill_at / 3))
-      [ "$interval" -lt 1 ] && interval=1
-      status=0
-      # shellcheck disable=SC2086
-      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
-        --m 16 $fargs --events "$workdir/$tag.killed.jsonl" \
-        --checkpoint "$workdir/$tag.ckpt" --checkpoint-interval "$interval" \
-        --die-at-decision "$kill_at" >/dev/null || status=$?
-      if [ "$status" -ne 9 ]; then
-        echo "KILL DID NOT EXIT 9 (got $status): $tag"
-        fail=1
-        continue
-      fi
-      emitted="$("$cli" checkpoint info "$workdir/$tag.ckpt" \
-        | awk '/^events_emitted:/{print $2}')"
-      # Resume and compare against the reference log's suffix.
-      # shellcheck disable=SC2086
-      "$cli" run "$workdir/$wl.wl" --scheduler "$sched" --engine "$engine" \
-        --m 16 $fargs --resume "$workdir/$tag.ckpt" \
-        --events "$workdir/$tag.resumed.jsonl" >/dev/null
-      n=$((n + 1))
-      if ! cmp -s <(tail -n +$((emitted + 1)) "$workdir/$tag.full.jsonl") \
-          "$workdir/$tag.resumed.jsonl"; then
-        echo "RESUME DIVERGED: $tag (checkpoint events_emitted=$emitted)"
-        fail=1
-      fi
+      while [ "$(jobs -rp | wc -l)" -ge "$jobs" ]; do wait -n || true; done
+      resume_one "$sched" "$engine" "$wl" "$fmode" &
     done
   done < <(combos)
-  [ "$fail" -eq 0 ] && echo "crash-recovery parity: all $n kill-resume" \
-    "combos byte-identical ($skipped skipped as too short)"
-  return "$fail"
+  wait
+  local fails skips runs
+  fails="$(find "$workdir/status" -name '*.fail' | wc -l)"
+  skips="$(find "$workdir/status" -name '*.skip' | wc -l)"
+  runs="$(find "$workdir/status" -name '*.ok' | wc -l)"
+  if [ "$fails" -ne 0 ]; then
+    cat "$workdir/status"/*.fail
+    return 1
+  fi
+  echo "crash-recovery parity: all $runs kill-resume" \
+    "combos byte-identical ($skips skipped as too short)"
 }
 
 case "$mode" in

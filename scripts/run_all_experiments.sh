@@ -4,10 +4,14 @@
 #   scripts/run_all_experiments.sh [BUILD_DIR] [CSV_DIR]
 #
 # With CSV_DIR set, every table is also exported as CSV for plotting.
+# Benches run JOBS at a time (default: nproc) into per-bench capture files,
+# which are replayed in name order afterwards -- so the combined output is
+# deterministic no matter which bench finishes first.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 CSV_DIR="${2:-}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found; build first:" >&2
@@ -21,13 +25,37 @@ if [[ -n "$CSV_DIR" ]]; then
   EXTRA=(--csv "$CSV_DIR")
 fi
 
+capture="$(mktemp -d)"
+trap 'rm -rf "$capture"' EXIT
+
+benches=()
 for bench in "$BUILD_DIR"/bench/bench_*; do
   [[ -x "$bench" ]] || continue
-  echo
-  echo "################ $(basename "$bench") ################"
-  if [[ "$(basename "$bench")" == "bench_engine_perf" ]]; then
-    "$bench"   # google-benchmark binary: owns its own flags
-  else
-    "$bench" "${EXTRA[@]}"
-  fi
+  benches+=("$bench")
 done
+
+run_one() {
+  local bench="$1" name
+  name="$(basename "$bench")"
+  if [[ "$name" == "bench_engine_perf" ]]; then
+    "$bench" > "$capture/$name.out" 2>&1   # google-benchmark: own flags
+  else
+    "$bench" "${EXTRA[@]}" > "$capture/$name.out" 2>&1
+  fi
+}
+
+status=0
+for bench in "${benches[@]}"; do
+  while (( $(jobs -rp | wc -l) >= JOBS )); do wait -n || status=1; done
+  run_one "$bench" &
+done
+while (( $(jobs -rp | wc -l) > 0 )); do wait -n || status=1; done
+
+for bench in "${benches[@]}"; do
+  name="$(basename "$bench")"
+  echo
+  echo "################ $name ################"
+  cat "$capture/$name.out"
+done
+
+exit "$status"

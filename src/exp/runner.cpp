@@ -85,6 +85,11 @@ RunMetrics run_workload(const JobSet& jobs, SchedulerBase& scheduler,
   metrics.busy_proc_time = result.busy_proc_time;
   metrics.end_time = result.end_time;
   metrics.lost_work = result.lost_work;
+  metrics.node_preemptions = result.node_preemptions;
+  metrics.job_preemptions = result.job_preemptions;
+  metrics.overload_breaches = result.overload_breaches;
+  metrics.overload_sheds = result.overload_sheds;
+  metrics.overload_recoveries = result.overload_recoveries;
   metrics.failure = result.failure;
   metrics.failure_message = result.failure_message;
   return metrics;

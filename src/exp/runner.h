@@ -62,6 +62,13 @@ struct RunMetrics {
   Time end_time = 0.0;
   /// Work discarded by restart-from-zero fault recovery.
   Work lost_work = 0.0;
+  std::size_t node_preemptions = 0;
+  std::size_t job_preemptions = 0;
+  /// Overload-degradation counters (decide-budget breaches and the jobs
+  /// shed in response); all zero when the budget is off.
+  std::size_t overload_breaches = 0;
+  std::size_t overload_sheds = 0;
+  std::size_t overload_recoveries = 0;
   /// kNone unless the run terminated abnormally (livelock guard, horizon).
   SimFailureKind failure = SimFailureKind::kNone;
   std::string failure_message;

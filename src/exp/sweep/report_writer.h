@@ -1,0 +1,27 @@
+// Serializes a SweepResult as a versioned "dagsched.sweep/1" JSONL report
+// (schema + parser + diff: obs/sweep_report.h).  Split from the executor so
+// tests can round-trip reports without running sweeps, and from the obs
+// layer so obs never depends on exp types.
+#pragma once
+
+#include <iosfwd>
+
+#include "exp/sweep/sweep.h"
+#include "util/json.h"
+
+namespace dagsched {
+
+/// The header line (carries the schema marker).
+JsonValue sweep_header_json(const SweepResult& sweep);
+
+/// One "kind":"cell" line for cell `index`.
+JsonValue sweep_cell_json(const SweepResult& sweep, std::size_t index);
+
+/// The trailing "kind":"summary" line: wall/serial/speedup, merged
+/// histograms, failure/shed/overload rollups, slowest-cell attribution.
+JsonValue sweep_summary_json(const SweepResult& sweep);
+
+/// Writes header, one line per cell, then the summary.
+void write_sweep_report(std::ostream& out, const SweepResult& sweep);
+
+}  // namespace dagsched

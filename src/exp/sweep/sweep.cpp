@@ -1,0 +1,274 @@
+#include "exp/sweep/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "obs/event_log.h"
+#include "obs/sink.h"
+#include "obs/telemetry/telemetry.h"
+#include "util/check.h"
+
+namespace dagsched {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One worker's share of the cell index space.  Owners pop from the front,
+/// thieves steal from the back -- the classic deque discipline, so an owner
+/// keeps cache-warm consecutive cells while idle workers drain the far end
+/// of the longest queue.  A mutex per deque is plenty: contention is one
+/// lock per *cell* (milliseconds of simulation), not per task-step.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> cells;
+};
+
+class WorkStealingPool {
+ public:
+  WorkStealingPool(std::size_t num_workers, std::size_t num_cells)
+      : queues_(num_workers) {
+    // Round-robin initial distribution keeps neighbouring (often
+    // similar-cost) cells spread across workers.
+    for (std::size_t i = 0; i < num_cells; ++i) {
+      queues_[i % num_workers].cells.push_back(i);
+    }
+  }
+
+  /// Next cell for `worker`: own queue first, then steal from the victim
+  /// with the most remaining work.  Returns nullopt when every queue is
+  /// empty (running cells may still be in flight, but each cell is
+  /// independent so there is nothing left to hand out).
+  std::optional<std::size_t> next(std::size_t worker) {
+    {
+      WorkerQueue& own = queues_[worker];
+      std::lock_guard lock(own.mutex);
+      if (!own.cells.empty()) {
+        const std::size_t cell = own.cells.front();
+        own.cells.pop_front();
+        return cell;
+      }
+    }
+    // Steal: scan for the longest queue (sizes read unlocked are only a
+    // heuristic; the actual pop re-checks under the victim's lock).
+    while (true) {
+      std::size_t victim = queues_.size();
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (i == worker) continue;
+        const std::size_t size = queues_[i].cells.size();
+        if (size > best) {
+          best = size;
+          victim = i;
+        }
+      }
+      if (victim == queues_.size()) return std::nullopt;
+      WorkerQueue& target = queues_[victim];
+      std::lock_guard lock(target.mutex);
+      if (target.cells.empty()) continue;  // lost the race; rescan
+      const std::size_t cell = target.cells.back();
+      target.cells.pop_back();
+      return cell;
+    }
+  }
+
+ private:
+  std::vector<WorkerQueue> queues_;
+};
+
+}  // namespace
+
+SweepCellResult run_sweep_cell(const SweepCellSpec& spec,
+                               const SweepOptions& options) {
+  SweepCellResult result;
+  DS_CHECK_MSG(spec.jobs != nullptr,
+               "sweep cell '" << spec.id << "' has no workload attached");
+
+  // Configuration errors are per-cell data, never aborts: one bad cell must
+  // not take down a 93-cell fleet.
+  std::unique_ptr<SchedulerBase> scheduler;
+  try {
+    scheduler = make_named_scheduler(spec.scheduler, spec.eps);
+  } catch (const std::invalid_argument& error) {
+    result.error = error.what();
+    return result;
+  }
+  if (spec.scheduler == "profit" && spec.engine != EngineKind::kSlot) {
+    result.error = "scheduler 'profit' requires the slot engine";
+    return result;
+  }
+
+  std::optional<FaultInjector> injector;
+  if (!spec.fault_spec.empty()) {
+    std::string error;
+    const auto config = parse_fault_spec(spec.fault_spec, &error);
+    if (!config) {
+      result.error = "bad fault spec: " + error;
+      return result;
+    }
+    if (config->min_procs > spec.m) {
+      result.error = "bad fault spec: min-procs exceeds m=" +
+                     std::to_string(spec.m);
+      return result;
+    }
+    injector.emplace(build_fault_plan(*config, spec.m));
+  }
+
+  // Isolated observability state: one recorder + registry + log per cell,
+  // constructed here and torn down before the result is published, so no
+  // two cells ever share a mutable instrument (the registry-isolation half
+  // of the determinism contract).
+  std::optional<TelemetryRecorder> telemetry;
+  if (options.telemetry) {
+    TelemetryOptions telemetry_options;
+    telemetry_options.include_rss = false;  // process-global, meaningless
+                                            // per concurrent cell
+    telemetry.emplace(telemetry_options);
+  }
+  MetricRegistry registry;
+  EventLog events;
+  ObsSink sink;
+  if (options.counters) sink.metrics = &registry;
+  if (options.capture_events) sink.events = &events;
+
+  RunConfig run;
+  run.m = spec.m;
+  run.speed = spec.speed;
+  run.selector = spec.selector;
+  run.selector_seed = spec.selector_seed;
+  run.engine = spec.engine;
+  run.obs = sink.enabled() ? &sink : nullptr;
+  run.faults = injector ? &*injector : nullptr;
+  run.telemetry = telemetry ? &*telemetry : nullptr;
+
+  const Clock::time_point start = Clock::now();
+  result.metrics = run_workload(*spec.jobs, *scheduler, run);
+
+  if (telemetry) {
+    result.decide = telemetry->decide_histogram();
+    result.transition = telemetry->transition_histogram();
+    result.admission = telemetry->admission_histogram();
+  }
+  if (options.capture_events) {
+    std::ostringstream out;
+    events.write_jsonl(out);
+    result.events_jsonl = std::move(out).str();
+  }
+  if (options.counters) {
+    result.counters = registry.counter_values();
+  }
+  // Wall time covers the simulation *and* result extraction (histogram
+  // copies, event serialization): the full unit of work the executor
+  // parallelizes, so serial_wall_ms / wall_ms is an honest speedup.
+  result.wall_ms = ms_since(start);
+  return result;
+}
+
+SweepResult run_sweep(std::vector<SweepCellSpec> cells,
+                      const SweepOptions& options) {
+  SweepResult sweep;
+  sweep.cells = std::move(cells);
+  sweep.results.resize(sweep.cells.size());
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::max<std::size_t>(1, std::min(threads, sweep.cells.size()));
+  sweep.threads = threads;
+  if (sweep.cells.empty()) return sweep;
+
+  const Clock::time_point start = Clock::now();
+  WorkStealingPool pool(threads, sweep.cells.size());
+
+  // Progress state, guarded by one mutex; the live merged decide histogram
+  // backs the p99 readout (merge order is completion order here, which is
+  // fine: bucket addition commutes -- the *report* merge below re-runs in
+  // cell-index order anyway).
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t running = 0;
+  LatencyHistogram live_decide;
+
+  auto worker_body = [&](std::size_t worker) {
+    while (true) {
+      const std::optional<std::size_t> cell = pool.next(worker);
+      if (!cell) return;
+      if (options.on_progress) {
+        std::lock_guard lock(progress_mutex);
+        ++running;
+      }
+      // Results land in pre-sized distinct slots: no lock, no reordering.
+      sweep.results[*cell] = run_sweep_cell(sweep.cells[*cell], options);
+
+      std::lock_guard lock(progress_mutex);
+      if (options.on_progress) --running;
+      ++completed;
+      const SweepCellResult& done = sweep.results[*cell];
+      if (!done.ok()) ++failed;
+      if (options.on_progress) {
+        live_decide.merge(done.decide);
+        SweepProgress progress;
+        progress.total = sweep.cells.size();
+        progress.completed = completed;
+        progress.failed = failed;
+        progress.running = running;
+        progress.elapsed_sec = ms_since(start) / 1e3;
+        if (progress.elapsed_sec > 0.0) {
+          progress.cells_per_sec =
+              static_cast<double>(completed) / progress.elapsed_sec;
+        }
+        if (progress.cells_per_sec > 0.0) {
+          progress.eta_sec =
+              static_cast<double>(progress.total - completed) /
+              progress.cells_per_sec;
+        }
+        progress.decide_p99_ns = live_decide.percentile_ns(0.99);
+        options.on_progress(progress);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers.emplace_back(worker_body, i);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  sweep.wall_ms = ms_since(start);
+
+  // Deterministic fleet merge in cell-index order.
+  MetricRegistry rollup;
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const SweepCellResult& result = sweep.results[i];
+    sweep.serial_wall_ms += result.wall_ms;
+    if (!result.ok()) ++sweep.failed_cells;
+    sweep.decide.merge(result.decide);
+    sweep.transition.merge(result.transition);
+    sweep.admission.merge(result.admission);
+    for (const auto& [name, value] : result.counters) {
+      rollup.counter(name)->add(value);
+    }
+  }
+  sweep.counters = rollup.counter_values();
+  return sweep;
+}
+
+}  // namespace dagsched

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <iterator>
 
 namespace dagsched {
 
@@ -82,5 +83,14 @@ std::uint64_t LatencyHistogram::percentile_ns(double q) const {
 }
 
 void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+bool operator==(const LatencyHistogram& lhs, const LatencyHistogram& rhs) {
+  if (lhs.count_ != rhs.count_ || lhs.overflow_ != rhs.overflow_ ||
+      lhs.sum_ != rhs.sum_ || lhs.min_ != rhs.min_ || lhs.max_ != rhs.max_) {
+    return false;
+  }
+  return std::equal(std::begin(lhs.buckets_), std::end(lhs.buckets_),
+                    std::begin(rhs.buckets_));
+}
 
 }  // namespace dagsched

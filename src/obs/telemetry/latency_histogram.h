@@ -71,6 +71,13 @@ class LatencyHistogram {
 
   void reset();
 
+  /// Exact state equality (count/overflow/min/max/sum and every bucket).
+  /// Sample values are integral ns, so `sum_` is an exact integer sum below
+  /// 2^53 and partition-and-merge equals single-recorder byte-for-byte --
+  /// the invariance tests/test_sweep.cpp asserts.
+  friend bool operator==(const LatencyHistogram& lhs,
+                         const LatencyHistogram& rhs);
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t overflow_ = 0;

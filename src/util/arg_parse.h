@@ -31,6 +31,14 @@ class ArgParser {
   /// Presence flag: true if --name was given (with no value or "true"/"1").
   bool get_flag(const std::string& name);
 
+  /// True if --name appeared at all (even as `--name=` with an empty
+  /// value).  Does not consume: callers that need to distinguish "absent"
+  /// from "present but empty" (strict value validation) pair this with a
+  /// typed getter.
+  bool has(const std::string& name) const {
+    return values_.find(name) != values_.end();
+  }
+
   /// Positional (non --flag) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

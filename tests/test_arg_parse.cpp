@@ -75,5 +75,22 @@ TEST(ArgParse, LastValueWins) {
   args.finish();
 }
 
+TEST(ArgParse, HasDistinguishesAbsentFromEmptyValue) {
+  // `--interval=` must be visible as "present with an empty value" so
+  // strict flags can reject it instead of silently using the default.
+  ArgParser given_empty = make({"prog", "--interval="});
+  EXPECT_TRUE(given_empty.has("interval"));
+  EXPECT_EQ(given_empty.get_string("interval", "default"), "");
+
+  ArgParser absent = make({"prog"});
+  EXPECT_FALSE(absent.has("interval"));
+  EXPECT_EQ(absent.get_string("interval", "default"), "default");
+
+  // has() does not consume: finish() still flags the unused flag.
+  ArgParser unused = make({"prog", "--interval=5"});
+  EXPECT_TRUE(unused.has("interval"));
+  EXPECT_THROW(unused.finish(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dagsched

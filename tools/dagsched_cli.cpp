@@ -17,16 +17,28 @@
 // (workload/trace/fault-spec parse error), 3 simulation failure (livelock
 // guard or runaway horizon -- the run terminated abnormally but cleanly),
 // 4 `trace diff` found a divergence between the two event logs.
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "core/deadline_scheduler.h"
 #include "dag/dot.h"
 #include "exp/runner.h"
+#include "exp/sweep/report_writer.h"
+#include "exp/sweep/sweep.h"
 #include "fault/corruption.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
@@ -34,6 +46,7 @@
 #include "obs/crash_dump.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/sweep_report.h"
 #include "obs/telemetry/telemetry.h"
 #include "obs/trace_export.h"
 #include "opt/exact.h"
@@ -84,7 +97,14 @@ int usage() {
          "           [--die-at-decision N] [--decide-budget N|Nus|Nms|Ns]\n"
          "           [--overload-shed K]\n"
          "  dagsched checkpoint info CKPT # print a checkpoint header\n"
-         "  dagsched report REPORT.json   # run or bench report\n"
+         "  dagsched sweep WL... --schedulers A,B --engines event,slot\n"
+         "           [--faults LABEL=SPEC;LABEL=SPEC...] [--m M] [--eps E]\n"
+         "           [--speed S] [--selector KIND] [--sweep-jobs N]\n"
+         "           [--out SWEEP.jsonl] [--events-dir DIR] [--no-telemetry]\n"
+         "           [--cells CELLS.jsonl] [--quiet]\n"
+         "  dagsched sweep diff BASELINE CURRENT [--threshold T] "
+         "[--warn-only]\n"
+         "  dagsched report REPORT.json   # run, bench, or sweep report\n"
          "  dagsched top TELEMETRY.jsonl  # render telemetry snapshots\n"
          "  dagsched trace export FILE [run flags] [--out TRACE.json]\n"
          "  dagsched trace attribution FILE [run flags] [--json] "
@@ -241,14 +261,22 @@ void apply_telemetry_interval(const std::string& value,
   } catch (const std::exception&) {
     consumed = 0;
   }
-  if (consumed != number.size() || !(parsed > 0.0)) {
+  // `!(parsed > 0.0)` rejects zero, negatives, and NaN; std::isfinite
+  // rejects "inf" (stod parses it, and the uint64 cast below would be UB).
+  if (consumed != number.size() || !(parsed > 0.0) || !std::isfinite(parsed)) {
     throw ParseError("--telemetry-interval", 1, 1,
                      "expected a positive number with optional ms/s suffix, "
                      "got '" +
                          value + "'");
   }
   if (wall_scale > 0.0) {
-    options.wall_interval_ns = static_cast<std::uint64_t>(parsed * wall_scale);
+    const double interval_ns = parsed * wall_scale;
+    if (interval_ns >= 1.8e19) {  // > uint64 range: the cast would be UB
+      throw ParseError("--telemetry-interval", 1, 1,
+                       "interval overflows a 64-bit nanosecond counter: '" +
+                           value + "'");
+    }
+    options.wall_interval_ns = static_cast<std::uint64_t>(interval_ns);
   } else {
     options.sim_interval = parsed;
   }
@@ -279,13 +307,19 @@ std::uint64_t parse_decide_budget(const std::string& value) {
   } catch (const std::exception&) {
     consumed = 0;
   }
-  if (consumed != number.size() || !(parsed > 0.0)) {
+  if (consumed != number.size() || !(parsed > 0.0) || !std::isfinite(parsed)) {
     throw ParseError("--decide-budget", 1, 1,
                      "expected a positive number with optional ns/us/ms/s "
                      "suffix, got '" +
                          value + "'");
   }
-  return static_cast<std::uint64_t>(parsed * scale);
+  const double budget_ns = parsed * scale;
+  if (budget_ns >= 1.8e19) {  // > uint64 range: the cast would be UB
+    throw ParseError("--decide-budget", 1, 1,
+                     "budget overflows a 64-bit nanosecond counter: '" +
+                         value + "'");
+  }
+  return static_cast<std::uint64_t>(budget_ns);
 }
 
 /// Reads a file verbatim for config fingerprinting; returns empty on a
@@ -315,6 +349,10 @@ int cmd_run(ArgParser& args) {
   const std::string events_path = args.get_string("events", "");
   const std::string fault_spec = args.get_string("faults", "");
   const std::string telemetry_path = args.get_string("telemetry", "");
+  // Presence is checked separately from the value: `--telemetry-interval=`
+  // (empty value) must be rejected by apply_telemetry_interval (exit 2),
+  // not silently fall back to the default interval.
+  const bool telemetry_interval_given = args.has("telemetry-interval");
   const std::string telemetry_interval =
       args.get_string("telemetry-interval", "");
   const std::string checkpoint_path = args.get_string("checkpoint", "");
@@ -326,7 +364,7 @@ int cmd_run(ArgParser& args) {
   const std::int64_t overload_shed = args.get_int("overload-shed", 1);
   args.finish();
 
-  if (!telemetry_interval.empty() && telemetry_path.empty()) {
+  if (telemetry_interval_given && telemetry_path.empty()) {
     std::cerr << "run: --telemetry-interval requires --telemetry\n";
     return 1;
   }
@@ -375,7 +413,7 @@ int cmd_run(ArgParser& args) {
     }
     TelemetryOptions telemetry_options;
     telemetry_options.out = &telemetry_out;
-    if (telemetry_interval.empty()) {
+    if (!telemetry_interval_given) {
       telemetry_options.wall_interval_ns = 100'000'000;  // default: 100ms
     } else {
       apply_telemetry_interval(telemetry_interval, telemetry_options);
@@ -639,6 +677,13 @@ int cmd_report(ArgParser& args) {
   buffer << in.rdbuf();
   const JsonParseResult parsed = json_parse(buffer.str());
   if (!parsed.ok) {
+    // Not a single JSON document -- maybe a multi-line sweep JSONL report.
+    std::istringstream stream(buffer.str());
+    std::string sweep_error;
+    if (const auto doc = parse_sweep_report(stream, &sweep_error)) {
+      std::cout << format_sweep_report(*doc);
+      return 0;
+    }
     std::cerr << "report: " << path << " is not valid JSON: " << parsed.error
               << "\n";
     return 1;
@@ -660,9 +705,21 @@ int cmd_report(ArgParser& args) {
     std::cout << format_bench_report(parsed.value);
     return 0;
   }
+  if (schema_name.rfind("dagsched.sweep/", 0) == 0) {
+    // Header-only sweep file (or the whole report on one line).
+    std::istringstream stream(buffer.str());
+    std::string sweep_error;
+    const auto doc = parse_sweep_report(stream, &sweep_error);
+    if (!doc) {
+      std::cerr << "report: " << path << ": " << sweep_error << "\n";
+      return 1;
+    }
+    std::cout << format_sweep_report(*doc);
+    return 0;
+  }
   std::cerr << "report: unknown schema '" << schema_name
-            << "' (expected dagsched.run_report/* or "
-               "dagsched.bench_report/*)\n";
+            << "' (expected dagsched.run_report/*, dagsched.bench_report/*, "
+               "or dagsched.sweep/*)\n";
   return 1;
 }
 
@@ -982,6 +1039,405 @@ int cmd_top(ArgParser& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// dagsched sweep: parallel sweep executor + cross-run regression diff
+// ---------------------------------------------------------------------------
+
+/// Strict positive-integer flag value (e.g. --sweep-jobs): garbage, zero,
+/// negatives, and absurd values get a positioned diagnostic (exit 2)
+/// instead of a silent default or an unchecked cast.
+std::size_t parse_positive_count(const std::string& flag,
+                                 const std::string& value,
+                                 std::size_t max_value) {
+  std::int64_t parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (value.empty() || ec != std::errc{} || ptr != end || parsed < 1 ||
+      parsed > static_cast<std::int64_t>(max_value)) {
+    throw ParseError("--" + flag, 1, 1,
+                     "expected an integer in [1, " + std::to_string(max_value) +
+                         "], got '" + value + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// "out/thm2.wl" -> "thm2": the workload tag used in cell ids.
+std::string workload_tag(const std::string& path) {
+  std::string base = path;
+  const auto slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base;
+}
+
+std::vector<std::string> split_list(const std::string& value, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Parses the sweep --faults axis, `LABEL=SPEC[;LABEL=SPEC...]`: each entry
+/// is one fault mode of the sweep grid; an empty spec (or a bare label)
+/// means no injection for that row.  Specs are validated eagerly so a typo
+/// fails the whole sweep up front (exit 2), not one cell at a time.
+std::vector<std::pair<std::string, std::string>> parse_fault_axis(
+    const std::string& value) {
+  std::vector<std::pair<std::string, std::string>> modes;
+  for (const std::string& entry : split_list(value, ';')) {
+    const auto eq = entry.find('=');
+    std::string label = eq == std::string::npos ? entry : entry.substr(0, eq);
+    std::string spec = eq == std::string::npos ? "" : entry.substr(eq + 1);
+    if (label.empty()) {
+      throw ParseError("--faults", 1, 1,
+                       "empty fault label in '" + value + "'");
+    }
+    if (!spec.empty()) {
+      std::string error;
+      if (!parse_fault_spec(spec, &error)) {
+        throw ParseError("--faults", 1, 1, label + ": " + error);
+      }
+    }
+    modes.emplace_back(std::move(label), std::move(spec));
+  }
+  if (modes.empty()) modes.emplace_back("none", "");
+  return modes;
+}
+
+/// Loads `path` into the sweep's shared workload pool exactly once; cells
+/// borrow const pointers (simulations only read the JobSet).
+const JobSet* pooled_workload(const std::string& path,
+                              std::map<std::string, JobSet>& pool) {
+  auto it = pool.find(path);
+  if (it == pool.end()) it = pool.emplace(path, load_instance(path)).first;
+  return &it->second;
+}
+
+/// Parses a --cells file: one JSON object per line with keys workload
+/// (required), id, scheduler, engine, m, speed, eps, selector,
+/// selector_seed, fault (label), faults (spec).  Missing keys fall back to
+/// the CLI-level defaults.  Malformed lines get "FILE:LINE"-positioned
+/// diagnostics (exit 2).
+std::vector<SweepCellSpec> parse_cells_file(
+    const std::string& path, const SweepCellSpec& defaults,
+    std::map<std::string, JobSet>& pool) {
+  std::ifstream in(path);
+  if (!in) throw ParseError(path, 1, 1, "cannot open cells file");
+  std::vector<SweepCellSpec> cells;
+  std::set<std::string> ids;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const JsonParseResult parsed = json_parse(line);
+    if (!parsed.ok || !parsed.value.is_object()) {
+      throw ParseError(path, lineno, 1,
+                       parsed.ok ? "expected a JSON object" : parsed.error);
+    }
+    const JsonValue& cell = parsed.value;
+    auto str = [&](const char* key, const std::string& fallback) {
+      const JsonValue* value = cell.find(key);
+      if (value == nullptr) return fallback;
+      if (!value->is_string()) {
+        throw ParseError(path, lineno, 1,
+                         std::string(key) + " must be a string");
+      }
+      return value->as_string();
+    };
+    auto number = [&](const char* key, double fallback) {
+      const JsonValue* value = cell.find(key);
+      if (value == nullptr) return fallback;
+      if (!value->is_number()) {
+        throw ParseError(path, lineno, 1,
+                         std::string(key) + " must be a number");
+      }
+      return value->as_number();
+    };
+
+    SweepCellSpec spec = defaults;
+    const std::string workload = str("workload", "");
+    if (workload.empty()) {
+      throw ParseError(path, lineno, 1, "missing \"workload\"");
+    }
+    spec.workload_label = str("workload_label", workload_tag(workload));
+    spec.scheduler = str("scheduler", defaults.scheduler);
+    const std::string engine = str("engine", engine_kind_name(defaults.engine));
+    const auto engine_kind = parse_engine_kind(engine);
+    if (!engine_kind) {
+      throw ParseError(path, lineno, 1, "unknown engine '" + engine + "'");
+    }
+    spec.engine = *engine_kind;
+    const double m = number("m", static_cast<double>(defaults.m));
+    if (!(m >= 1.0)) throw ParseError(path, lineno, 1, "m must be >= 1");
+    spec.m = static_cast<ProcCount>(m);
+    spec.speed = number("speed", defaults.speed);
+    spec.eps = number("eps", defaults.eps);
+    if (cell.find("selector") != nullptr) {
+      try {
+        spec.selector = parse_selector(str("selector", "fifo"));
+      } catch (const std::invalid_argument& error) {
+        throw ParseError(path, lineno, 1, error.what());
+      }
+    }
+    spec.selector_seed = static_cast<std::uint64_t>(
+        number("selector_seed", static_cast<double>(defaults.selector_seed)));
+    spec.fault_spec = str("faults", defaults.fault_spec);
+    spec.fault_label =
+        str("fault", spec.fault_spec.empty() ? "none" : "faults");
+    spec.id = str("id", "");
+    if (spec.id.empty()) {
+      spec.id = spec.scheduler + "_" + engine + "_" + spec.workload_label +
+                "_" + spec.fault_label;
+    }
+    if (!ids.insert(spec.id).second) {
+      throw ParseError(path, lineno, 1, "duplicate cell id '" + spec.id + "'");
+    }
+    spec.jobs = pooled_workload(workload, pool);
+    cells.push_back(std::move(spec));
+  }
+  if (cells.empty()) throw ParseError(path, 1, 1, "no cells in file");
+  return cells;
+}
+
+int cmd_sweep_run(ArgParser& args) {
+  const std::string cells_path = args.get_string("cells", "");
+  const std::string schedulers = args.get_string("schedulers", "s");
+  const std::string engines = args.get_string("engines", "event");
+  const std::string fault_axis = args.get_string("faults", "none");
+  const std::int64_t m = args.get_int("m", 16);
+  const double speed = args.get_double("speed", 1.0);
+  const double eps = args.get_double("eps", 0.5);
+  const std::string selector_name = args.get_string("selector", "fifo");
+  const bool sweep_jobs_given = args.has("sweep-jobs");
+  const std::string sweep_jobs = args.get_string("sweep-jobs", "");
+  const std::string out_path = args.get_string("out", "");
+  const std::string events_dir = args.get_string("events-dir", "");
+  const bool no_telemetry = args.get_flag("no-telemetry");
+  const bool quiet = args.get_flag("quiet");
+  args.finish();
+
+  if (m < 1) {
+    std::cerr << "sweep: --m must be >= 1\n";
+    return 1;
+  }
+  // Strict like --telemetry-interval: `--sweep-jobs=`, garbage, zero, and
+  // negatives are positioned parse errors, never a silent default.
+  const std::size_t threads =
+      sweep_jobs_given ? parse_positive_count("sweep-jobs", sweep_jobs, 4096)
+                       : 0;
+
+  SweepCellSpec defaults;
+  defaults.m = static_cast<ProcCount>(m);
+  defaults.speed = speed;
+  defaults.eps = eps;
+  defaults.selector = parse_selector(selector_name);
+
+  std::map<std::string, JobSet> pool;
+  std::vector<SweepCellSpec> cells;
+  if (!cells_path.empty()) {
+    if (args.positional().size() != 1) return usage();
+    cells = parse_cells_file(cells_path, defaults, pool);
+  } else {
+    if (args.positional().size() < 2) return usage();
+    const std::vector<std::string> scheduler_list = split_list(schedulers, ',');
+    const std::vector<std::string> engine_list = split_list(engines, ',');
+    const auto fault_modes = parse_fault_axis(fault_axis);
+    if (scheduler_list.empty() || engine_list.empty()) {
+      std::cerr << "sweep: --schedulers and --engines must be non-empty\n";
+      return 1;
+    }
+    std::set<std::string> ids;
+    for (std::size_t i = 1; i < args.positional().size(); ++i) {
+      const std::string& workload = args.positional()[i];
+      const JobSet* jobs = pooled_workload(workload, pool);
+      for (const std::string& scheduler : scheduler_list) {
+        for (const std::string& engine : engine_list) {
+          const auto engine_kind = parse_engine_kind(engine);
+          if (!engine_kind) {
+            std::cerr << "sweep: unknown engine '" << engine << "'\n";
+            return 1;
+          }
+          for (const auto& [fault_label, fault_spec] : fault_modes) {
+            SweepCellSpec spec = defaults;
+            spec.workload_label = workload_tag(workload);
+            spec.jobs = jobs;
+            spec.scheduler = scheduler;
+            spec.engine = *engine_kind;
+            spec.fault_label = fault_label;
+            spec.fault_spec = fault_spec;
+            spec.id = scheduler + "_" + engine + "_" + spec.workload_label +
+                      "_" + fault_label;
+            if (!ids.insert(spec.id).second) {
+              std::cerr << "sweep: duplicate cell id '" << spec.id << "'\n";
+              return 1;
+            }
+            cells.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+
+  SweepOptions options;
+  options.threads = threads;
+  options.capture_events = !events_dir.empty();
+  options.telemetry = !no_telemetry;
+#ifndef _WIN32
+  const bool tty = isatty(fileno(stderr)) != 0;
+#else
+  const bool tty = false;
+#endif
+  // Live progress: a \r-rewritten status line on a TTY; on a pipe (CI logs)
+  // only every ~10% so logs stay readable.
+  const std::size_t stride = std::max<std::size_t>(1, cells.size() / 10);
+  if (!quiet) {
+    options.on_progress = [tty, stride](const SweepProgress& progress) {
+      if (!tty && progress.completed % stride != 0 &&
+          progress.completed != progress.total) {
+        return;
+      }
+      std::ostringstream line;
+      line << "sweep: " << progress.completed << '/' << progress.total
+           << " cells";
+      if (progress.failed > 0) line << ", " << progress.failed << " failed";
+      line << ", " << progress.running << " running, " << std::fixed
+           << std::setprecision(1) << progress.cells_per_sec << " cells/s"
+           << ", eta " << std::setprecision(1) << progress.eta_sec << "s"
+           << ", decide p99 " << progress.decide_p99_ns << "ns";
+      if (tty) {
+        std::cerr << '\r' << line.str() << "    " << std::flush;
+      } else {
+        std::cerr << line.str() << '\n';
+      }
+    };
+  }
+
+  const SweepResult sweep = run_sweep(std::move(cells), options);
+  if (!quiet && tty) std::cerr << '\n';
+
+  if (!events_dir.empty()) {
+    std::filesystem::create_directories(events_dir);
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+      if (sweep.results[i].config_failed()) continue;
+      const std::string path = events_dir + "/" + sweep.cells[i].id + ".jsonl";
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+      }
+      out << sweep.results[i].events_jsonl;
+    }
+    std::cout << "wrote per-cell event logs to " << events_dir << "/\n";
+  }
+
+  std::ostringstream report;
+  write_sweep_report(report, sweep);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << report.str();
+    std::cout << "wrote sweep report (" << sweep.cells.size() << " cells) to "
+              << out_path << "\n";
+  }
+
+  // Render the summary through the same parse path `dagsched report` uses,
+  // so what the user sees is what a consumer of the file would parse.
+  std::istringstream parse_in(report.str());
+  std::string parse_error;
+  const auto doc = parse_sweep_report(parse_in, &parse_error);
+  if (!doc) {
+    std::cerr << "sweep: internal error: " << parse_error << "\n";
+    return 1;
+  }
+  std::cout << format_sweep_report(*doc);
+
+  if (sweep.failed_cells > 0) {
+    std::cerr << "sweep: " << sweep.failed_cells << " of "
+              << sweep.cells.size() << " cells failed\n";
+    return 3;
+  }
+  return 0;
+}
+
+/// Sniffs a diff operand: a dagsched.bench_report/* single-document JSON
+/// file, or a dagsched.sweep/* JSONL report.  Anything else is a parse
+/// error (exit 2).
+struct SweepDiffInput {
+  bool is_bench = false;
+  JsonValue bench;
+  SweepReportDoc sweep;
+};
+
+SweepDiffInput load_sweep_diff_input(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError(path, 1, 1, "cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  SweepDiffInput input;
+  JsonParseResult whole = json_parse(content);
+  if (whole.ok && whole.value.is_object()) {
+    const JsonValue* schema = whole.value.find("schema");
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string().rfind("dagsched.bench_report/", 0) == 0) {
+      input.is_bench = true;
+      input.bench = std::move(whole.value);
+      return input;
+    }
+  }
+  std::istringstream stream(content);
+  std::string error;
+  auto doc = parse_sweep_report(stream, &error);
+  if (!doc) throw ParseError(path, 1, 1, error);
+  input.sweep = std::move(*doc);
+  return input;
+}
+
+int cmd_sweep_diff(ArgParser& args) {
+  if (args.positional().size() != 4) return usage();
+  const std::string baseline_path = args.positional()[2];
+  const std::string current_path = args.positional()[3];
+  SweepDiffOptions options;
+  options.threshold = args.get_double("threshold", options.threshold);
+  const bool warn_only = args.get_flag("warn-only");
+  args.finish();
+  if (!(options.threshold >= 0.0)) {
+    std::cerr << "sweep diff: --threshold must be >= 0\n";
+    return 1;
+  }
+
+  const SweepDiffInput baseline = load_sweep_diff_input(baseline_path);
+  const SweepDiffInput current = load_sweep_diff_input(current_path);
+  if (baseline.is_bench != current.is_bench) {
+    std::cerr << "sweep diff: cannot compare a sweep report with a bench "
+                 "report\n";
+    return 1;
+  }
+  const SweepDiff diff =
+      baseline.is_bench
+          ? diff_bench_reports(baseline.bench, current.bench, options)
+          : diff_sweep_reports(baseline.sweep, current.sweep, options);
+  std::cout << format_sweep_diff(diff, baseline_path, current_path, options);
+  return diff.regressed() && !warn_only ? 1 : 0;
+}
+
+int cmd_sweep(ArgParser& args) {
+  if (args.positional().size() >= 2 && args.positional()[1] == "diff") {
+    return cmd_sweep_diff(args);
+  }
+  return cmd_sweep_run(args);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -992,6 +1448,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "run") return cmd_run(args);
     if (command == "checkpoint") return cmd_checkpoint(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "report") return cmd_report(args);
     if (command == "top") return cmd_top(args);
     if (command == "trace") return cmd_trace(args);
