@@ -21,7 +21,10 @@ const char* list_policy_name(ListPolicy policy) {
 }
 
 ListScheduler::ListScheduler(ListSchedulerOptions options)
-    : options_(options) {}
+    : options_(options),
+      order_pool_(std::make_unique<NodePool>()),
+      order_index_(std::less<OrderKey>{},
+                   PoolAllocator<OrderKey>(order_pool_.get())) {}
 
 std::string ListScheduler::name() const {
   std::string n = list_policy_name(options_.policy);
@@ -59,7 +62,26 @@ double ListScheduler::key(const EngineContext& ctx, JobId job) const {
 
 void ListScheduler::reset() {
   order_index_.clear();
+  llf_candidates_.clear();
+  llf_pos_.clear();
   overload_shed_.clear();
+}
+
+void ListScheduler::llf_add(JobId job) {
+  if (job >= llf_pos_.size()) llf_pos_.resize(job + 1, kNoSlot);
+  if (llf_pos_[job] != kNoSlot) return;
+  llf_pos_[job] = static_cast<std::uint32_t>(llf_candidates_.size());
+  llf_candidates_.push_back(job);
+}
+
+void ListScheduler::llf_remove(JobId job) {
+  if (job >= llf_pos_.size() || llf_pos_[job] == kNoSlot) return;
+  const std::uint32_t slot = llf_pos_[job];
+  const JobId moved = llf_candidates_.back();
+  llf_candidates_[slot] = moved;
+  llf_pos_[moved] = slot;
+  llf_candidates_.pop_back();
+  llf_pos_[job] = kNoSlot;
 }
 
 std::size_t ListScheduler::shed_load(const EngineContext& ctx,
@@ -81,14 +103,14 @@ std::size_t ListScheduler::shed_load(const EngineContext& ctx,
     }
     return shed;
   }
-  // kLlf: keys are time-dependent and no index exists, so pick the victim
-  // the way decide_sorted would rank it -- largest (key, id) among runnable
-  // jobs not already shed -- and remember it.
+  // kLlf: keys are time-dependent and no order is cached, so pick the
+  // victim the way decide_sorted would rank it -- largest (key, id) among
+  // runnable candidates -- drop it from the candidate set, and remember it
+  // in the shed set (which checkpointing persists).
   while (shed < max_jobs) {
     JobId victim = kInvalidJob;
     double victim_key = 0.0;
-    for (const JobId job : ctx.active_jobs()) {
-      if (overload_shed_.count(job) != 0) continue;
+    for (const JobId job : llf_candidates_) {
       if (ctx.view(job).ready_count() == 0) continue;
       const double k = key(ctx, job);
       if (victim == kInvalidJob ||
@@ -99,6 +121,7 @@ std::size_t ListScheduler::shed_load(const EngineContext& ctx,
       }
     }
     if (victim == kInvalidJob) break;
+    llf_remove(victim);
     overload_shed_.insert(victim);
     emit(victim);
     ++shed;
@@ -107,10 +130,23 @@ std::size_t ListScheduler::shed_load(const EngineContext& ctx,
 }
 
 void ListScheduler::save_state(CheckpointWriter& out) const {
-  out.u64(order_index_.size());
-  for (const auto& [k, job] : order_index_) {
-    out.f64(k);
-    out.u32(job);
+  if (indexed()) {
+    out.u64(order_index_.size());
+    for (const auto& [k, job] : order_index_) {
+      out.f64(k);
+      out.u32(job);
+    }
+  } else {
+    // kLlf candidates reuse the index wire shape; the key slot is unused
+    // (laxity is recomputed from now() every decision).  Sorted by id so
+    // the bytes do not depend on swap-removal history.
+    std::vector<JobId> sorted(llf_candidates_);
+    std::sort(sorted.begin(), sorted.end());
+    out.u64(sorted.size());
+    for (const JobId job : sorted) {
+      out.f64(0.0);
+      out.u32(job);
+    }
   }
   out.u64(overload_shed_.size());
   for (const JobId job : overload_shed_) out.u32(job);
@@ -121,8 +157,15 @@ void ListScheduler::load_state(CheckpointReader& in) {
   for (std::uint64_t i = 0; i < indexed_count; ++i) {
     const double k = in.f64();
     const JobId job = in.u32();
-    if (!order_index_.emplace(k, job).second) {
-      in.fail("duplicate order-index entry");
+    if (indexed()) {
+      if (!order_index_.emplace(k, job).second) {
+        in.fail("duplicate order-index entry");
+      }
+    } else {
+      if (job < llf_pos_.size() && llf_pos_[job] != kNoSlot) {
+        in.fail("duplicate order-index entry");
+      }
+      llf_add(job);
     }
   }
   const std::uint64_t shed_count = in.count(4);
@@ -134,13 +177,21 @@ void ListScheduler::load_state(CheckpointReader& in) {
 }
 
 void ListScheduler::on_arrival(const EngineContext& ctx, JobId job) {
-  if (indexed()) order_index_.emplace(key(ctx, job), job);
+  if (indexed()) {
+    order_index_.emplace(key(ctx, job), job);
+  } else {
+    llf_add(job);
+  }
 }
 
 void ListScheduler::on_completion(const EngineContext& ctx, JobId job) {
   // Static keys recompute to the same value, so this finds the entry the
   // arrival inserted (if the expiry path has not removed it already).
-  if (indexed()) order_index_.erase({key(ctx, job), job});
+  if (indexed()) {
+    order_index_.erase({key(ctx, job), job});
+  } else {
+    llf_remove(job);
+  }
 }
 
 void ListScheduler::decide(const EngineContext& ctx, Assignment& out) {
@@ -182,20 +233,24 @@ void ListScheduler::decide_indexed(const EngineContext& ctx, Assignment& out) {
   for (const auto& entry : expired) order_index_.erase(entry);
 }
 
-// Dynamic-key path (kLlf): keys change with now(), so every decision
-// re-gathers and sorts the active set.
+// Dynamic-key path (kLlf): keys change with now(), so every decision sorts
+// fresh -- but only over the incremental candidate set, and jobs observed
+// expired leave it for good (mirroring decide_indexed's permanent removal;
+// deadline_unreachable is monotone in time, so a skipped job can never
+// become runnable again).
 void ListScheduler::decide_sorted(const EngineContext& ctx, Assignment& out) {
-  // Gather runnable jobs (drop expired ones if configured).
   static thread_local std::vector<std::pair<double, JobId>> order;
   order.clear();
-  for (const JobId job : ctx.active_jobs()) {
-    if (!overload_shed_.empty() && overload_shed_.count(job) != 0) continue;
+  for (std::size_t i = 0; i < llf_candidates_.size();) {
+    const JobId job = llf_candidates_[i];
     const JobView view = ctx.view(job);
     if (options_.drop_expired && view.deadline_unreachable(ctx.now())) {
       if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.expired");
+      llf_remove(job);  // swap-removal refills slot i; do not advance
       continue;
     }
-    if (view.ready_count() == 0) {  // completed jobs are not active
+    ++i;
+    if (view.ready_count() == 0) {  // completed jobs leave via on_completion
       if (ctx.obs() != nullptr) ctx.obs()->count("sched.skips.not_ready");
       continue;
     }

@@ -100,7 +100,7 @@ void DeadlineScheduler::reset() {
   q_index_.clear();
   started_count_ = 0;
   started_profit_ = 0.0;
-  p_expiry_ = {};
+  p_expiry_.clear();
   p_fresh_.clear();
   p_dirty_.clear();
   p_dirty_all_ = false;
@@ -572,11 +572,10 @@ const JobAllocation* DeadlineScheduler::allocation_of(JobId job) const {
 std::size_t DeadlineScheduler::memory_bytes() const {
   // Queues, admission index, per-job info, and the incremental-drain state;
   // capacity-based like every other telemetry byte gauge.
-  const std::size_t heap_node = sizeof(std::pair<Time, JobId>);
   return q_.memory_bytes() + p_.memory_bytes() + q_index_.memory_bytes() +
          info_.capacity() * sizeof(JobInfo) +
          audit_.capacity() * sizeof(AuditEvent) +
-         p_expiry_.size() * heap_node + p_fresh_.capacity() * sizeof(JobId) +
+         p_expiry_.memory_bytes() + p_fresh_.capacity() * sizeof(JobId) +
          p_dirty_.capacity() * sizeof(std::pair<Density, Density>) +
          drain_scratch_.capacity() * sizeof(std::pair<Density, JobId>);
 }

@@ -23,7 +23,6 @@
 // extensions; defaults reproduce the paper exactly).
 #pragma once
 
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +32,7 @@
 #include "core/job_queue.h"
 #include "core/params.h"
 #include "sim/scheduler.h"
+#include "util/dary_heap.h"
 
 namespace dagsched {
 
@@ -179,10 +179,7 @@ class DeadlineScheduler final : public SchedulerBase {
   // a full rescan (p_dirty_all_).  drain_p visits exactly the union of
   // those candidates in queue order, so the drop/promote sequence -- and
   // hence the decision log -- is identical to the seed's full rescan.
-  std::priority_queue<std::pair<Time, JobId>,
-                      std::vector<std::pair<Time, JobId>>,
-                      std::greater<std::pair<Time, JobId>>>
-      p_expiry_;
+  DaryHeap<std::pair<Time, JobId>> p_expiry_;
   std::vector<JobId> p_fresh_;
   std::vector<std::pair<Density, Density>> p_dirty_;
   bool p_dirty_all_ = false;

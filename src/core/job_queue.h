@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <set>
 #include <utility>
 
+#include "util/arena.h"
 #include "util/types.h"
 
 namespace dagsched {
@@ -36,7 +38,24 @@ struct DensityDescIdAsc {
 class DensityOrderedQueue {
  public:
   using Key = std::pair<Density, JobId>;
-  using const_iterator = std::set<Key, DensityDescIdAsc>::const_iterator;
+
+ private:
+  using Set = std::set<Key, DensityDescIdAsc, PoolAllocator<Key>>;
+
+ public:
+  using const_iterator = Set::const_iterator;
+
+  DensityOrderedQueue()
+      : pool_(std::make_unique<NodePool>()),
+        set_(DensityDescIdAsc{}, PoolAllocator<Key>(pool_.get())) {}
+
+  // The set's tree nodes live in pool_; a copy would alias the source's
+  // pool, and move-assignment would destroy the target's pool while its
+  // set still holds nodes from it.  Schedulers construct queues in place.
+  DensityOrderedQueue(const DensityOrderedQueue&) = delete;
+  DensityOrderedQueue& operator=(const DensityOrderedQueue&) = delete;
+  DensityOrderedQueue(DensityOrderedQueue&&) = delete;
+  DensityOrderedQueue& operator=(DensityOrderedQueue&&) = delete;
 
   void clear() { set_.clear(); }
   bool empty() const { return set_.empty(); }
@@ -64,15 +83,13 @@ class DensityOrderedQueue {
     }
   }
 
-  /// Estimated allocated bytes: one red-black tree node per member (key +
-  /// three child/parent links + color, as libstdc++ lays it out).  Telemetry
-  /// gauge, not an allocator measurement.
-  std::size_t memory_bytes() const {
-    return set_.size() * (sizeof(Key) + 4 * sizeof(void*));
-  }
+  /// Allocated bytes: the node pool's chunk capacity (tree nodes are pooled
+  /// and recycled, so this is the real footprint, not size × node-size).
+  std::size_t memory_bytes() const { return pool_->capacity_bytes(); }
 
  private:
-  std::set<Key, DensityDescIdAsc> set_;
+  std::unique_ptr<NodePool> pool_;  // must precede (and outlive) set_
+  Set set_;
 };
 
 }  // namespace dagsched

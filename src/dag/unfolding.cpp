@@ -2,69 +2,104 @@
 
 #include <algorithm>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 #include "util/wire.h"
 
 namespace dagsched {
 
-void UnfoldingState::init_structure(const Dag& dag) {
-  // Everything except the work columns: pending-pred counts, the (empty)
-  // ready list, ready positions, statuses.  Sources become ready in id
-  // order.
-  NodeId* pending = idx_buf_.data() + pending_off();
-  NodeId* ready_pos = idx_buf_.data() + ready_pos_off();
+void UnfoldingState::allocate_block() {
+  const std::size_t rem_bytes = sizeof(Work) * n_;
+  const std::size_t idx_bytes = sizeof(NodeId) * 4 * static_cast<std::size_t>(n_);
+  if (arena_ != nullptr) {
+    auto* base = static_cast<std::byte*>(
+        arena_->allocate(rem_bytes + idx_bytes, alignof(Work)));
+    rem_ = reinterpret_cast<Work*>(base);
+    idx_ = reinterpret_cast<NodeId*>(base + rem_bytes);
+  } else {
+    // Reserve the initial-work segment up front so ensure_init() never needs
+    // to reallocate; only fault-scaled or fault-restored jobs touch it.
+    // new[] not make_unique: every byte is written before it is read, so
+    // skip the value-init memset.
+    owned_.reset(new std::byte[rem_bytes * 2 + idx_bytes]);
+    rem_ = reinterpret_cast<Work*>(owned_.get());
+    idx_ = reinterpret_cast<NodeId*>(owned_.get() + rem_bytes);
+  }
+}
+
+Work* UnfoldingState::ensure_init() {
+  if (init_ != nullptr) return init_;
+  if (arena_ != nullptr) {
+    init_ = arena_->allocate_array<Work>(n_);
+  } else {
+    init_ = reinterpret_cast<Work*>(
+        owned_.get() + sizeof(Work) * n_ +
+        sizeof(NodeId) * 4 * static_cast<std::size_t>(n_));
+  }
+  for (NodeId v = 0; v < n_; ++v) init_[v] = dag_->node_work(v);
+  return init_;
+}
+
+void UnfoldingState::init_structure(const Dag& dag, bool fill_rem) {
+  // Pending-pred counts, the (empty) ready list, ready positions, statuses
+  // -- and, for the plain constructor, the remaining-work column fused into
+  // the same pass over the fresh block (one sweep instead of two; the
+  // fault-scaled constructor fills rem_ itself).  Sources become ready in
+  // id order.
+  NodeId* pending = idx_ + pending_off();
+  NodeId* ready_pos = idx_ + ready_pos_off();
   for (NodeId v = 0; v < n_; ++v) {
+    if (fill_rem) rem_[v] = dag.node_work(v);
     pending[v] = dag.in_degree(v);
     ready_pos[v] = kNpos;
     set_status(v, Status::kWaiting);
   }
-  NodeId* ready = idx_buf_.data() + ready_off();
+  NodeId* ready = idx_ + ready_off();
   for (NodeId v : dag.sources()) {
     set_status(v, Status::kReady);
-    ready_pos[v] = static_cast<NodeId>(ready_size_);
+    ready_pos[v] = ready_size_;
     ready[ready_size_++] = v;
   }
 }
 
-UnfoldingState::UnfoldingState(const Dag& dag)
+UnfoldingState::UnfoldingState(const Dag& dag, BumpArena* arena)
     : dag_(&dag),
-      n_(dag.num_nodes()),
-      work_buf_(2 * dag.num_nodes()),
-      idx_buf_(4 * dag.num_nodes()),
-      total_remaining_(dag.total_work()),
-      nodes_remaining_(dag.num_nodes()) {
-  for (NodeId v = 0; v < n_; ++v) {
-    work_buf_[v] = dag.node_work(v);
-    work_buf_[n_ + v] = work_buf_[v];
-  }
-  init_structure(dag);
+      arena_(arena),
+      n_(static_cast<NodeId>(dag.num_nodes())),
+      nodes_remaining_(static_cast<NodeId>(dag.num_nodes())),
+      total_remaining_(dag.total_work()) {
+  allocate_block();
+  init_structure(dag, /*fill_rem=*/true);
 }
 
-UnfoldingState::UnfoldingState(const Dag& dag, std::vector<Work> works)
+UnfoldingState::UnfoldingState(const Dag& dag, const std::vector<Work>& works,
+                               BumpArena* arena)
     : dag_(&dag),
-      n_(dag.num_nodes()),
-      work_buf_(2 * dag.num_nodes()),
-      idx_buf_(4 * dag.num_nodes()),
-      nodes_remaining_(dag.num_nodes()) {
+      arena_(arena),
+      n_(static_cast<NodeId>(dag.num_nodes())),
+      nodes_remaining_(static_cast<NodeId>(dag.num_nodes())) {
   DS_CHECK_MSG(works.size() == dag.num_nodes(),
                "works size " << works.size() << " != nodes "
                              << dag.num_nodes());
+  allocate_block();
+  Work* init = ensure_init();
   for (NodeId v = 0; v < n_; ++v) {
     DS_CHECK_MSG(works[v] > 0.0,
                  "node " << v << " has non-positive work " << works[v]);
-    work_buf_[v] = works[v];
-    work_buf_[n_ + v] = works[v];
+    init[v] = works[v];
+    rem_[v] = works[v];
     total_remaining_ += works[v];
   }
-  init_structure(dag);
+  init_structure(dag, /*fill_rem=*/false);
 }
 
 Work UnfoldingState::reset_progress(NodeId node) {
   DS_CHECK_MSG(status(node) != Status::kDone,
                "reset_progress on completed node " << node);
-  const Work lost = work_buf_[node] - work_buf_[n_ + node];
-  work_buf_[n_ + node] = work_buf_[node];
+  const Work initial = initial_work(node);
+  const Work lost = initial - rem_[node];
+  rem_[node] = initial;
   total_remaining_ += lost;
   return lost;
 }
@@ -74,7 +109,7 @@ bool UnfoldingState::advance(NodeId node, Work amount,
   DS_CHECK_MSG(status(node) == Status::kReady,
                "advance on non-ready node " << node);
   DS_CHECK_MSG(amount >= 0.0, "negative work amount " << amount);
-  Work& remaining = work_buf_[n_ + node];
+  Work& remaining = rem_[node];
   remaining = snap_nonnegative(remaining - amount);
   total_remaining_ = snap_nonnegative(total_remaining_ - amount);
   DS_CHECK_MSG(remaining >= 0.0,
@@ -92,8 +127,8 @@ void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
   --nodes_remaining_;
   if (nodes_remaining_ == 0) total_remaining_ = 0.0;  // clear float residue
   // Swap-remove from the ready list, keeping the position map consistent.
-  NodeId* ready = idx_buf_.data() + ready_off();
-  NodeId* ready_pos = idx_buf_.data() + ready_pos_off();
+  NodeId* ready = idx_ + ready_off();
+  NodeId* ready_pos = idx_ + ready_pos_off();
   const NodeId pos = ready_pos[node];
   DS_CHECK(pos != kNpos);
   const NodeId moved = ready[ready_size_ - 1];
@@ -102,12 +137,12 @@ void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
   --ready_size_;
   ready_pos[node] = kNpos;
 
-  NodeId* pending = idx_buf_.data() + pending_off();
+  NodeId* pending = idx_ + pending_off();
   for (NodeId succ : dag_->successors(node)) {
     DS_CHECK(pending[succ] > 0);
     if (--pending[succ] == 0) {
       set_status(succ, Status::kReady);
-      ready_pos[succ] = static_cast<NodeId>(ready_size_);
+      ready_pos[succ] = ready_size_;
       ready[ready_size_++] = succ;
       if (newly_ready != nullptr) newly_ready->push_back(succ);
     }
@@ -116,8 +151,12 @@ void UnfoldingState::mark_done(NodeId node, std::vector<NodeId>* newly_ready) {
 
 void UnfoldingState::save_state(CheckpointWriter& out) const {
   out.u64(n_);
-  for (const Work w : work_buf_) out.f64(w);
-  for (const NodeId v : idx_buf_) out.u32(v);
+  // Fixed dagsched.checkpoint/1 order: the initial-work column is written
+  // even when elided in memory (it then equals the Dag's declared works).
+  for (NodeId v = 0; v < n_; ++v) out.f64(initial_work(v));
+  for (NodeId v = 0; v < n_; ++v) out.f64(rem_[v]);
+  const std::size_t idx_len = 4 * static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < idx_len; ++i) out.u32(idx_[i]);
   out.u64(ready_size_);
   out.f64(total_remaining_);
   out.u32(nodes_remaining_);
@@ -129,21 +168,32 @@ void UnfoldingState::load_state(CheckpointReader& in) {
     in.fail("unfolding has " + std::to_string(n) + " nodes, DAG has " +
             std::to_string(n_));
   }
-  for (Work& w : work_buf_) w = in.f64();
-  for (NodeId& v : idx_buf_) v = in.u32();
+  for (NodeId v = 0; v < n_; ++v) {
+    const Work w = in.f64();
+    if (init_ != nullptr) {
+      init_[v] = w;
+    } else if (w != dag_->node_work(v)) {
+      // Fault-scaled run: materialize the initial-work column on the first
+      // value that diverges from the Dag (entries before it were equal).
+      ensure_init()[v] = w;
+    }
+  }
+  for (NodeId v = 0; v < n_; ++v) rem_[v] = in.f64();
+  const std::size_t idx_len = 4 * static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < idx_len; ++i) idx_[i] = in.u32();
   const std::uint64_t ready = in.u64();
   if (ready > n_) in.fail("ready count exceeds node count");
-  ready_size_ = static_cast<std::size_t>(ready);
+  ready_size_ = static_cast<NodeId>(ready);
   total_remaining_ = in.f64();
   const NodeId remaining = in.u32();
   if (remaining > n_) in.fail("nodes-remaining exceeds node count");
   nodes_remaining_ = remaining;
   // Restored invariants the engines rely on: every status byte is a valid
   // Status, and the ready list / ready-pos maps are mutually consistent.
-  const NodeId* ready_list = idx_buf_.data() + ready_off();
-  const NodeId* ready_pos = idx_buf_.data() + ready_pos_off();
+  const NodeId* ready_list = idx_ + ready_off();
+  const NodeId* ready_pos = idx_ + ready_pos_off();
   for (NodeId v = 0; v < n_; ++v) {
-    const NodeId s = idx_buf_[status_off() + v];
+    const NodeId s = idx_[status_off() + v];
     if (s > static_cast<NodeId>(Status::kDone)) {
       in.fail("node " + std::to_string(v) + " has invalid status " +
               std::to_string(s));
@@ -161,20 +211,22 @@ void UnfoldingState::load_state(CheckpointReader& in) {
 Work UnfoldingState::remaining_span() const {
   // Longest path over unfinished nodes using remaining work, computed along
   // the static topological order (a superset of the unfinished subgraph's
-  // topological order).  span_depth_ is not cleared between calls: the only
-  // entries read are those of non-done predecessors, and the topological
-  // sweep writes every non-done node before any successor reads it.
-  span_depth_.resize(n_);
+  // topological order).  The scratch is thread-local and shared across
+  // instances: stale entries need no clearing -- the only entries read are
+  // those of non-done predecessors, and the topological sweep writes every
+  // non-done node before any successor reads it.
+  thread_local std::vector<Work> span_depth;
+  if (span_depth.size() < n_) span_depth.resize(n_);
   Work best = 0.0;
   for (NodeId v : dag_->topological_order()) {
     if (status(v) == Status::kDone) continue;
     Work prefix = 0.0;
     for (NodeId u : dag_->predecessors(v)) {
       if (status(u) == Status::kDone) continue;
-      prefix = std::max(prefix, span_depth_[u]);
+      prefix = std::max(prefix, span_depth[u]);
     }
-    span_depth_[v] = prefix + work_buf_[n_ + v];
-    best = std::max(best, span_depth_[v]);
+    span_depth[v] = prefix + rem_[v];
+    best = std::max(best, span_depth[v]);
   }
   return best;
 }

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <sstream>
 
 #include "util/check.h"
+#include "util/dary_heap.h"
 #include "util/rng.h"
 
 namespace dagsched {
@@ -105,7 +105,7 @@ FaultPlan build_fault_plan(const FaultPlanConfig& config, ProcCount num_procs) {
   const std::size_t cap = static_cast<std::size_t>(num_procs) -
                           static_cast<std::size_t>(config.min_procs);
   std::vector<DownInterval> accepted;
-  std::priority_queue<Time, std::vector<Time>, std::greater<>> active_ends;
+  DaryHeap<Time> active_ends;
   for (const DownInterval& iv : candidates) {
     while (!active_ends.empty() && active_ends.top() <= iv.begin) {
       active_ends.pop();

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "job/job.h"
-#include "sim/runtime.h"
+#include "sim/kernel/job_state.h"
 #include "sim/views.h"
 #include "util/check.h"
 #include "util/types.h"
@@ -85,13 +85,15 @@ class EngineContext {
   /// but an online scheduler should only touch jobs it has been told about).
   JobView view(JobId id) const {
     DS_CHECK(id < jobs_->size());
-    return JobView(&(*jobs_)[id], &(*runtimes_)[id], id);
+    return JobView(&(*jobs_)[id], state_, id);
   }
 
   /// Jobs that have arrived and not yet completed (including expired ones;
   /// dropping those is the scheduler's decision, as in the paper), in
   /// arrival order.
-  ActiveJobs active_jobs() const { return {active_, *active_live_}; }
+  ActiveJobs active_jobs() const {
+    return {&state_->active_slots(), state_->active_live()};
+  }
 
   /// Full DAG structure; clairvoyant schedulers only.
   const Dag& dag_of(JobId id) const {
@@ -105,8 +107,8 @@ class EngineContext {
   const UnfoldingState& unfolding_of(JobId id) const {
     DS_CHECK_MSG(clairvoyant_allowed_,
                  "semi-non-clairvoyant scheduler peeked at unfolding state");
-    DS_CHECK((*runtimes_)[id].unfolding.has_value());
-    return *(*runtimes_)[id].unfolding;
+    DS_CHECK(state_->unfolding(id).engaged());
+    return state_->unfolding(id);
   }
 
  private:
@@ -120,9 +122,7 @@ class EngineContext {
   bool clairvoyant_allowed_ = false;
   const ObsSink* obs_ = nullptr;
   const std::vector<Job>* jobs_ = nullptr;
-  const std::vector<JobRuntime>* runtimes_ = nullptr;
-  const std::vector<JobId>* active_ = nullptr;
-  const std::size_t* active_live_ = nullptr;
+  const JobStateTable* state_ = nullptr;
 };
 
 }  // namespace dagsched

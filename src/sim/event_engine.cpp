@@ -21,24 +21,30 @@ EventEngine::EventEngine(const JobSet& jobs, SchedulerBase& scheduler,
   DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
 }
 
+EventEngine::~EventEngine() = default;
+
 SimResult EventEngine::run() {
   const std::size_t n = jobs_.size();
   if (n == 0) return SimResult{};
 
-  KernelOptions kernel_options;
-  kernel_options.num_procs = options_.num_procs;
-  kernel_options.speed = options_.speed;
-  kernel_options.record_trace = options_.record_trace;
-  kernel_options.max_decisions = options_.max_decisions;
-  kernel_options.observer = options_.observer;
-  kernel_options.obs = options_.obs;
-  kernel_options.faults = options_.faults;
-  kernel_options.telemetry = options_.telemetry;
-  kernel_options.die_at_decision = options_.die_at_decision;
-  kernel_options.decide_budget_ns = options_.decide_budget_ns;
-  kernel_options.overload_shed_max = options_.overload_shed_max;
-  kernel_options.overload_probe = options_.overload_probe;
-  SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
+  if (kernel_ == nullptr) {
+    KernelOptions kernel_options;
+    kernel_options.num_procs = options_.num_procs;
+    kernel_options.speed = options_.speed;
+    kernel_options.record_trace = options_.record_trace;
+    kernel_options.max_decisions = options_.max_decisions;
+    kernel_options.observer = options_.observer;
+    kernel_options.obs = options_.obs;
+    kernel_options.faults = options_.faults;
+    kernel_options.telemetry = options_.telemetry;
+    kernel_options.die_at_decision = options_.die_at_decision;
+    kernel_options.decide_budget_ns = options_.decide_budget_ns;
+    kernel_options.overload_shed_max = options_.overload_shed_max;
+    kernel_options.overload_probe = options_.overload_probe;
+    kernel_ = std::make_unique<SimKernel>(jobs_, scheduler_, selector_,
+                                          std::move(kernel_options));
+  }
+  SimKernel& kernel = *kernel_;
 
   // The step-duration histogram is the one event-engine-specific instrument
   // (the slot engine's steps are unit slots by construction).
@@ -67,11 +73,12 @@ SimResult EventEngine::run() {
     }
   }
 
-  Assignment assignment;
-  std::vector<NodeId> picked;
-  std::vector<RunningNode> running;
-  std::vector<std::pair<JobId, NodeId>> current_nodes;
-  std::vector<JobId> current_jobs;
+  // Member scratch: capacity survives across runs, so a warm re-run of the
+  // stepping loop below performs no heap allocations.
+  Assignment& assignment = assignment_;
+  std::vector<NodeId>& picked = picked_;
+  std::vector<std::pair<JobId, NodeId>>& running = running_;
+  std::vector<JobId>& running_jobs = running_jobs_;
 
   for (;;) {
     // (0) Checkpoint at the loop top, before event delivery: nothing is
@@ -88,24 +95,25 @@ SimResult EventEngine::run() {
     kernel.deliver_due_events(now, DeadlineDuePolicy::kAtOrBeforeNow);
     if (!kernel.decide(now, assignment)) break;
 
-    // (2) Materialize the running node set.
+    // (2) Materialize this interval's execution set: (job, node) pairs plus
+    // the jobs that actually run a node (a job's alloc is unique, so the
+    // job list needs no dedup pass).
     running.clear();
+    running_jobs.clear();
     for (const JobAlloc& alloc : assignment.allocs) {
       kernel.select_nodes(alloc, picked);
-      for (const NodeId node : picked) running.push_back({alloc.job, node});
+      if (!picked.empty()) running_jobs.push_back(alloc.job);
+      for (const NodeId node : picked) running.emplace_back(alloc.job, node);
     }
     kernel.begin_interval();
     if (kernel.churn()) DS_CHECK(running.size() <= kernel.up_count());
 
     // (3) Preemption accounting: anything that ran in the previous
-    // interval, is unfinished, and does not run now was preempted.
-    current_nodes.clear();
-    current_jobs.clear();
-    for (const RunningNode& rn : running) {
-      current_nodes.emplace_back(rn.job, rn.node);
-      current_jobs.push_back(rn.job);
-    }
-    kernel.account_preemptions(now, current_nodes, current_jobs);
+    // interval, is unfinished, and does not run now was preempted.  The
+    // scan happens here (before this step's completions are marked, as the
+    // seed did), but the set is only committed as the new previous interval
+    // at the end of the step, so the passes below keep using it.
+    kernel.account_preemptions(now, running, running_jobs);
 
     // (4) Time to the next external event.
     const Time next_event =
@@ -114,6 +122,7 @@ SimResult EventEngine::run() {
                           kernel.next_transition_time()));
 
     if (running.empty()) {
+      kernel.commit_interval(running, running_jobs);
       if (next_event == kTimeInfinity) break;  // quiescent: nothing left
       // The machine sits fully idle until the next event; transitions are
       // decision points, so capacity is constant across the gap.
@@ -123,9 +132,8 @@ SimResult EventEngine::run() {
     }
 
     Time node_dt = kTimeInfinity;
-    for (const RunningNode& rn : running) {
-      node_dt =
-          std::min(node_dt, kernel.remaining_work(rn.job, rn.node) / speed);
+    for (const auto& [job, node] : running) {
+      node_dt = std::min(node_dt, kernel.remaining_work(job, node) / speed);
     }
     const Time dt = std::min(node_dt, next_event - now);
     DS_CHECK_MSG(dt > 0.0, "non-positive step dt=" << dt << " at t=" << now);
@@ -135,16 +143,18 @@ SimResult EventEngine::run() {
 
     // (5) Advance every running node by speed*dt.
     for (std::size_t p = 0; p < running.size(); ++p) {
-      const RunningNode& rn = running[p];
-      kernel.advance_node(rn.job, rn.node, speed * dt, now, dt,
+      const auto& [job, node] = running[p];
+      kernel.advance_node(job, node, speed * dt, now, dt,
                           kernel.phys_proc(p));
     }
     kernel.account_step_time(dt);
     now += dt;
     kernel.set_now(now);
 
-    // (6) Detect and notify job completions at the end of the step.
-    for (const RunningNode& rn : running) kernel.mark_if_completed(rn.job, now);
+    // (6) Detect and notify job completions at the end of the step, then
+    // retire the execution set as the next decision's previous interval.
+    for (const auto& [job, node] : running) kernel.mark_if_completed(job, now);
+    kernel.commit_interval(running, running_jobs);
     kernel.notify_completions(now);
   }
 

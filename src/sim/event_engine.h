@@ -15,6 +15,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "fault/injector.h"
 #include "job/job.h"
@@ -29,6 +32,7 @@ namespace dagsched {
 
 class CheckpointSink;
 struct CheckpointFile;
+class SimKernel;
 class TelemetryRecorder;
 
 struct EngineOptions {
@@ -85,21 +89,31 @@ class EventEngine {
   /// selector are borrowed and must outlive run().
   EventEngine(const JobSet& jobs, SchedulerBase& scheduler,
               NodeSelector& selector, EngineOptions options);
+  ~EventEngine();
 
   /// Simulates to quiescence (all jobs completed, or nothing running and no
-  /// future events) and returns per-job outcomes.
+  /// future events) and returns per-job outcomes.  Re-runnable: the kernel
+  /// and all scratch buffers persist across calls, so a second run over the
+  /// same instance reuses warm capacity (the zero-allocation contract
+  /// tested by tests/test_zero_alloc.cpp).
   SimResult run();
 
  private:
-  struct RunningNode {
-    JobId job;
-    NodeId node;
-  };
-
   const JobSet& jobs_;
   SchedulerBase& scheduler_;
   NodeSelector& selector_;
   EngineOptions options_;
+
+  // Persistent simulation state: created on the first run(), reset by
+  // SimKernel::begin() on each subsequent one.
+  std::unique_ptr<SimKernel> kernel_;
+  Assignment assignment_;
+  std::vector<NodeId> picked_;
+  // This interval's execution set: (job, node) pairs and the jobs that run
+  // a node, handed to account_preemptions()/commit_interval() without the
+  // seed's extra copy into separate accounting vectors.
+  std::vector<std::pair<JobId, NodeId>> running_;
+  std::vector<JobId> running_jobs_;
 };
 
 /// One-call convenience wrapper.

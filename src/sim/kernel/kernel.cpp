@@ -12,11 +12,6 @@
 
 namespace dagsched {
 
-namespace {
-/// active_pos_ value for jobs not currently in the active set.
-constexpr std::size_t kNoActiveSlot = static_cast<std::size_t>(-1);
-}  // namespace
-
 SimKernel::SimKernel(const JobSet& jobs, SchedulerBase& scheduler,
                      NodeSelector& selector, KernelOptions options)
     : jobs_(jobs),
@@ -31,10 +26,7 @@ SimKernel::SimKernel(const JobSet& jobs, SchedulerBase& scheduler,
 void SimKernel::begin(Time start_time) {
   const std::size_t n = jobs_.size();
   scheduler_.reset();
-  runtimes_.assign(n, JobRuntime{});
-  active_.clear();
-  active_pos_.assign(n, kNoActiveSlot);
-  active_live_ = 0;
+  state_.reset(jobs_);
   result_ = SimResult{};
   result_.outcomes.resize(n);
 
@@ -43,9 +35,7 @@ void SimKernel::begin(Time start_time) {
   ctx_.speed_ = options_.speed;
   ctx_.clairvoyant_allowed_ = scheduler_.clairvoyant();
   ctx_.jobs_ = &jobs_.jobs();
-  ctx_.runtimes_ = &runtimes_;
-  ctx_.active_ = &active_;
-  ctx_.active_live_ = &active_live_;
+  ctx_.state_ = &state_;
   ctx_.obs_ = options_.obs;
 
   // Resolve instruments once; null pointers make every emission a no-op.
@@ -80,7 +70,6 @@ void SimKernel::begin(Time start_time) {
 
   telemetry_ = options_.telemetry;
   expiries_delivered_ = 0;
-  unfolding_bytes_ = 0;
   if (telemetry_ != nullptr) telemetry_->begin_run(start_time);
 
   // Fault state: all of it (including counter registration) is gated on
@@ -103,22 +92,13 @@ void SimKernel::begin(Time start_time) {
   last_exec_end_ = -1.0;
 
   next_arrival_ = 0;
-  deadlines_ = {};
+  deadlines_.clear();
   completed_now_.clear();
   jobs_done_ = 0;
   prev_nodes_.clear();
   prev_jobs_.clear();
-  node_stamp_base_.resize(n);
-  std::size_t total_nodes = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    node_stamp_base_[i] = total_nodes;
-    total_nodes += jobs_[i].dag().num_nodes();
-  }
-  node_stamp_.assign(total_nodes, 0);
-  job_stamp_.assign(n, 0);
   interval_epoch_ = 0;
   preempted_jobs_.clear();
-  alloc_stamp_.assign(n, 0);
   alloc_epoch_ = 0;
   capacity_time_ = 0.0;
   start_time_ = start_time;
@@ -171,9 +151,9 @@ void SimKernel::deliver_transitions(Time now) {
       const auto [vjob, vnode] = proc_node_[tr.proc];
       proc_node_[tr.proc] = {kInvalidJob, 0};
       if (faults->restart_from_zero() && vjob != kInvalidJob &&
-          approx_le(tr.time, last_exec_end_) && !runtimes_[vjob].completed &&
-          !runtimes_[vjob].unfolding->is_done(vnode)) {
-        const Work lost = runtimes_[vjob].unfolding->reset_progress(vnode);
+          approx_le(tr.time, last_exec_end_) && !state_.completed(vjob) &&
+          !state_.unfolding(vjob).is_done(vnode)) {
+        const Work lost = state_.unfolding(vjob).reset_progress(vnode);
         result_.lost_work += lost;
         DS_OBS_INC(c_restarts_);
         DS_OBS_ADD(c_lost_work_, lost);
@@ -203,39 +183,33 @@ void SimKernel::deliver_arrivals(Time now) {
                                   ? TelemetryRecorder::Clock::now()
                                   : TelemetryRecorder::Clock::time_point{};
     const JobId id = static_cast<JobId>(next_arrival_++);
-    JobRuntime& rt = runtimes_[id];
-    rt.arrived = true;
+    state_.set_arrived(id);
     std::vector<Work> actual_works;
     if (faults != nullptr && faults->scales_work()) {
       actual_works = faults->scaled_works(id, jobs_[id].dag());
     }
     if (actual_works.empty()) {
-      rt.unfolding.emplace(jobs_[id].dag());
+      state_.emplace_unfolding(id, jobs_[id].dag());
     } else {
-      rt.unfolding.emplace(jobs_[id].dag(), std::move(actual_works));
+      state_.emplace_unfolding(id, jobs_[id].dag(), actual_works);
     }
-    active_pos_[id] = active_.size();
-    active_.push_back(id);
-    ++active_live_;
+    state_.activate(id);
     if (jobs_[id].has_deadline()) {
       deadlines_.emplace(jobs_[id].absolute_deadline(), id);
     }
     DS_OBS_INC(c_arrivals_);
     if (obs_ != nullptr) obs_->event(now, id, ObsEventKind::kArrival);
-    if (faults != nullptr &&
-        approx_gt(rt.unfolding->total_remaining_work(), jobs_[id].work())) {
+    const Work actual_total = state_.unfolding(id).total_remaining_work();
+    if (faults != nullptr && approx_gt(actual_total, jobs_[id].work())) {
       DS_OBS_INC(c_overruns_);
       if (obs_ != nullptr) {
         obs_->event(now, id, ObsEventKind::kWorkOverrun, {},
                     {{"declared", jobs_[id].work()},
-                     {"actual", rt.unfolding->total_remaining_work()}});
+                     {"actual", actual_total}});
       }
     }
     scheduler_.on_arrival(ctx_, id);
-    if (telemetry_ != nullptr) {
-      unfolding_bytes_ += rt.unfolding->memory_bytes();
-      telemetry_->record_admission_since(telemetry_t0);
-    }
+    if (telemetry_ != nullptr) telemetry_->record_admission_since(telemetry_t0);
   }
 }
 
@@ -247,9 +221,8 @@ void SimKernel::deliver_expiries(Time now, DeadlineDuePolicy policy) {
                          : approx_le(deadline, now);
     if (!due) break;
     deadlines_.pop();
-    JobRuntime& rt = runtimes_[id];
-    if (rt.completed || rt.deadline_notified) continue;
-    rt.deadline_notified = true;
+    if (state_.completed(id) || state_.deadline_notified(id)) continue;
+    state_.set_deadline_notified(id);
     ++expiries_delivered_;
     DS_OBS_INC(c_expiries_);
     if (obs_ != nullptr) obs_->event(now, id, ObsEventKind::kExpire);
@@ -269,15 +242,14 @@ std::string SimKernel::validate(const Assignment& assignment) {
     if (alloc.procs < 1) {
       return "zero-processor allocation to job " + std::to_string(alloc.job);
     }
-    if (alloc_stamp_[alloc.job] == alloc_epoch_) {
+    if (state_.alloc_stamp(alloc.job) == alloc_epoch_) {
       return "duplicate allocation to job " + std::to_string(alloc.job);
     }
-    alloc_stamp_[alloc.job] = alloc_epoch_;
-    const JobRuntime& rt = runtimes_[alloc.job];
-    if (!rt.arrived) {
+    state_.alloc_stamp(alloc.job) = alloc_epoch_;
+    if (!state_.arrived(alloc.job)) {
       return "allocation to unarrived job " + std::to_string(alloc.job);
     }
-    if (rt.completed) {
+    if (state_.completed(alloc.job)) {
       return "allocation to completed job " + std::to_string(alloc.job);
     }
     total += alloc.procs;
@@ -399,16 +371,8 @@ void SimKernel::notify_completions_slow(Time notify_time) {
   // Flags first (set in mark_if_completed), notifications second, so the
   // scheduler observes a consistent post-completion state.
   ctx_.now_ = notify_time;
-  for (const JobId id : completed_now_) {
-    const std::size_t pos = active_pos_[id];
-    if (pos == kNoActiveSlot) continue;
-    active_[pos] = kInvalidJob;
-    active_pos_[id] = kNoActiveSlot;
-    --active_live_;
-  }
-  if (active_.size() > 64 && active_live_ * 2 < active_.size()) {
-    compact_active();
-  }
+  for (const JobId id : completed_now_) state_.deactivate(id);
+  state_.maybe_compact();
   for (const JobId id : completed_now_) {
     DS_OBS_INC(c_job_completions_);
     if (obs_ != nullptr) obs_->event(notify_time, id, ObsEventKind::kComplete);
@@ -416,16 +380,6 @@ void SimKernel::notify_completions_slow(Time notify_time) {
     ++jobs_done_;
   }
   completed_now_.clear();
-}
-
-void SimKernel::compact_active() {
-  std::size_t w = 0;
-  for (const JobId id : active_) {
-    if (id == kInvalidJob) continue;
-    active_pos_[id] = w;
-    active_[w++] = id;
-  }
-  active_.resize(w);
 }
 
 void SimKernel::account_preemptions(
@@ -438,27 +392,26 @@ void SimKernel::account_preemptions(
   ++interval_epoch_;
   const std::uint32_t e = interval_epoch_;
   for (const auto& [job, node] : nodes) {
-    node_stamp_[node_stamp_base_[job] + node] = e;
+    state_.node_stamp(job, node) = e;
   }
   std::size_t w = 0;
   for (const JobId job : jobs) {
-    if (job_stamp_[job] == e) continue;
-    job_stamp_[job] = e;
+    if (state_.job_stamp(job) == e) continue;
+    state_.job_stamp(job) = e;
     jobs[w++] = job;
   }
   jobs.resize(w);
   for (const auto& [job, node] : prev_nodes_) {
-    const JobRuntime& rt = runtimes_[job];
-    if (rt.completed || rt.unfolding->is_done(node)) continue;
-    if (node_stamp_[node_stamp_base_[job] + node] != e) {
+    if (state_.completed(job) || state_.unfolding(job).is_done(node)) continue;
+    if (state_.node_stamp(job, node) != e) {
       ++result_.node_preemptions;
       DS_OBS_INC(c_node_preemptions_);
     }
   }
   preempted_jobs_.clear();
   for (const JobId job : prev_jobs_) {
-    if (runtimes_[job].completed) continue;
-    if (job_stamp_[job] != e) preempted_jobs_.push_back(job);
+    if (state_.completed(job)) continue;
+    if (state_.job_stamp(job) != e) preempted_jobs_.push_back(job);
   }
   result_.job_preemptions += preempted_jobs_.size();
   if (obs_ != nullptr) {
@@ -470,25 +423,24 @@ void SimKernel::account_preemptions(
       obs_->event(now, job, ObsEventKind::kPreempt);
     }
   }
+}
+
+void SimKernel::commit_interval(std::vector<std::pair<JobId, NodeId>>& nodes,
+                                std::vector<JobId>& jobs) {
   std::swap(prev_nodes_, nodes);
   std::swap(prev_jobs_, jobs);
 }
 
 std::size_t SimKernel::kernel_bytes() const {
   // Allocated (capacity) bytes of the kernel's bookkeeping containers --
-  // the figure the million-job memory budget tracks per subsystem.
-  return runtimes_.capacity() * sizeof(JobRuntime) +
-         active_.capacity() * sizeof(JobId) +
-         active_pos_.capacity() * sizeof(std::size_t) +
-         deadlines_.size() * sizeof(DeadlineEntry) +
+  // the figure the million-job memory budget tracks per subsystem.  The
+  // SoA job-state columns report through the table; the unfolding arena is
+  // its own telemetry gauge.
+  return state_.memory_bytes() + deadlines_.memory_bytes() +
          completed_now_.capacity() * sizeof(JobId) +
          prev_nodes_.capacity() * sizeof(std::pair<JobId, NodeId>) +
          prev_jobs_.capacity() * sizeof(JobId) +
-         node_stamp_base_.capacity() * sizeof(std::size_t) +
-         node_stamp_.capacity() * sizeof(std::uint32_t) +
-         job_stamp_.capacity() * sizeof(std::uint32_t) +
          preempted_jobs_.capacity() * sizeof(JobId) +
-         alloc_stamp_.capacity() * sizeof(std::uint32_t) +
          proc_up_.capacity() * sizeof(char) +
          proc_node_.capacity() * sizeof(std::pair<JobId, NodeId>) +
          up_list_.capacity() * sizeof(ProcCount);
@@ -503,11 +455,11 @@ void SimKernel::emit_telemetry(Time now, bool final_snapshot) {
   sample.completions = jobs_done_;
   sample.expiries = expiries_delivered_;
   sample.transitions = churn_ ? next_transition_ : 0;
-  sample.jobs_in_flight = active_live_;
+  sample.jobs_in_flight = state_.active_live();
   sample.jobs_total = jobs_.size();
   sample.queue_depth = scheduler_.queue_depth();
   sample.kernel_bytes = kernel_bytes();
-  sample.unfolding_bytes = unfolding_bytes_;
+  sample.unfolding_bytes = state_.unfolding_arena().high_water();
   sample.scheduler_bytes = scheduler_.memory_bytes();
   if (final_snapshot) {
     telemetry_->finish_run(sample);
@@ -526,20 +478,18 @@ void SimKernel::save_checkpoint_state(CheckpointWriter& kernel_out,
   const std::size_t n = jobs_.size();
   out.u64(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const JobRuntime& rt = runtimes_[i];
-    const std::uint8_t flags =
-        static_cast<std::uint8_t>((rt.arrived ? 1u : 0u) |
-                                  (rt.completed ? 2u : 0u) |
-                                  (rt.deadline_notified ? 4u : 0u));
-    out.u8(flags);
-    out.f64(rt.completion_time);
-    out.f64(rt.first_start);
-    out.f64(rt.executed);
-    if (rt.arrived) rt.unfolding->save_state(out);
+    const JobId id = static_cast<JobId>(i);
+    // The table's flag bits are the wire encoding (JobStateTable::kArrived
+    // et al. match the dagsched.checkpoint/1 layout).
+    out.u8(state_.flags(id));
+    out.f64(state_.completion_time(id));
+    out.f64(state_.first_start(id));
+    out.f64(state_.executed(id));
+    if (state_.arrived(id)) state_.unfolding(id).save_state(out);
   }
-  out.u64(active_.size());
-  for (const JobId id : active_) out.u32(id);
-  out.u64(active_live_);
+  out.u64(state_.active_slots().size());
+  for (const JobId id : state_.active_slots()) out.u32(id);
+  out.u64(state_.active_live());
   out.u64(next_arrival_);
   out.u64(jobs_done_);
   out.u32(ctx_.m_);
@@ -579,7 +529,9 @@ void SimKernel::save_checkpoint_state(CheckpointWriter& kernel_out,
   out.f64(capacity_time_);
   out.f64(start_time_);
   out.u64(expiries_delivered_);
-  out.u64(unfolding_bytes_);
+  // Historical unfolding-bytes slot, now the arena high-water mark (the
+  // telemetry gauge is recomputed from live state after a resume).
+  out.u64(state_.unfolding_arena().high_water());
 
   scheduler_out.str(scheduler_.name());
   scheduler_.save_state(scheduler_out);
@@ -595,48 +547,40 @@ void SimKernel::load_checkpoint_state(CheckpointReader& kernel_in,
   }
   std::size_t completed_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    JobRuntime& rt = runtimes_[i];
+    const JobId id = static_cast<JobId>(i);
     const std::uint8_t flags = in.u8();
     if ((flags & ~0x7u) != 0) in.fail("malformed job-runtime flags");
-    rt.arrived = (flags & 1u) != 0;
-    rt.completed = (flags & 2u) != 0;
-    rt.deadline_notified = (flags & 4u) != 0;
-    if (rt.completed && !rt.arrived) {
+    state_.set_flags(id, flags);
+    if (state_.completed(id) && !state_.arrived(id)) {
       in.fail("job " + std::to_string(i) + " completed without arriving");
     }
-    rt.completion_time = in.f64();
-    rt.first_start = in.f64();
-    rt.executed = in.f64();
-    if (rt.arrived) {
-      // Re-emplace from the DAG, then overwrite the arenas; overrun-scaled
-      // works are captured in the serialized remaining/initial buffers.
-      rt.unfolding.emplace(jobs_[i].dag());
-      rt.unfolding->load_state(in);
+    state_.completion_time(id) = in.f64();
+    state_.first_start(id) = in.f64();
+    state_.executed(id) = in.f64();
+    if (state_.arrived(id)) {
+      // Re-emplace from the DAG, then overwrite the per-node block;
+      // overrun-scaled works are captured in the serialized initial column.
+      state_.emplace_unfolding(id, jobs_[i].dag());
+      state_.unfolding(id).load_state(in);
     }
-    if (rt.completed) ++completed_count;
+    if (state_.completed(id)) ++completed_count;
   }
   const std::uint64_t active_count = in.count(4);
-  active_.clear();
-  active_.reserve(static_cast<std::size_t>(active_count));
-  std::fill(active_pos_.begin(), active_pos_.end(), kNoActiveSlot);
+  state_.clear_active();
   std::size_t live = 0;
   for (std::uint64_t i = 0; i < active_count; ++i) {
     const JobId id = in.u32();
     if (id != kInvalidJob) {
-      if (id >= n || !runtimes_[id].arrived || active_pos_[id] != kNoActiveSlot) {
-        in.fail("malformed active-set entry");
-      }
-      active_pos_[id] = active_.size();
+      if (id >= n || !state_.arrived(id)) in.fail("malformed active-set entry");
       ++live;
     }
-    active_.push_back(id);
+    if (!state_.restore_active_slot(id)) in.fail("malformed active-set entry");
   }
-  active_live_ = in.u64();
-  if (active_live_ != live) in.fail("active-set live count mismatch");
+  if (in.u64() != live) in.fail("active-set live count mismatch");
   next_arrival_ = static_cast<std::size_t>(in.u64());
   if (next_arrival_ > n) in.fail("next-arrival cursor out of range");
   for (std::size_t i = 0; i < n; ++i) {
-    if (runtimes_[i].arrived != (i < next_arrival_)) {
+    if (state_.arrived(static_cast<JobId>(i)) != (i < next_arrival_)) {
       in.fail("arrival flags disagree with the arrival cursor");
     }
   }
@@ -699,20 +643,21 @@ void SimKernel::load_checkpoint_state(CheckpointReader& kernel_in,
   capacity_time_ = in.f64();
   start_time_ = in.f64();
   expiries_delivered_ = static_cast<std::size_t>(in.u64());
-  unfolding_bytes_ = static_cast<std::size_t>(in.u64());
+  // Historical unfolding-bytes slot: the gauge now reads the live arena's
+  // high-water mark, which the emplacements above already re-established.
+  (void)in.u64();
   in.expect_done();
 
   // Derived structures: the deadline heap is rebuilt from runtime flags (a
   // lazily-discarded heap entry for a completed job was behaviorally inert,
   // so omitting it is exact), and the victim map / up list refresh at the
   // next begin_interval().
-  deadlines_ = {};
+  deadlines_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    const JobRuntime& rt = runtimes_[i];
-    if (rt.arrived && !rt.completed && !rt.deadline_notified &&
-        jobs_[i].has_deadline()) {
-      deadlines_.emplace(jobs_[i].absolute_deadline(),
-                         static_cast<JobId>(i));
+    const JobId id = static_cast<JobId>(i);
+    if (state_.arrived(id) && !state_.completed(id) &&
+        !state_.deadline_notified(id) && jobs_[i].has_deadline()) {
+      deadlines_.emplace(jobs_[i].absolute_deadline(), id);
     }
   }
 
@@ -752,15 +697,15 @@ SimResult SimKernel::finish() {
   }
 
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const JobRuntime& rt = runtimes_[i];
+    const JobId id = static_cast<JobId>(i);
     JobOutcome& out = result_.outcomes[i];
-    out.completed = rt.completed;
-    out.completion_time = rt.completion_time;
-    out.executed = rt.executed;
-    out.first_start = rt.first_start;
-    if (rt.completed) {
+    out.completed = state_.completed(id);
+    out.completion_time = state_.completion_time(id);
+    out.executed = state_.executed(id);
+    out.first_start = state_.first_start(id);
+    if (out.completed) {
       out.profit =
-          jobs_[i].profit().at(rt.completion_time - jobs_[i].release());
+          jobs_[i].profit().at(out.completion_time - jobs_[i].release());
       result_.total_profit += out.profit;
       ++result_.jobs_completed;
     }

@@ -30,7 +30,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,9 +39,11 @@
 #include "obs/sink.h"
 #include "sim/assignment.h"
 #include "sim/context.h"
+#include "sim/kernel/job_state.h"
 #include "sim/node_selector.h"
 #include "sim/outcome.h"
 #include "sim/scheduler.h"
+#include "util/dary_heap.h"
 #include "util/float_cmp.h"
 
 namespace dagsched {
@@ -182,8 +183,7 @@ class SimKernel {
   /// Earliest pending deadline of a still-incomplete job (kTimeInfinity if
   /// none); lazily discards entries for completed jobs.
   Time next_deadline_time() {
-    while (!deadlines_.empty() &&
-           runtimes_[deadlines_.top().second].completed) {
+    while (!deadlines_.empty() && state_.completed(deadlines_.top().second)) {
       deadlines_.pop();
     }
     return deadlines_.empty() ? kTimeInfinity : deadlines_.top().first;
@@ -212,7 +212,7 @@ class SimKernel {
 
   /// Ready-node selection for one granted allocation (machine-owned policy).
   void select_nodes(const JobAlloc& alloc, std::vector<NodeId>& picked) {
-    selector_.select(jobs_[alloc.job].dag(), *runtimes_[alloc.job].unfolding,
+    selector_.select(jobs_[alloc.job].dag(), state_.unfolding(alloc.job),
                      alloc.procs, picked);
   }
 
@@ -235,7 +235,7 @@ class SimKernel {
   }
 
   Work remaining_work(JobId job, NodeId node) const {
-    return runtimes_[job].unfolding->remaining_work(node);
+    return state_.unfolding(job).remaining_work(node);
   }
 
   /// Advances `node` of `job` by `amount` work over [start, start+duration)
@@ -244,18 +244,18 @@ class SimKernel {
   /// Inline: this is the innermost per-node operation of both hot loops.
   void advance_node(JobId job, NodeId node, Work amount, Time start,
                     Time duration, ProcCount phys) {
-    JobRuntime& rt = runtimes_[job];
+    UnfoldingState& unfolding = state_.unfolding(job);
     if (c_node_starts_ != nullptr &&
-        rt.unfolding->remaining_work(node) ==
-            rt.unfolding->initial_work(node)) {
+        unfolding.remaining_work(node) == unfolding.initial_work(node)) {
       c_node_starts_->add(1.0);
     }
-    rt.unfolding->advance(node, amount);
-    if (c_node_completions_ != nullptr && rt.unfolding->is_done(node)) {
+    unfolding.advance(node, amount);
+    if (c_node_completions_ != nullptr && unfolding.is_done(node)) {
       c_node_completions_->add(1.0);
     }
-    rt.executed += amount;
-    rt.first_start = std::min(rt.first_start, start);
+    state_.executed(job) += amount;
+    Time& first_start = state_.first_start(job);
+    first_start = std::min(first_start, start);
     result_.busy_proc_time += duration;
     DS_OBS_ADD(c_busy_time_, duration);
     if (churn_) {
@@ -287,10 +287,9 @@ class SimKernel {
   /// Marks `job` completed at `completion_time` if its unfolding just
   /// finished; notification is deferred to notify_completions().
   void mark_if_completed(JobId job, Time completion_time) {
-    JobRuntime& rt = runtimes_[job];
-    if (!rt.completed && rt.unfolding->complete()) {
-      rt.completed = true;
-      rt.completion_time = completion_time;
+    if (!state_.completed(job) && state_.unfolding(job).complete()) {
+      state_.set_completed(job);
+      state_.completion_time(job) = completion_time;
       completed_now_.push_back(job);
     }
   }
@@ -306,11 +305,18 @@ class SimKernel {
 
   /// Compares this interval's execution set against the previous one and
   /// accounts node/job preemptions (ran before, unfinished, idle now).
-  /// Sorts/dedups the inputs in place and keeps them as the new previous
-  /// interval (contents are swapped out; reuse the vectors freely).
+  /// Dedups `jobs` in place but leaves both vectors usable: engines keep
+  /// stepping over them and hand them back via commit_interval() once the
+  /// step is done.
   void account_preemptions(Time now,
                            std::vector<std::pair<JobId, NodeId>>& nodes,
                            std::vector<JobId>& jobs);
+
+  /// Installs this interval's (already accounted) execution set as the
+  /// previous interval.  Contents are swapped out; reuse the vectors freely.
+  /// Must be called exactly once per account_preemptions() call.
+  void commit_interval(std::vector<std::pair<JobId, NodeId>>& nodes,
+                       std::vector<JobId>& jobs);
 
  private:
   bool transition_due(Time now) const {
@@ -339,9 +345,6 @@ class SimKernel {
   void emit_telemetry(Time now, bool final_snapshot);
   /// Allocated bytes of the kernel's own bookkeeping containers.
   std::size_t kernel_bytes() const;
-  /// Rewrites active_ without tombstones (preserving order) once live
-  /// entries drop below half the slots; amortized O(1) per removal.
-  void compact_active();
   /// Empty string when valid; otherwise a diagnosis of the first violation.
   std::string validate(const Assignment& assignment);
 
@@ -350,15 +353,10 @@ class SimKernel {
   NodeSelector& selector_;
   KernelOptions options_;
 
-  std::vector<JobRuntime> runtimes_;
-  // Active set: arrival-ordered slots with tombstones (kInvalidJob) left by
-  // completions -- expired-but-incomplete jobs stay active for their whole
-  // run, so an eager O(|active|) erase per completion was quadratic at
-  // 10^5 jobs.  active_pos_ maps job -> slot, active_live_ counts live
-  // slots; ctx_.active_jobs() skips tombstones (see ActiveJobs).
-  std::vector<JobId> active_;
-  std::vector<std::size_t> active_pos_;
-  std::size_t active_live_ = 0;
+  /// All per-job runtime state, structure-of-arrays: lifecycle flags,
+  /// completion/first-start/executed columns, arena-backed unfoldings, the
+  /// tombstoned active set, and the epoch-stamp arrays (job_state.h).
+  JobStateTable state_;
   EngineContext ctx_;
   SimResult result_;
 
@@ -389,12 +387,11 @@ class SimKernel {
   bool overload_active_ = false;
 
   // Runtime telemetry (null = off, the seed code path).  expiries_delivered_
-  // and unfolding_bytes_ are plain member updates with no observable side
-  // effects on the decision log; unfolding_bytes_ accumulation is gated on
-  // telemetry_ to keep the disabled hot path free of virtual calls.
+  // is a plain member update with no observable side effects on the decision
+  // log; the unfolding_bytes gauge reads the job-state arena's high-water
+  // mark directly, so nothing accumulates on the hot path.
   TelemetryRecorder* telemetry_ = nullptr;
   std::size_t expiries_delivered_ = 0;
-  std::size_t unfolding_bytes_ = 0;
 
   // Fault state.
   bool churn_ = false;
@@ -408,30 +405,25 @@ class SimKernel {
   /// entries across idle stretches).
   Time last_exec_end_ = -1.0;
 
-  // Arrival / deadline / completion queues.
+  // Arrival / deadline / completion queues.  The deadline heap is a compact
+  // 4-ary heap of (time, job) entries; pop order equals sorted order for
+  // the unique keys it holds, so the arity is invisible to decision logs.
   std::size_t next_arrival_ = 0;
   using DeadlineEntry = std::pair<Time, JobId>;
-  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
-                      std::greater<>>
-      deadlines_;
+  DaryHeap<DeadlineEntry> deadlines_;
   std::vector<JobId> completed_now_;
   std::size_t jobs_done_ = 0;
 
   // Previous interval's execution set, for preemption accounting.  Membership
-  // tests use epoch stamps (node_stamp_ is one flat array over all jobs'
-  // nodes, offset by node_stamp_base_) so each decision costs O(running)
-  // with no sorting; the seed sorted + binary-searched both sets per
-  // decision, which dominated the event engine's hot loop at 10^5 jobs.
+  // tests use the table's epoch-stamp columns so each decision costs
+  // O(running) with no sorting; the seed sorted + binary-searched both sets
+  // per decision, which dominated the event engine's hot loop at 10^5 jobs.
   std::vector<std::pair<JobId, NodeId>> prev_nodes_;
   std::vector<JobId> prev_jobs_;
-  std::vector<std::size_t> node_stamp_base_;  // job -> offset into node_stamp_
-  std::vector<std::uint32_t> node_stamp_;
-  std::vector<std::uint32_t> job_stamp_;
   std::uint32_t interval_epoch_ = 0;
   std::vector<JobId> preempted_jobs_;  // scratch, event-order emission
 
-  // Duplicate-allocation detection scratch (epoch stamps avoid O(n) clears).
-  std::vector<std::uint32_t> alloc_stamp_;
+  // Duplicate-allocation detection epoch (stamps live in the table).
   std::uint32_t alloc_epoch_ = 0;
 
   // Machine-time accounting: integral of up-capacity over every accounted

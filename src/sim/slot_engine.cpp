@@ -24,6 +24,8 @@ SlotEngine::SlotEngine(const JobSet& jobs, SchedulerBase& scheduler,
   DS_CHECK_MSG(jobs_.sorted_by_release(), "JobSet not finalized");
 }
 
+SlotEngine::~SlotEngine() = default;
+
 std::uint64_t SlotEngine::derive_horizon() const {
   // After the last arrival, even a scheduler that runs one node at a time
   // finishes within total_work/speed additional slots if it schedules at
@@ -45,19 +47,23 @@ SimResult SlotEngine::run() {
   const std::size_t n = jobs_.size();
   if (n == 0) return SimResult{};
 
-  KernelOptions kernel_options;
-  kernel_options.num_procs = options_.num_procs;
-  kernel_options.speed = options_.speed;
-  kernel_options.record_trace = options_.record_trace;
-  kernel_options.observer = options_.observer;
-  kernel_options.obs = options_.obs;
-  kernel_options.faults = options_.faults;
-  kernel_options.telemetry = options_.telemetry;
-  kernel_options.die_at_decision = options_.die_at_decision;
-  kernel_options.decide_budget_ns = options_.decide_budget_ns;
-  kernel_options.overload_shed_max = options_.overload_shed_max;
-  kernel_options.overload_probe = options_.overload_probe;
-  SimKernel kernel(jobs_, scheduler_, selector_, std::move(kernel_options));
+  if (kernel_ == nullptr) {
+    KernelOptions kernel_options;
+    kernel_options.num_procs = options_.num_procs;
+    kernel_options.speed = options_.speed;
+    kernel_options.record_trace = options_.record_trace;
+    kernel_options.observer = options_.observer;
+    kernel_options.obs = options_.obs;
+    kernel_options.faults = options_.faults;
+    kernel_options.telemetry = options_.telemetry;
+    kernel_options.die_at_decision = options_.die_at_decision;
+    kernel_options.decide_budget_ns = options_.decide_budget_ns;
+    kernel_options.overload_shed_max = options_.overload_shed_max;
+    kernel_options.overload_probe = options_.overload_probe;
+    kernel_ = std::make_unique<SimKernel>(jobs_, scheduler_, selector_,
+                                          std::move(kernel_options));
+  }
+  SimKernel& kernel = *kernel_;
 
   const ObsSink* obs = options_.obs;
   ScopedSpan run_span(obs != nullptr ? obs->spans : nullptr, "engine.run");
@@ -66,10 +72,11 @@ SimResult SlotEngine::run() {
       options_.max_slots > 0 ? options_.max_slots : derive_horizon();
   const double speed = options_.speed;
 
-  Assignment assignment;
-  std::vector<NodeId> picked;
-  std::vector<std::pair<JobId, NodeId>> current_nodes;
-  std::vector<JobId> current_jobs;
+  // Member scratch: capacity survives across runs (zero-alloc contract).
+  Assignment& assignment = assignment_;
+  std::vector<NodeId>& picked = picked_;
+  std::vector<std::pair<JobId, NodeId>>& current_nodes = current_nodes_;
+  std::vector<JobId>& current_jobs = current_jobs_;
 
   std::uint64_t slot =
       static_cast<std::uint64_t>(std::max(0.0, std::floor(jobs_[0].release())));
@@ -150,6 +157,7 @@ SimResult SlotEngine::run() {
     // (3) Preemption accounting (ran last slot, unfinished, idle now), then
     // completion notifications at the end of the slot.
     kernel.account_preemptions(now, current_nodes, current_jobs);
+    kernel.commit_interval(current_nodes, current_jobs);
     const bool completed_any = kernel.has_pending_completions();
     kernel.notify_completions(now + 1.0);
     kernel.set_end_time(now + 1.0);

@@ -14,6 +14,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "fault/injector.h"
 #include "job/job.h"
@@ -28,6 +31,7 @@ namespace dagsched {
 
 class CheckpointSink;
 struct CheckpointFile;
+class SimKernel;
 class TelemetryRecorder;
 
 struct SlotEngineOptions {
@@ -75,7 +79,10 @@ class SlotEngine {
  public:
   SlotEngine(const JobSet& jobs, SchedulerBase& scheduler,
              NodeSelector& selector, SlotEngineOptions options);
+  ~SlotEngine();
 
+  /// Re-runnable: the kernel and all scratch buffers persist across calls
+  /// (see EventEngine::run and tests/test_zero_alloc.cpp).
   SimResult run();
 
  private:
@@ -85,6 +92,14 @@ class SlotEngine {
   SchedulerBase& scheduler_;
   NodeSelector& selector_;
   SlotEngineOptions options_;
+
+  // Persistent simulation state: created on the first run(), reset by
+  // SimKernel::begin() on each subsequent one.
+  std::unique_ptr<SimKernel> kernel_;
+  Assignment assignment_;
+  std::vector<NodeId> picked_;
+  std::vector<std::pair<JobId, NodeId>> current_nodes_;
+  std::vector<JobId> current_jobs_;
 };
 
 }  // namespace dagsched

@@ -6,10 +6,14 @@
 // work, completion).  It does NOT expose the DAG structure or node
 // identities; those are reachable only through EngineContext's clairvoyant
 // accessors, which are gated on SchedulerBase::clairvoyant().
+//
+// The view reads the kernel's structure-of-arrays JobStateTable (one column
+// per field), so constructing it is two pointers + an id and each accessor
+// is a single column load.
 #pragma once
 
 #include "job/job.h"
-#include "sim/runtime.h"
+#include "sim/kernel/job_state.h"
 #include "util/check.h"
 #include "util/float_cmp.h"
 #include "util/types.h"
@@ -18,8 +22,8 @@ namespace dagsched {
 
 class JobView {
  public:
-  JobView(const Job* job, const JobRuntime* runtime, JobId id)
-      : job_(job), runtime_(runtime), id_(id) {}
+  JobView(const Job* job, const JobStateTable* state, JobId id)
+      : job_(job), state_(state), id_(id) {}
 
   JobId id() const { return id_; }
   Time release() const { return job_->release(); }
@@ -39,20 +43,22 @@ class JobView {
     return job_->greedy_execution_time(m);
   }
 
-  bool arrived() const { return runtime_->arrived; }
-  bool completed() const { return runtime_->completed; }
-  Time completion_time() const { return runtime_->completion_time; }
-  Work executed_work() const { return runtime_->executed; }
+  bool arrived() const { return state_->arrived(id_); }
+  bool completed() const { return state_->completed(id_); }
+  Time completion_time() const { return state_->completion_time(id_); }
+  Work executed_work() const { return state_->executed(id_); }
 
   /// Number of ready nodes right now (0 before arrival / after completion).
   std::size_t ready_count() const {
-    if (!runtime_->unfolding || runtime_->completed) return 0;
-    return runtime_->unfolding->ready_count();
+    const UnfoldingState& unfolding = state_->unfolding(id_);
+    if (!unfolding.engaged() || completed()) return 0;
+    return unfolding.ready_count();
   }
 
   Work remaining_work() const {
-    if (!runtime_->unfolding) return job_->work();
-    return runtime_->unfolding->total_remaining_work();
+    const UnfoldingState& unfolding = state_->unfolding(id_);
+    if (!unfolding.engaged()) return job_->work();
+    return unfolding.total_remaining_work();
   }
 
   /// For step-profit jobs: true once `now` is past the absolute deadline
@@ -72,7 +78,7 @@ class JobView {
 
  private:
   const Job* job_;
-  const JobRuntime* runtime_;
+  const JobStateTable* state_;
   JobId id_;
 };
 

@@ -1,0 +1,91 @@
+// Cache-conscious 4-ary min-heap.
+//
+// Drop-in replacement for `std::priority_queue<T, std::vector<T>,
+// std::greater<T>>` on the simulation hot path (kernel deadline heap,
+// DeadlineScheduler P-expiry heap, fault-plan interval sweep).  A 4-ary
+// layout halves the tree depth of a binary heap and keeps all four children
+// of a node in one or two cache lines, which wins on the pop-heavy access
+// pattern of an event heap.  Entries are kept compact ((Time, JobId) pairs);
+// comparisons use `<` on T, so pair entries order lexicographically exactly
+// as the std::greater priority_queue they replace.
+//
+// Parity note (docs/PERFORMANCE.md, "Decision-log parity"): for unique keys
+// the pop sequence of any min-heap is the sorted order, so swapping heap
+// arity cannot reorder decisions.  Lazy duplicate entries (same (time, job)
+// pushed twice) are identical values and therefore inert.
+//
+// clear() retains capacity: a drained heap refills without heap traffic.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dagsched {
+
+template <typename T>
+class DaryHeap {
+ public:
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  const T& top() const {
+    DS_CHECK(!data_.empty());
+    return data_.front();
+  }
+
+  void push(T value) {
+    data_.push_back(std::move(value));
+    sift_up(data_.size() - 1);
+  }
+
+  template <typename... Args>
+  void emplace(Args&&... args) {
+    push(T(std::forward<Args>(args)...));
+  }
+
+  void pop() {
+    DS_CHECK(!data_.empty());
+    data_.front() = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+  }
+
+  std::size_t memory_bytes() const { return data_.capacity() * sizeof(T); }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  void sift_up(std::size_t i) {
+    while (i != 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!(data_[i] < data_[parent])) break;
+      std::swap(data_[i], data_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + kArity < n ? first + kArity : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (data_[c] < data_[best]) best = c;
+      }
+      if (!(data_[best] < data_[i])) break;
+      std::swap(data_[i], data_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<T> data_;
+};
+
+}  // namespace dagsched

@@ -305,10 +305,18 @@ TEST_P(KillResumeParity, ResumedSuffixIsByteIdentical) {
 
   // Checkpointing run: snapshots must not perturb the simulation, and the
   // last snapshot lands mid-run (limit 2 at ~quarter intervals).
+  // The path must be unique per parameter combo: ctest runs each combo as
+  // its own process, and the two churn variants of one scheduler x engine
+  // pair are adjacent in the suite -- a shared name makes them clobber each
+  // other's snapshot under parallel ctest.
+  const std::string fault_tag =
+      fault_spec.empty()
+          ? "_nofault"
+          : (fault_spec.find("restart=zero") != std::string::npos ? "_zero"
+                                                                  : "_resume");
   const std::string path = ::testing::TempDir() + "parity_" + scheduler_name +
                            (engine == EngineKind::kEvent ? "_ev" : "_sl") +
-                           (fault_spec.empty() ? "_nofault" : "_fault") +
-                           ".ckpt";
+                           fault_tag + ".ckpt";
   const auto interval =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(full.decisions) / 4);
   EventLog ck_log;

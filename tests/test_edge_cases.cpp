@@ -37,9 +37,10 @@ TEST(EdgeCases, DeadlineUnreachableBoundarySemantics) {
   JobSet jobs;
   jobs.add(Job::with_deadline(share(make_single_node(2.0)), 1.0, 4.0, 1.0));
   jobs.finalize();
-  JobRuntime runtime;
-  runtime.arrived = true;
-  const JobView view(&jobs[0], &runtime, 0);
+  JobStateTable state;
+  state.reset(jobs);
+  state.set_arrived(0);
+  const JobView view(&jobs[0], &state, 0);
   // d = 5.  Strictly before: reachable.  At d: unreachable (remaining work
   // cannot finish by d).  deadline_expired stays false exactly at d.
   EXPECT_FALSE(view.deadline_unreachable(4.999));
