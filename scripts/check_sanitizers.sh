@@ -1,13 +1,41 @@
 #!/usr/bin/env bash
-# Build the test suite under AddressSanitizer + UndefinedBehaviorSanitizer
-# (the `asan-ubsan` preset in CMakePresets.json) and run it.
+# Build the test suite under sanitizers and run it.
 #
-# Usage: scripts/check_sanitizers.sh [ctest-args...]
+# Default mode: AddressSanitizer + UndefinedBehaviorSanitizer (the
+# `asan-ubsan` preset in CMakePresets.json) over the whole suite.
+#
+# --tsan: ThreadSanitizer (the `tsan` preset) over the threaded suites --
+# the sharded-run tests (test_shard: ShardRuntime prefetch, epoch barriers,
+# restart rendezvous) and the sweep executor (test_sweep: WorkStealingPool
+# push/close/park protocol).  Extra ctest args narrow further.
+#
+# Usage: scripts/check_sanitizers.sh [--tsan] [ctest-args...]
 #   e.g. scripts/check_sanitizers.sh -R ObsReplay
+#        scripts/check_sanitizers.sh --tsan
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
+
+mode=asan
+if [ "${1:-}" = "--tsan" ]; then
+  mode=tsan
+  shift
+fi
+
+if [ "$mode" = "tsan" ]; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j"$(nproc)" --target test_shard test_sweep
+  # second_deadlock_stack makes lock-inversion reports actionable;
+  # halt_on_error turns any report into a test failure instead of a log line.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+  if [ "$#" -gt 0 ]; then
+    ctest --preset tsan "$@"
+  else
+    ctest --preset tsan -R 'Shard|Sweep|WorkStealingPool|LatencyHistogram'
+  fi
+  exit 0
+fi
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$(nproc)"

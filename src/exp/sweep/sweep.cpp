@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "exp/sweep/work_pool.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
 #include "obs/event_log.h"
@@ -26,68 +26,6 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
-
-/// One worker's share of the cell index space.  Owners pop from the front,
-/// thieves steal from the back -- the classic deque discipline, so an owner
-/// keeps cache-warm consecutive cells while idle workers drain the far end
-/// of the longest queue.  A mutex per deque is plenty: contention is one
-/// lock per *cell* (milliseconds of simulation), not per task-step.
-struct WorkerQueue {
-  std::mutex mutex;
-  std::deque<std::size_t> cells;
-};
-
-class WorkStealingPool {
- public:
-  WorkStealingPool(std::size_t num_workers, std::size_t num_cells)
-      : queues_(num_workers) {
-    // Round-robin initial distribution keeps neighbouring (often
-    // similar-cost) cells spread across workers.
-    for (std::size_t i = 0; i < num_cells; ++i) {
-      queues_[i % num_workers].cells.push_back(i);
-    }
-  }
-
-  /// Next cell for `worker`: own queue first, then steal from the victim
-  /// with the most remaining work.  Returns nullopt when every queue is
-  /// empty (running cells may still be in flight, but each cell is
-  /// independent so there is nothing left to hand out).
-  std::optional<std::size_t> next(std::size_t worker) {
-    {
-      WorkerQueue& own = queues_[worker];
-      std::lock_guard lock(own.mutex);
-      if (!own.cells.empty()) {
-        const std::size_t cell = own.cells.front();
-        own.cells.pop_front();
-        return cell;
-      }
-    }
-    // Steal: scan for the longest queue (sizes read unlocked are only a
-    // heuristic; the actual pop re-checks under the victim's lock).
-    while (true) {
-      std::size_t victim = queues_.size();
-      std::size_t best = 0;
-      for (std::size_t i = 0; i < queues_.size(); ++i) {
-        if (i == worker) continue;
-        const std::size_t size = queues_[i].cells.size();
-        if (size > best) {
-          best = size;
-          victim = i;
-        }
-      }
-      if (victim == queues_.size()) return std::nullopt;
-      WorkerQueue& target = queues_[victim];
-      std::lock_guard lock(target.mutex);
-      if (target.cells.empty()) continue;  // lost the race; rescan
-      const std::size_t cell = target.cells.back();
-      target.cells.pop_back();
-      return cell;
-    }
-  }
-
- private:
-  std::vector<WorkerQueue> queues_;
-};
 
 }  // namespace
 
@@ -191,7 +129,7 @@ SweepResult run_sweep(std::vector<SweepCellSpec> cells,
   if (sweep.cells.empty()) return sweep;
 
   const Clock::time_point start = Clock::now();
-  WorkStealingPool pool(threads, sweep.cells.size());
+  WorkStealingPool pool(threads);
 
   // Progress state, guarded by one mutex; the live merged decide histogram
   // backs the p99 readout (merge order is completion order here, which is
@@ -242,7 +180,13 @@ SweepResult run_sweep(std::vector<SweepCellSpec> cells,
     }
   };
 
+  // Streaming producer: workers start first and drain while the cells are
+  // still being enqueued (the push/close protocol is what work_pool.h's
+  // no-lost-wakeup guarantee covers); close() releases anyone parked once
+  // the backlog runs dry.
   if (threads == 1) {
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) pool.push(i);
+    pool.close();
     worker_body(0);
   } else {
     std::vector<std::thread> workers;
@@ -250,6 +194,8 @@ SweepResult run_sweep(std::vector<SweepCellSpec> cells,
     for (std::size_t i = 0; i < threads; ++i) {
       workers.emplace_back(worker_body, i);
     }
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) pool.push(i);
+    pool.close();
     for (std::thread& worker : workers) worker.join();
   }
   sweep.wall_ms = ms_since(start);

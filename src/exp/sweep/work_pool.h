@@ -1,0 +1,66 @@
+// Work-stealing cell queue for the sweep executor (exp/sweep/sweep.cpp).
+//
+// Owners pop from the front of their own deque, thieves steal from the
+// back of the longest other deque -- the classic discipline, so an owner
+// works through cache-warm consecutive cells while idle workers drain the
+// far end of the biggest backlog.  One *global* mutex guards every deque:
+// contention is one lock per cell (milliseconds of simulation), not per
+// task-step, and a single lock makes the steal scan race-free (the old
+// per-deque-mutex version read victim sizes unlocked, a data race under
+// ThreadSanitizer).
+//
+// The queue is streaming: the producer push()es cells while workers are
+// already draining, then close()s.  An idle worker in next() spins a
+// bounded number of iterations on the atomic availability counter (the
+// producer usually publishes the next cell within microseconds) and then
+// parks on a condition variable -- never a busy-wait.  Wakeups cannot be
+// lost: push()/close() mutate under the mutex before notifying, and a
+// parked worker re-checks the state under that same mutex
+// (tests/test_sweep.cpp asserts the last-cell handoff).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dagsched {
+
+class WorkStealingPool {
+ public:
+  /// `num_workers` >= 1 fixes the deque count; worker ids passed to next()
+  /// must be < num_workers.
+  explicit WorkStealingPool(std::size_t num_workers);
+
+  /// Enqueues one cell index (producer side; round-robin across deques so
+  /// neighbouring, often similar-cost, cells spread over workers).  Must
+  /// not be called after close().
+  void push(std::size_t cell);
+
+  /// No more pushes: blocked workers with nothing left to take return
+  /// nullopt instead of waiting.
+  void close();
+
+  /// Next cell for `worker`: own queue first, then steal from the victim
+  /// with the most remaining work.  Blocks (bounded spin, then condvar
+  /// park) while the pool is open but momentarily empty; returns nullopt
+  /// only once the pool is closed and drained.
+  std::optional<std::size_t> next(std::size_t worker);
+
+ private:
+  /// Own-front / longest-victim-back pop; requires mutex_ held.
+  std::optional<std::size_t> pop_locked(std::size_t worker);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::size_t>> queues_;  // under mutex_
+  std::size_t push_cursor_ = 0;                  // under mutex_
+  /// Cells currently queued; read lock-free by the next() spin loop.
+  std::atomic<std::size_t> available_{0};
+  std::atomic<bool> open_{true};
+};
+
+}  // namespace dagsched

@@ -1,0 +1,200 @@
+// ShardRuntime: intra-run parallelism for SimKernel (KernelOptions::shards).
+//
+// One simulation run is partitioned into K shards by job id (shard_of(id) =
+// id % K).  Each shard owns a worker thread, a BumpArena, and a staging
+// vector; the workers run *ahead* of simulated time, pre-building the
+// per-arrival state the kernel would otherwise construct serially inside
+// deliver_arrivals():
+//
+//   * the job's UnfoldingState (the dominant arrival cost at 10^5..10^6
+//     jobs: ~39% of event-engine in-run time on the 811k-job scale run),
+//     carved from the shard's own arena;
+//   * fault-scaled node works, when an injector scales work (the injector's
+//     scaled_works is pure and deterministic, so worker-side evaluation is
+//     bit-identical to delivery-time evaluation);
+//   * the scheduler's arrival precompute POD, when the policy opts in via
+//     SchedulerBase::arrival_precompute_size() (DeadlineScheduler stages
+//     its (n_i, x_i, v_i) allocation math here).
+//
+// The kernel *adopts* staged state at delivery time, on the main thread, in
+// the pinned serial order (release, id) -- so decision logs are byte-
+// identical to the serial run at any shard count: every staged value is a
+// bit-identical pure function of the immutable Job, and all side effects
+// (counters, events, scheduler callbacks) still happen serially at
+// delivery.  The parity contract is enforced by scripts/decision_parity.sh
+// mode `shards` and tests/test_shard.cpp.
+//
+// The same workers double as epoch executors for wide decision intervals:
+// run_advance() partitions one interval's (job, node) execution set across
+// the shards (same-job entries always land on one shard, so per-job state
+// has a single writer), rendezvouses at a barrier, and leaves the global
+// side effects (counters, busy time, trace, victim map) for the kernel to
+// replay serially in processor order.
+//
+// Synchronization: per-shard `built` watermark published with a seq_cst
+// store and consumed by acquire() with a bounded spin followed by a condvar
+// park (the flag handshake is the classic Dekker pattern -- see acquire()).
+// Control transitions (restart, stop, epoch kick) go through one mutex +
+// condvar; idle workers park there after a bounded spin instead of
+// busy-waiting.  Everything is allocation-free in steady state: arenas
+// reset (not free) between runs and staging vectors keep their capacity.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dag/unfolding.h"
+#include "job/job.h"
+#include "util/arena.h"
+#include "util/types.h"
+
+namespace dagsched {
+
+class FaultInjector;
+class JobStateTable;
+class SchedulerBase;
+
+/// One pre-built arrival, staged by a shard worker ahead of delivery.  The
+/// kernel move-adopts the unfolding into the JobStateTable column; its
+/// per-node block stays in the shard's arena (which outlives the run and
+/// resets only at restart(), after the table has dropped every reference).
+struct PreparedArrival {
+  UnfoldingState unfolding;
+};
+
+class ShardRuntime {
+ public:
+  /// Spawns `shards` worker threads over `jobs`.  All references are
+  /// borrowed and must outlive this object.  Workers idle until the first
+  /// restart(); the scheduler is only touched through its const precompute
+  /// hooks (which must be thread-safe -- see sim/scheduler.h).
+  ShardRuntime(const JobSet& jobs, const SchedulerBase& scheduler,
+               const FaultInjector* faults, double speed, std::size_t shards);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+
+  /// Quiesces the workers, discards everything staged, resets the shard
+  /// arenas, and restarts run-ahead prefetch at job `from` (0 for a fresh
+  /// run; the arrival cursor for a checkpoint resume).  Blocks until every
+  /// worker has rendezvoused, so on return the staging state is consistent
+  /// and building has begun for the new run.
+  void restart(JobId from);
+
+  /// Blocks until job `id`'s staged arrival is built, then returns it.
+  /// Bounded spin first (the owning worker is usually mid-build of exactly
+  /// this job), condvar park after.  Main thread only.
+  PreparedArrival& acquire(JobId id);
+
+  /// Scheduler precompute bytes for job `id`; valid after acquire(id),
+  /// until the next restart().  Null when the scheduler opted out.
+  const void* precomputed(JobId id) const;
+
+  // -- Parallel advance epochs ----------------------------------------------
+
+  /// Per-entry flag bytes written by run_advance (the pure per-node facts
+  /// the kernel replays serially into counters).
+  static constexpr std::uint8_t kStarted = 1;   // first work on the node
+  static constexpr std::uint8_t kNodeDone = 2;  // node completed this step
+
+  /// Advances every `entries[i]` by `amount` work starting at `start`, in
+  /// parallel across the shards (entry i goes to shard entries[i].first %
+  /// K, so each job has one writer).  Writes flags[i] for the kernel's
+  /// serial replay.  Returns after the epoch barrier: all entries advanced,
+  /// all flags written.  Must not run concurrently with acquire()/restart()
+  /// (all three are main-thread operations).
+  void run_advance(const std::pair<JobId, NodeId>* entries, std::size_t count,
+                   Work amount, Time start, JobStateTable& table,
+                   std::uint8_t* flags);
+
+  // -- Telemetry ------------------------------------------------------------
+
+  /// Sum of the shard arenas' high-water marks: the sharded counterpart of
+  /// the JobStateTable arena's unfolding_bytes gauge.
+  std::size_t arena_high_water() const;
+  /// Sum of the shard arenas' current chunk capacities.
+  std::size_t arena_capacity() const;
+  /// Allocated bytes of the staging vectors (capacity, not live).
+  std::size_t staging_bytes() const;
+
+ private:
+  struct Shard {
+    std::size_t index = 0;        // this shard's id residue
+    std::size_t total_count = 0;  // own jobs in the whole job set
+    std::size_t start_index = 0;  // first own index to build this run
+    std::size_t build_count = 0;  // build while cursor < build_count
+
+    /// Own-index watermark: staged[i] is readable iff built > i.  seq_cst
+    /// store by the worker pairs with the waiting-flag load (see acquire).
+    std::atomic<std::size_t> built{0};
+    std::atomic<bool> waiting{false};
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    /// arena.high_water() as of the last completed build, published by the
+    /// worker so the telemetry/checkpoint gauge can be read mid-run without
+    /// touching the arena a worker may be allocating from.
+    std::atomic<std::size_t> arena_hw{0};
+
+    BumpArena arena;
+    std::vector<PreparedArrival> staged;
+    std::vector<std::byte> prep;  // total_count x prep_size precompute PODs
+  };
+
+  void worker_loop(std::size_t s);
+  void build_one(Shard& sh, std::size_t idx);
+  void run_epoch_slice(std::size_t s);
+
+  const JobSet& jobs_;
+  const SchedulerBase& scheduler_;
+  const FaultInjector* faults_;
+  const double speed_;
+  const std::size_t prep_size_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  // Control plane: run/epoch generations and the stop flag, all observed by
+  // workers with cheap atomic loads between builds and parked on via
+  // ctrl_cv_.  Mutations happen under ctrl_mutex_ so parked workers cannot
+  // miss a wakeup.
+  std::mutex ctrl_mutex_;
+  std::condition_variable ctrl_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> run_gen_{0};
+  std::atomic<std::uint64_t> epoch_gen_{0};
+  std::uint64_t run_target_ = 0;    // under ctrl_mutex_
+  std::uint64_t ready_gen_ = 0;     // under ctrl_mutex_
+  std::size_t restart_acks_ = 0;    // under ctrl_mutex_
+  /// epoch_gen_ as of the last restart(), under ctrl_mutex_.  Workers leave
+  /// the restart rendezvous with seen_epoch = restart_epoch_, NOT a live
+  /// read of epoch_gen_: a worker can linger parked in the rendezvous until
+  /// the first run_advance of the new run wakes it, and a live read there
+  /// would swallow that epoch's bump -- its slice never runs and the main
+  /// thread waits on epoch_pending_ forever.
+  std::uint64_t restart_epoch_ = 0;
+
+  // Epoch task (written by the main thread before bumping epoch_gen_; read
+  // by workers after the acquire load of epoch_gen_).
+  const std::pair<JobId, NodeId>* epoch_entries_ = nullptr;
+  std::size_t epoch_count_ = 0;
+  Work epoch_amount_ = 0.0;
+  Time epoch_start_ = 0.0;
+  JobStateTable* epoch_table_ = nullptr;
+  std::uint8_t* epoch_flags_ = nullptr;
+  std::atomic<std::size_t> epoch_pending_{0};
+  std::mutex epoch_mutex_;
+  std::condition_variable epoch_cv_;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,355 @@
+// Sharded single-run execution (KernelOptions::shards, sim/kernel/shard.h):
+// decision-log and result parity against the serial seed path at every
+// shard count, across both engines and all fault modes; checkpoint
+// kill/resume on sharded runs (including shard-count switches at resume,
+// the wire format carries no shard state); the wide-interval parallel
+// advance path; warm-restart allocation stability (the sharded counterpart
+// of tests/test_zero_alloc.cpp, which must stay single-threaded -- its
+// operator-new counter is deliberately non-atomic).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exp/runner.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "obs/event_log.h"
+#include "obs/sink.h"
+#include "sim/checkpoint/checkpoint.h"
+#include "sim/event_engine.h"
+#include "sim/kernel/engine_factory.h"
+#include "sim/kernel/shard.h"
+#include "workload/scenarios.h"
+
+namespace dagsched {
+namespace {
+
+constexpr ProcCount kParityM = 4;
+
+JobSet parity_jobs() {
+  Rng rng(21);
+  WorkloadConfig config = scenario_shootout(1.2, kParityM, 0.3, 1.2);
+  config.horizon = 60.0;
+  return generate_workload(rng, config);
+}
+
+std::optional<FaultInjector> make_faults(const std::string& spec,
+                                         ProcCount m) {
+  std::optional<FaultInjector> injector;
+  if (spec.empty()) return injector;
+  std::string error;
+  const auto config = parse_fault_spec(spec, &error);
+  EXPECT_TRUE(config.has_value()) << error;
+  injector.emplace(build_fault_plan(*config, m));
+  return injector;
+}
+
+/// One run at the given shard count; everything else pinned.
+SimResult shard_run(const JobSet& jobs, const std::string& scheduler_name,
+                    EngineKind engine, const std::string& fault_spec,
+                    ProcCount m, std::size_t shards, EventLog* log,
+                    CheckpointSink* checkpoint = nullptr,
+                    const CheckpointFile* resume = nullptr) {
+  auto scheduler = make_named_scheduler(scheduler_name, 0.5);
+  auto selector = make_selector(SelectorKind::kFifo, 1);
+  std::optional<FaultInjector> injector = make_faults(fault_spec, m);
+  ObsSink sink;
+  sink.events = log;
+  SimOptions options;
+  options.num_procs = m;
+  options.obs = log != nullptr ? &sink : nullptr;
+  options.faults = injector ? &*injector : nullptr;
+  options.checkpoint = checkpoint;
+  options.resume = resume;
+  options.shards = shards;
+  return run_simulation(engine, jobs, *scheduler, *selector, options);
+}
+
+void expect_bitwise_equal(const SimResult& got, const SimResult& want,
+                          std::size_t shards) {
+  EXPECT_EQ(got.decisions, want.decisions) << "shards=" << shards;
+  EXPECT_EQ(got.jobs_completed, want.jobs_completed) << "shards=" << shards;
+  EXPECT_EQ(got.total_profit, want.total_profit)  // bitwise, not NEAR
+      << "shards=" << shards;
+  EXPECT_EQ(got.busy_proc_time, want.busy_proc_time) << "shards=" << shards;
+  EXPECT_EQ(got.end_time, want.end_time) << "shards=" << shards;
+  EXPECT_EQ(got.lost_work, want.lost_work) << "shards=" << shards;
+  EXPECT_EQ(got.node_preemptions, want.node_preemptions)
+      << "shards=" << shards;
+  EXPECT_EQ(got.job_preemptions, want.job_preemptions) << "shards=" << shards;
+  EXPECT_EQ(got.failed(), want.failed()) << "shards=" << shards;
+}
+
+// ---------------------------------------------------------------------------
+// Decision-log parity: for every scheduler x engine x fault mode, the runs
+// at shards in {2, 4, 8} must produce an event log *equal element by
+// element* to the serial run and land on bitwise-identical results.  (The
+// CLI-level counterpart -- byte-comparing emitted JSONL -- lives in
+// scripts/decision_parity.sh mode `shards`.)
+
+class ShardParity
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, EngineKind, std::string>> {};
+
+TEST_P(ShardParity, ShardCountNeverChangesTheRun) {
+  const auto& [scheduler_name, engine, fault_spec] = GetParam();
+  if (scheduler_name == "profit" && engine == EngineKind::kEvent) {
+    GTEST_SKIP() << "profit is slot-engine only";
+  }
+  const JobSet jobs = parity_jobs();
+
+  EventLog serial_log;
+  const SimResult serial = shard_run(jobs, scheduler_name, engine, fault_spec,
+                                     kParityM, 1, &serial_log);
+
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    EventLog log;
+    const SimResult result = shard_run(jobs, scheduler_name, engine,
+                                       fault_spec, kParityM, shards, &log);
+    expect_bitwise_equal(result, serial, shards);
+    EXPECT_EQ(log.events(), serial_log.events()) << "shards=" << shards;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, ShardParity,
+    ::testing::Combine(
+        ::testing::ValuesIn(named_scheduler_list()),
+        ::testing::Values(EngineKind::kEvent, EngineKind::kSlot),
+        ::testing::Values(
+            std::string(),
+            std::string(
+                "mtbf=30,mttr=5,horizon=60,seed=3,integral=1,restart=resume"),
+            std::string(
+                "mtbf=30,mttr=5,horizon=60,seed=3,integral=1,restart=zero"))),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, EngineKind, std::string>>& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      name += std::get<1>(param_info.param) == EngineKind::kEvent ? "_event"
+                                                                  : "_slot";
+      const std::string& faults = std::get<2>(param_info.param);
+      if (faults.empty()) {
+        name += "_none";
+      } else if (faults.find("restart=zero") != std::string::npos) {
+        name += "_churn_zero";
+      } else {
+        name += "_churn_resume";
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Wide intervals: with m large enough that a decision interval executes
+// >= 64 (job, node) pairs, the event engine routes node advancement through
+// ShardRuntime::run_advance() (the epoch-barrier path) instead of the
+// serial per-processor loop.  The run must still be indistinguishable.
+
+TEST(ShardWideAdvance, EpochAdvanceMatchesSerial) {
+  Rng rng(33);
+  WorkloadConfig config = scenario_shootout(1.3, 128, 0.3, 1.2);
+  config.horizon = 30.0;
+  config.family = DagFamily::kParallelBlock;
+  const JobSet jobs = generate_workload(rng, config);
+
+  EventLog serial_log;
+  const SimResult serial = shard_run(jobs, "edf", EngineKind::kEvent, "", 128,
+                                     1, &serial_log);
+  // Guard that the workload actually exercises the parallel path: average
+  // executing-node count above 64 implies some interval ran >= 64 entries
+  // (the kParallelAdvanceMin gate in kernel.cpp).
+  ASSERT_GT(serial.busy_proc_time / serial.end_time, 64.0)
+      << "workload too narrow to reach the parallel advance path";
+
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    EventLog log;
+    const SimResult result =
+        shard_run(jobs, "edf", EngineKind::kEvent, "", 128, shards, &log);
+    expect_bitwise_equal(result, serial, shards);
+    EXPECT_EQ(log.events(), serial_log.events()) << "shards=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume on sharded runs.  The dagsched.checkpoint/1 container
+// carries no shard state, so a snapshot taken at any shard count must
+// resume at any other -- the kill-at-a-decision in-process counterpart of
+// decision_parity.sh's process-kill flow.
+
+class ShardKillResume : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ShardKillResume, ShardedSnapshotResumesAtAnyShardCount) {
+  const EngineKind engine = GetParam();
+  const JobSet jobs = parity_jobs();
+  const std::string fault_spec =
+      "mtbf=30,mttr=5,horizon=60,seed=3,integral=1,restart=resume";
+
+  EventLog full_log;
+  const SimResult full = shard_run(jobs, "s", engine, fault_spec, kParityM, 1,
+                                   &full_log);
+  ASSERT_GE(full.decisions, 3u);
+
+  // Writer shard count x resume shard count, including the serial column in
+  // both roles.  The kill decision varies per combo ("random" but pinned so
+  // failures reproduce): snapshots land at ~interval boundaries spread over
+  // the run.
+  const std::size_t counts[] = {1, 2, 4, 8};
+  for (std::size_t wi = 0; wi < std::size(counts); ++wi) {
+    const std::size_t write_shards = counts[wi];
+    const auto interval = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(full.decisions) / (3 + wi));
+    const std::string path = ::testing::TempDir() + "shard_resume_" +
+                             (engine == EngineKind::kEvent ? "ev" : "sl") +
+                             "_w" + std::to_string(write_shards) + ".ckpt";
+    EventLog ck_log;
+    CheckpointMeta base;
+    base.scheduler = "s";
+    CheckpointSink sink(path, interval, base, &ck_log);
+    sink.set_snapshot_limit(2);
+    const SimResult with_ck = shard_run(jobs, "s", engine, fault_spec,
+                                        kParityM, write_shards, &ck_log,
+                                        &sink);
+    EXPECT_EQ(with_ck.decisions, full.decisions);
+    EXPECT_EQ(ck_log.events(), full_log.events())
+        << "checkpointing perturbed the sharded run (shards="
+        << write_shards << ")";
+    ASSERT_GT(sink.snapshots(), 0u);
+
+    const CheckpointFile file = read_checkpoint_file(path);
+    ASSERT_LE(file.meta.events_emitted, full_log.size());
+    const std::vector<DecisionEvent> suffix(
+        full_log.events().begin() +
+            static_cast<std::ptrdiff_t>(file.meta.events_emitted),
+        full_log.events().end());
+
+    const std::size_t resume_shards = counts[(wi + 2) % std::size(counts)];
+    for (const std::size_t rs : {std::size_t{1}, resume_shards}) {
+      EventLog resumed_log;
+      const SimResult resumed = shard_run(jobs, "s", engine, fault_spec,
+                                          kParityM, rs, &resumed_log, nullptr,
+                                          &file);
+      EXPECT_EQ(resumed_log.events(), suffix)
+          << "write_shards=" << write_shards << " resume_shards=" << rs;
+      expect_bitwise_equal(resumed, full, rs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, ShardKillResume,
+                         ::testing::Values(EngineKind::kEvent,
+                                           EngineKind::kSlot),
+                         [](const ::testing::TestParamInfo<EngineKind>& p) {
+                           return p.param == EngineKind::kEvent
+                                      ? std::string("event")
+                                      : std::string("slot");
+                         });
+
+// ---------------------------------------------------------------------------
+// ShardRuntime unit behavior: run-ahead staging, restart rendezvous, and
+// the zero-steady-state-allocation contract (arena high-water and staging
+// capacity must not move across warm restarts -- the sharded analogue of
+// test_zero_alloc.cpp's operator-new gate).
+
+TEST(ShardRuntime, StagedStateIsCompleteAndPrecomputeIsDeterministic) {
+  const JobSet jobs = parity_jobs();
+  ASSERT_GT(jobs.size(), 4u);  // at least two jobs per shard
+  auto scheduler = make_named_scheduler("s", 0.5);
+  ShardRuntime rt(jobs, *scheduler, nullptr, 1.0, 3);
+  rt.restart(0);
+
+  const std::size_t prep_size = scheduler->arrival_precompute_size();
+  ASSERT_GT(prep_size, 0u) << "DeadlineScheduler should opt in";
+  std::vector<std::byte> expected(prep_size);
+  for (JobId id = 0; id < static_cast<JobId>(jobs.size()); ++id) {
+    PreparedArrival& staged = rt.acquire(id);
+    ASSERT_TRUE(staged.unfolding.engaged()) << "job " << id;
+    // The staged unfolding is pristine and matches the job's DAG.
+    EXPECT_EQ(&staged.unfolding.dag(), &jobs[id].dag());
+    EXPECT_EQ(staged.unfolding.total_remaining_work(),
+              jobs[id].dag().total_work());
+    EXPECT_EQ(staged.unfolding.nodes_remaining(), jobs[id].dag().num_nodes());
+    // Worker-side precompute equals a fresh main-thread evaluation bit for
+    // bit (the parity contract's foundation).
+    ASSERT_NE(rt.precomputed(id), nullptr);
+    scheduler->precompute_arrival(jobs[id], id, 1.0, expected.data());
+    EXPECT_EQ(std::memcmp(rt.precomputed(id), expected.data(), prep_size), 0)
+        << "job " << id;
+  }
+}
+
+TEST(ShardRuntime, SchedulersWithoutPrecomputeStageOnlyUnfoldings) {
+  const JobSet jobs = parity_jobs();
+  auto scheduler = make_named_scheduler("edf", 0.5);
+  ASSERT_EQ(scheduler->arrival_precompute_size(), 0u);
+  ShardRuntime rt(jobs, *scheduler, nullptr, 1.0, 2);
+  rt.restart(0);
+  for (JobId id = 0; id < static_cast<JobId>(jobs.size()); ++id) {
+    EXPECT_TRUE(rt.acquire(id).unfolding.engaged());
+    EXPECT_EQ(rt.precomputed(id), nullptr);
+  }
+}
+
+TEST(ShardRuntime, WarmRestartsAllocateNothingNew) {
+  const JobSet jobs = parity_jobs();
+  auto scheduler = make_named_scheduler("s", 0.5);
+  ShardRuntime rt(jobs, *scheduler, nullptr, 1.0, 4);
+
+  auto drain = [&rt, &jobs](JobId from) {
+    for (JobId id = from; id < static_cast<JobId>(jobs.size()); ++id) {
+      // Move-adopt like the kernel does; the descriptor dies here but its
+      // arena block stays until the next restart().
+      UnfoldingState adopted = std::move(rt.acquire(id).unfolding);
+      EXPECT_TRUE(adopted.engaged());
+    }
+  };
+
+  rt.restart(0);
+  drain(0);
+  const std::size_t high_water = rt.arena_high_water();
+  const std::size_t capacity = rt.arena_capacity();
+  const std::size_t staging = rt.staging_bytes();
+  EXPECT_GT(high_water, 0u);
+
+  // Full warm re-runs and a mid-stream resume-style restart: identical
+  // footprint every time.
+  for (int round = 0; round < 3; ++round) {
+    rt.restart(0);
+    drain(0);
+    EXPECT_EQ(rt.arena_high_water(), high_water) << "round " << round;
+    EXPECT_EQ(rt.arena_capacity(), capacity) << "round " << round;
+    EXPECT_EQ(rt.staging_bytes(), staging) << "round " << round;
+  }
+  const JobId mid = static_cast<JobId>(jobs.size() / 2);
+  rt.restart(mid);
+  drain(mid);
+  EXPECT_LE(rt.arena_high_water(), high_water);
+  EXPECT_EQ(rt.arena_capacity(), capacity);
+  EXPECT_EQ(rt.staging_bytes(), staging);
+}
+
+// Engine-level warm reuse: a second run() over the same sharded engine
+// instance must reproduce the first bitwise (SimKernel::begin() restarts
+// the ShardRuntime; stale staging from run 1 must never leak into run 2).
+TEST(ShardRuntime, EngineRerunIsBitwiseStable) {
+  const JobSet jobs = parity_jobs();
+  auto scheduler = make_named_scheduler("s", 0.5);
+  auto selector = make_selector(SelectorKind::kFifo, 1);
+  EngineOptions options;
+  options.num_procs = kParityM;
+  options.shards = 4;
+  EventEngine engine(jobs, *scheduler, *selector, options);
+  const SimResult first = engine.run();
+  scheduler->reset();
+  const SimResult second = engine.run();
+  expect_bitwise_equal(second, first, 4);
+}
+
+}  // namespace
+}  // namespace dagsched

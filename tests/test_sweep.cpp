@@ -8,12 +8,17 @@
 //     histograms) are invariant to the worker-thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "exp/sweep/report_writer.h"
 #include "exp/sweep/sweep.h"
+#include "exp/sweep/work_pool.h"
 #include "obs/sweep_report.h"
 #include "obs/telemetry/latency_histogram.h"
 #include "util/json.h"
@@ -157,6 +162,80 @@ TEST(Sweep, ResultsInvariantToThreadCount) {
     }
     EXPECT_EQ(parallel.counters, serial.counters);
   }
+}
+
+// --------------------------------------------------------------------------
+// WorkStealingPool (exp/sweep/work_pool.h): the parking protocol.
+// --------------------------------------------------------------------------
+
+// The no-lost-wakeup property on the *last* cell: workers that have parked
+// on the condition variable (the backlog was empty when they arrived) must
+// be woken both by a late push and by close().  If a wakeup were lost --
+// e.g. the producer published between a worker's emptiness check and its
+// wait -- this test would hang rather than fail an assertion, so it runs
+// the handoff many times to give a racy interleaving every chance to bite.
+TEST(WorkStealingPool, LastCellHandoffLosesNoWakeups) {
+  constexpr std::size_t kWorkers = 4;
+  for (int round = 0; round < 200; ++round) {
+    WorkStealingPool pool(kWorkers);
+    std::atomic<std::size_t> claimed{0};
+    std::atomic<std::size_t> returned{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&pool, &claimed, &returned, w] {
+        while (const auto cell = pool.next(w)) {
+          claimed.fetch_add(1 + *cell);
+        }
+        returned.fetch_add(1);
+      });
+    }
+    // One straggler cell pushed while (most) workers are already idle --
+    // spinning or parked -- then close.  Exactly one worker must claim it
+    // and all of them must return.
+    pool.push(0);
+    pool.close();
+    for (std::thread& worker : workers) worker.join();
+    ASSERT_EQ(claimed.load(), 1u) << "round " << round;
+    ASSERT_EQ(returned.load(), kWorkers) << "round " << round;
+  }
+}
+
+TEST(WorkStealingPool, DrainsEveryCellExactlyOnceAcrossWorkers) {
+  constexpr std::size_t kWorkers = 3;
+  constexpr std::size_t kCells = 257;
+  WorkStealingPool pool(kWorkers);
+  std::mutex seen_mutex;
+  std::vector<std::size_t> seen;
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&pool, &seen_mutex, &seen, w] {
+      while (const auto cell = pool.next(w)) {
+        std::lock_guard lock(seen_mutex);
+        seen.push_back(*cell);
+      }
+    });
+  }
+  for (std::size_t i = 0; i < kCells; ++i) pool.push(i);
+  pool.close();
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_EQ(seen.size(), kCells);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < kCells; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(WorkStealingPool, CloseOnEmptyPoolReleasesEveryWorker) {
+  WorkStealingPool pool(2);
+  std::vector<std::thread> workers;
+  std::atomic<int> nullopts{0};
+  for (std::size_t w = 0; w < 2; ++w) {
+    workers.emplace_back([&pool, &nullopts, w] {
+      if (!pool.next(w)) nullopts.fetch_add(1);
+    });
+  }
+  pool.close();
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(nullopts.load(), 2);
 }
 
 TEST(Sweep, CellResultMatchesDirectRun) {

@@ -29,6 +29,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -95,11 +96,11 @@ int usage() {
          "           [--checkpoint CKPT --checkpoint-interval N] "
          "[--resume CKPT]\n"
          "           [--die-at-decision N] [--decide-budget N|Nus|Nms|Ns]\n"
-         "           [--overload-shed K]\n"
+         "           [--overload-shed K] [--shards N|auto]\n"
          "  dagsched checkpoint info CKPT # print a checkpoint header\n"
          "  dagsched sweep WL... --schedulers A,B --engines event,slot\n"
          "           [--faults LABEL=SPEC;LABEL=SPEC...] [--m M] [--eps E]\n"
-         "           [--speed S] [--selector KIND] [--sweep-jobs N]\n"
+         "           [--speed S] [--selector KIND] [--sweep-jobs N|auto]\n"
          "           [--out SWEEP.jsonl] [--events-dir DIR] [--no-telemetry]\n"
          "           [--cells CELLS.jsonl] [--quiet]\n"
          "  dagsched sweep diff BASELINE CURRENT [--threshold T] "
@@ -211,6 +212,40 @@ std::optional<FaultInjector> make_injector(const std::string& fault_spec,
   return injector;
 }
 
+/// Strict positive-integer flag value (e.g. --sweep-jobs): garbage, zero,
+/// negatives, and absurd values get a positioned diagnostic (exit 2)
+/// instead of a silent default or an unchecked cast.
+std::size_t parse_positive_count(const std::string& flag,
+                                 const std::string& value,
+                                 std::size_t max_value) {
+  std::int64_t parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (value.empty() || ec != std::errc{} || ptr != end || parsed < 1 ||
+      parsed > static_cast<std::int64_t>(max_value)) {
+    throw ParseError("--" + flag, 1, 1,
+                     "expected an integer in [1, " + std::to_string(max_value) +
+                         "] or 'auto', got '" + value + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// The shared count parser for --sweep-jobs and --shards: a positive
+/// integer, or the literal `auto` = std::thread::hardware_concurrency()
+/// (0 when unknown -> 1), clamped to [1, max_value].  Garbage keeps the
+/// positioned diagnostic of parse_positive_count.
+std::size_t parse_count_or_auto(const std::string& flag,
+                                const std::string& value,
+                                std::size_t max_value) {
+  if (value == "auto") {
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw < 1) hw = 1;
+    return std::min(hw, max_value);
+  }
+  return parse_positive_count(flag, value, max_value);
+}
+
 /// Runs the named engine via the kernel-backed factory; throws
 /// std::invalid_argument on an unknown name.
 SimResult run_engine(const std::string& engine, const JobSet& jobs,
@@ -222,7 +257,8 @@ SimResult run_engine(const std::string& engine, const JobSet& jobs,
                      const CheckpointFile* resume = nullptr,
                      std::size_t die_at_decision = 0,
                      std::uint64_t decide_budget_ns = 0,
-                     std::size_t overload_shed_max = 1) {
+                     std::size_t overload_shed_max = 1,
+                     std::size_t shards = 1) {
   const std::optional<EngineKind> kind = parse_engine_kind(engine);
   if (!kind) throw std::invalid_argument("unknown engine '" + engine + "'");
   SimOptions options;
@@ -237,6 +273,7 @@ SimResult run_engine(const std::string& engine, const JobSet& jobs,
   options.die_at_decision = die_at_decision;
   options.decide_budget_ns = decide_budget_ns;
   options.overload_shed_max = overload_shed_max;
+  options.shards = shards;
   return run_simulation(*kind, jobs, scheduler, selector, options);
 }
 
@@ -362,6 +399,11 @@ int cmd_run(ArgParser& args) {
   const std::int64_t die_at_decision = args.get_int("die-at-decision", 0);
   const std::string decide_budget = args.get_string("decide-budget", "");
   const std::int64_t overload_shed = args.get_int("overload-shed", 1);
+  // --shards is deliberately outside the config fingerprint: the decision
+  // sequence is shard-count-invariant (sim/kernel/shard.h), so a
+  // checkpoint written at one shard count may resume at any other.
+  const bool shards_given = args.has("shards");
+  const std::string shards_value = args.get_string("shards", "");
   args.finish();
 
   if (telemetry_interval_given && telemetry_path.empty()) {
@@ -382,6 +424,10 @@ int cmd_run(ArgParser& args) {
   }
   const std::uint64_t decide_budget_ns =
       decide_budget.empty() ? 0 : parse_decide_budget(decide_budget);
+  // Strict like --sweep-jobs: `--shards=`, garbage, zero, and negatives
+  // are positioned parse errors (exit 2), never a silent serial fallback.
+  const std::size_t shards =
+      shards_given ? parse_count_or_auto("shards", shards_value, 4096) : 1;
 
   // Fault plan: parsed and materialized before the engines exist, so both
   // engines would consume the identical schedule.  Spec errors are parse
@@ -499,7 +545,7 @@ int cmd_run(ArgParser& args) {
                  checkpoint_sink ? &*checkpoint_sink : nullptr,
                  resume_file ? &*resume_file : nullptr,
                  static_cast<std::size_t>(die_at_decision), decide_budget_ns,
-                 static_cast<std::size_t>(overload_shed));
+                 static_cast<std::size_t>(overload_shed), shards);
 
   std::cout << "scheduler:        " << scheduler->name() << "\n"
             << "jobs:             " << jobs.size() << "\n"
@@ -1043,25 +1089,6 @@ int cmd_top(ArgParser& args) {
 // dagsched sweep: parallel sweep executor + cross-run regression diff
 // ---------------------------------------------------------------------------
 
-/// Strict positive-integer flag value (e.g. --sweep-jobs): garbage, zero,
-/// negatives, and absurd values get a positioned diagnostic (exit 2)
-/// instead of a silent default or an unchecked cast.
-std::size_t parse_positive_count(const std::string& flag,
-                                 const std::string& value,
-                                 std::size_t max_value) {
-  std::int64_t parsed = 0;
-  const char* begin = value.data();
-  const char* end = begin + value.size();
-  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
-  if (value.empty() || ec != std::errc{} || ptr != end || parsed < 1 ||
-      parsed > static_cast<std::int64_t>(max_value)) {
-    throw ParseError("--" + flag, 1, 1,
-                     "expected an integer in [1, " + std::to_string(max_value) +
-                         "], got '" + value + "'");
-  }
-  return static_cast<std::size_t>(parsed);
-}
-
 /// "out/thm2.wl" -> "thm2": the workload tag used in cell ids.
 std::string workload_tag(const std::string& path) {
   std::string base = path;
@@ -1229,7 +1256,7 @@ int cmd_sweep_run(ArgParser& args) {
   // Strict like --telemetry-interval: `--sweep-jobs=`, garbage, zero, and
   // negatives are positioned parse errors, never a silent default.
   const std::size_t threads =
-      sweep_jobs_given ? parse_positive_count("sweep-jobs", sweep_jobs, 4096)
+      sweep_jobs_given ? parse_count_or_auto("sweep-jobs", sweep_jobs, 4096)
                        : 0;
 
   SweepCellSpec defaults;
